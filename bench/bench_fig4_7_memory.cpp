@@ -1,0 +1,123 @@
+// Figures 4 & 7: keep-alive memory over time.
+//   Fig 4(a): OpenWhisk's fixed policy — high memory with sudden peaks.
+//   Fig 4(b): individual function optimization — lower, but peaks persist.
+//   Fig 7(a/b): fixed policy vs full PULSE — PULSE lowers the average and
+//   smooths the peaks with a near-identical accuracy.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "policies/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pulse;
+
+struct MemorySeries {
+  std::string policy;
+  std::vector<double> memory_mb;
+  double accuracy_pct = 0.0;
+
+  [[nodiscard]] double average() const { return util::mean(memory_mb); }
+  [[nodiscard]] double peak() const { return util::max_of(memory_mb); }
+  /// Largest minute-over-minute upward jump, the "sudden peak" measure.
+  [[nodiscard]] double max_jump() const {
+    double jump = 0.0;
+    for (std::size_t m = 1; m < memory_mb.size(); ++m) {
+      jump = std::max(jump, memory_mb[m] - memory_mb[m - 1]);
+    }
+    return jump;
+  }
+};
+
+MemorySeries run_series(const exp::Scenario& scenario, const std::string& policy) {
+  const sim::RunResult r = exp::run_policy_single(scenario, policy);
+  MemorySeries s;
+  s.policy = policy;
+  s.memory_mb = r.keepalive_memory_mb;
+  s.accuracy_pct = r.average_accuracy_pct();
+  return s;
+}
+
+void print_series_plot(const MemorySeries& s, double global_max) {
+  // Bucket the series into 2-hour averages and draw an ASCII profile.
+  const std::size_t bucket = 120;
+  std::printf("\n%s  (avg %.0f MB, peak %.0f MB, max jump %.0f MB, accuracy %.2f%%)\n",
+              s.policy.c_str(), s.average(), s.peak(), s.max_jump(), s.accuracy_pct);
+  for (std::size_t start = 0; start + bucket <= s.memory_mb.size(); start += bucket) {
+    const std::span<const double> window(s.memory_mb.data() + start, bucket);
+    const double avg = util::mean(window);
+    const double mx = util::max_of(window);
+    std::printf("  t=%5zu..%5zu  avg %7.0f MB |%s| max %7.0f\n", start, start + bucket,
+                avg, util::bar(avg, global_max, 36).c_str(), mx);
+  }
+}
+
+void BM_PulseFullDay(benchmark::State& state) {
+  exp::ScenarioConfig config;
+  config.days = 1;
+  const exp::Scenario scenario = exp::make_scenario(config);
+  const sim::Deployment d = sim::Deployment::round_robin(
+      scenario.zoo, scenario.workload.trace.function_count());
+  for (auto _ : state) {
+    sim::SimulationEngine engine(d, scenario.workload.trace, {});
+    const auto policy = policies::make_policy("pulse");
+    benchmark::DoNotOptimize(engine.run(*policy));
+  }
+}
+BENCHMARK(BM_PulseFullDay);
+
+void BM_OpenWhiskFullDay(benchmark::State& state) {
+  exp::ScenarioConfig config;
+  config.days = 1;
+  const exp::Scenario scenario = exp::make_scenario(config);
+  const sim::Deployment d = sim::Deployment::round_robin(
+      scenario.zoo, scenario.workload.trace.function_count());
+  for (auto _ : state) {
+    sim::SimulationEngine engine(d, scenario.workload.trace, {});
+    const auto policy = policies::make_policy("openwhisk");
+    benchmark::DoNotOptimize(engine.run(*policy));
+  }
+}
+BENCHMARK(BM_OpenWhiskFullDay);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pulse;
+  bench::print_heading("Figures 4 & 7 — keep-alive memory over time",
+                       "PULSE paper, Figures 4(a,b) and 7(a,b)");
+  exp::ScenarioConfig config;
+  config.days = std::min<trace::Minute>(exp::bench_trace_days(2), 4);
+  const exp::Scenario scenario = exp::make_scenario(config);
+  bench::print_scenario_info(scenario, 1);
+
+  const MemorySeries openwhisk = run_series(scenario, "openwhisk");
+  const MemorySeries individual = run_series(scenario, "pulse-individual");
+  const MemorySeries pulse = run_series(scenario, "pulse");
+  const double global_max = std::max({openwhisk.peak(), individual.peak(), pulse.peak()});
+
+  std::printf("--- Figure 4(a) / 7(a): OpenWhisk fixed 10-minute policy ---");
+  print_series_plot(openwhisk, global_max);
+  std::printf("\n--- Figure 4(b): individual function optimization only ---");
+  print_series_plot(individual, global_max);
+  std::printf("\n--- Figure 7(b): full PULSE (function-centric + global) ---");
+  print_series_plot(pulse, global_max);
+
+  util::TextTable summary({"Policy", "Avg memory (MB)", "Peak (MB)", "Max jump (MB)",
+                           "Accuracy (%)"});
+  for (const auto* s : {&openwhisk, &individual, &pulse}) {
+    summary.add_row({s->policy, util::fmt(s->average(), 0), util::fmt(s->peak(), 0),
+                     util::fmt(s->max_jump(), 0), util::fmt(s->accuracy_pct)});
+  }
+  std::printf("\n%s", summary.render().c_str());
+  std::printf(
+      "\nExpected shape (paper): individual optimization reduces average\n"
+      "memory but peaks persist (Fig 4b); full PULSE reduces memory AND\n"
+      "flattens sudden jumps at a near-identical accuracy (Fig 7b).\n");
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,84 @@
+// Predictor quality: why the warm-up techniques behave the way they do.
+//
+// Scores each technique's window predictor directly (coverage of the next
+// invocation, wasted warm minutes) on the shared workload, independent of
+// cost/accuracy modeling. Explains the Figure 8 dynamics: Wild's histogram
+// window covers slightly more than the fixed policy at far less waste,
+// which is exactly the room PULSE's variant laddering monetizes.
+
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "predict/evaluation.hpp"
+#include "predict/hybrid_histogram.hpp"
+#include "trace/analysis.hpp"
+
+namespace {
+
+using namespace pulse;
+
+predict::PredictorScore score_fixed(const trace::Trace& t, trace::Minute window) {
+  return predict::evaluate_window_predictor(t, predict::fixed_window_predictor(window));
+}
+
+predict::PredictorScore score_hybrid(const trace::Trace& t) {
+  std::vector<predict::HybridHistogramPredictor> predictors(t.function_count());
+  return predict::evaluate_window_predictor(
+      t, [&](trace::FunctionId f, trace::Minute now) {
+        predictors[f].observe_invocation(now);
+        const predict::WindowPrediction w = predictors[f].predict();
+        return predict::PredictedWindow{std::max<trace::Minute>(1, w.prewarm_offset),
+                                        w.keepalive_until};
+      });
+}
+
+void BM_EvaluateFixedPredictor(benchmark::State& state) {
+  exp::ScenarioConfig config;
+  config.days = 1;
+  const exp::Scenario scenario = exp::make_scenario(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(score_fixed(scenario.workload.trace, 10));
+  }
+}
+BENCHMARK(BM_EvaluateFixedPredictor);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pulse;
+  bench::print_heading("Predictor quality — window coverage vs waste",
+                       "diagnostic behind the paper's warm-up technique comparison");
+  const exp::Scenario scenario = bench::default_scenario();
+  bench::print_scenario_info(scenario, 1);
+
+  util::TextTable table({"Predictor", "Coverage (%)", "Missed beyond (%)",
+                         "Missed before (%)", "Warm minutes", "Wasted (%)"});
+  struct Row {
+    const char* label;
+    predict::PredictorScore score;
+  };
+  const Row rows[] = {
+      {"fixed 10-minute (OpenWhisk)", score_fixed(scenario.workload.trace, 10)},
+      {"fixed 20-minute", score_fixed(scenario.workload.trace, 20)},
+      {"hybrid histogram (Wild)", score_hybrid(scenario.workload.trace)},
+  };
+  for (const auto& row : rows) {
+    const auto& s = row.score;
+    const double n = static_cast<double>(std::max<std::uint64_t>(1, s.evaluated_invocations));
+    table.add_row({row.label, util::fmt(100.0 * s.coverage(), 1),
+                   util::fmt(100.0 * static_cast<double>(s.beyond_horizon) / n, 1),
+                   util::fmt(100.0 * static_cast<double>(s.before_window) / n, 1),
+                   std::to_string(s.warm_minutes),
+                   util::fmt(100.0 * s.waste_fraction(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: the fixed window misses every gap beyond its horizon\n"
+      "(missed-beyond column); the hybrid histogram nearly eliminates those\n"
+      "misses by stretching its window to the inter-arrival tail, paying in\n"
+      "warm-minute waste. That wide, always-high-quality window is exactly\n"
+      "the cost PULSE's variant laddering attacks in the Wild integration.\n");
+
+  return bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,105 @@
+// capacity_planner: sizing keep-alive memory capacity for a serverless
+// cluster. Sweeps an absolute memory capacity and reports, for the fixed
+// keep-alive baseline and for PULSE, how many containers the platform had
+// to evict under pressure and what that did to cold starts and tail
+// latency. PULSE's peak flattening keeps demand under the cap, so it
+// tolerates far smaller clusters.
+//
+//   ./capacity_planner [--days=2] [--functions=12]
+
+#include <cstdio>
+
+#include "core/pulse_policy.hpp"
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct CapacityRow {
+  double capacity_mb = 0.0;
+  std::uint64_t evictions = 0;
+  std::uint64_t cold_starts = 0;
+  double p99_service_s = 0.0;
+  double cost_usd = 0.0;
+};
+
+CapacityRow run_capacity(const pulse::sim::Deployment& deployment,
+                         const pulse::trace::Trace& trace, double capacity_mb,
+                         bool use_pulse) {
+  using namespace pulse;
+  sim::EngineConfig config;
+  config.memory_capacity_mb = capacity_mb;
+  config.record_service_samples = true;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(deployment, trace, config);
+
+  sim::RunResult r;
+  if (use_pulse) {
+    core::PulsePolicy policy;
+    r = engine.run(policy);
+  } else {
+    policies::FixedKeepAlivePolicy policy;
+    r = engine.run(policy);
+  }
+
+  CapacityRow row;
+  row.capacity_mb = capacity_mb;
+  row.evictions = r.capacity_evictions;
+  row.cold_starts = r.cold_starts;
+  row.p99_service_s = r.service_time_percentile(99);
+  row.cost_usd = r.total_keepalive_cost_usd;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pulse;
+
+  util::CliParser cli("capacity_planner: keep-alive memory capacity sweep");
+  cli.add_flag("days", "2", "trace length in days");
+  cli.add_flag("functions", "12", "number of functions");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = static_cast<std::size_t>(cli.get_int("functions"));
+  wconfig.duration = cli.get_int("days") * trace::kMinutesPerDay;
+  const trace::Workload workload = trace::build_azure_like_workload(wconfig);
+
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment =
+      sim::Deployment::round_robin(zoo, workload.trace.function_count());
+  const double full = deployment.peak_highest_memory_mb();
+  std::printf("all-highest footprint: %.0f MB — sweeping capacities below it\n\n", full);
+
+  util::TextTable table({"Capacity (MB)", "Policy", "Evictions", "Cold starts",
+                         "P99 service (s)", "Cost ($)"});
+  for (double fraction : {1.0, 0.75, 0.5, 0.35}) {
+    const double capacity = full * fraction;
+    const CapacityRow fixed = run_capacity(deployment, workload.trace, capacity, false);
+    const CapacityRow pulse = run_capacity(deployment, workload.trace, capacity, true);
+    table.add_row({util::fmt(capacity, 0), "fixed keep-alive",
+                   std::to_string(fixed.evictions), std::to_string(fixed.cold_starts),
+                   util::fmt(fixed.p99_service_s), util::fmt(fixed.cost_usd)});
+    table.add_row({"", "PULSE", std::to_string(pulse.evictions),
+                   std::to_string(pulse.cold_starts), util::fmt(pulse.p99_service_s),
+                   util::fmt(pulse.cost_usd)});
+    table.add_separator();
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: as capacity shrinks, the fixed policy suffers forced random\n"
+      "evictions (-> cold starts, worse P99); PULSE's variant laddering and\n"
+      "peak flattening keep demand under the cap with few or no evictions.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/global_optimizer.hpp"
+
+#include <limits>
+
+namespace pulse::core {
+
+GlobalOptimizer::GlobalOptimizer(std::size_t model_count)
+    : GlobalOptimizer(model_count, Config{}) {}
+
+GlobalOptimizer::GlobalOptimizer(std::size_t model_count, Config config)
+    : config_(config), detector_(config.peak), priority_(model_count) {}
+
+UtilityComponents GlobalOptimizer::score(
+    trace::FunctionId f, std::size_t variant, trace::Minute t,
+    const sim::Deployment& deployment, const std::vector<double>& normalized_priority,
+    const std::vector<InterArrivalTracker>& trackers) const {
+  UtilityComponents u;
+  u.accuracy_improvement = deployment.family_of(f).accuracy_improvement(variant);
+  u.priority = normalized_priority.at(f);
+
+  // Ip: probability the function is invoked during the remainder of its
+  // current keep-alive window. The offset of "now" within the window comes
+  // from the function's last invocation.
+  const auto& tracker = trackers.at(f);
+  if (const auto last = tracker.last_invocation()) {
+    const trace::Minute offset = t - *last;
+    if (offset < config_.keepalive_window) {
+      u.invocation_probability = tracker.probability_within(
+          static_cast<std::size_t>(offset + 1),
+          static_cast<std::size_t>(config_.keepalive_window), t);
+    }
+  }
+  return u;
+}
+
+std::size_t GlobalOptimizer::flatten_peak(trace::Minute t, sim::KeepAliveSchedule& schedule,
+                                          const std::vector<InterArrivalTracker>& trackers) {
+  // Record this minute's demand before any flattening, then compare it
+  // against the prior derived from past demand (see DemandHistory).
+  while (demand_.now() < t) demand_.push(0.0);  // tolerate skipped idle minutes
+  const double prior = detector_.prior_memory(demand_, t);
+  demand_.push(schedule.memory_at(t));
+  std::size_t downgrades = 0;
+
+  while (detector_.is_peak(schedule.memory_at(t), prior)) {
+    const auto kept = schedule.kept_alive_at(t);
+    if (kept.empty()) break;  // nothing left to downgrade; peak cannot be flattened
+
+    // Algorithm 2, line 4: normalize the priority structure once per round.
+    const std::vector<double> pr = priority_.normalized();
+
+    trace::FunctionId worst_f = kept.front().first;
+    double worst_uv = std::numeric_limits<double>::infinity();
+    for (const auto& [f, variant] : kept) {
+      const double uv =
+          score(f, variant, t, schedule.deployment(), pr, trackers).value(config_.weights);
+      if (uv < worst_uv) {
+        worst_uv = uv;
+        worst_f = f;
+      }
+    }
+
+    if (!schedule.downgrade_from(worst_f, t)) break;  // defensive: should not happen
+    priority_.record_downgrade(worst_f);
+    ++downgrades;
+  }
+  return downgrades;
+}
+
+}  // namespace pulse::core

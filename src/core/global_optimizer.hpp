@@ -1,0 +1,90 @@
+#pragma once
+// Cross-function optimization — Algorithm 2 of the paper.
+//
+// When the peak detector flags a minute, the optimizer repeatedly scores
+// every kept-alive model with the utility value Uv = Ai + Pr + Ip and
+// downgrades the lowest-utility model by one variant (the lowest variant is
+// dropped entirely, i.e. the next invocation cold-starts), until the peak
+// is flattened. Every downgrade is tallied in the priority structure so the
+// burden rotates across models instead of repeatedly hitting the same one.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interarrival.hpp"
+#include "core/peak_detector.hpp"
+#include "core/priority.hpp"
+#include "core/utility.hpp"
+#include "sim/schedule.hpp"
+#include "trace/analysis.hpp"
+
+namespace pulse::core {
+
+/// Per-minute record of *demand* keep-alive memory — what the
+/// function-centric optimizer scheduled before any peak flattening. The
+/// peak detector's prior must come from this series, not from the
+/// post-flatten memory the platform actually held: comparing against the
+/// flattened series would classify any recovery above the flattened level
+/// as a new peak and ratchet keep-alive memory toward zero.
+class DemandHistory final : public sim::MemoryHistory {
+ public:
+  void push(double memory_mb) { values_.push_back(memory_mb); }
+
+  [[nodiscard]] double memory_at(trace::Minute t) const override {
+    if (t < 0 || static_cast<std::size_t>(t) >= values_.size()) return 0.0;
+    return values_[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] trace::Minute now() const override {
+    return static_cast<trace::Minute>(values_.size());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+class GlobalOptimizer {
+ public:
+  struct Config {
+    PeakDetector::Config peak{};
+    /// Length of the keep-alive window Ip is evaluated over.
+    trace::Minute keepalive_window = trace::kKeepAliveWindow;
+    /// Utility component weights (equal by default, per the paper).
+    UtilityWeights weights{};
+  };
+
+  explicit GlobalOptimizer(std::size_t model_count);  // default Config
+  GlobalOptimizer(std::size_t model_count, Config config);
+
+  /// Runs Algorithm 2 for minute t: records the demand memory of minute t,
+  /// and if t is a peak (demand vs. the demand history's prior), downgrades
+  /// lowest-Uv models (mutating `schedule` from minute t onward) until the
+  /// peak is flattened or nothing is left to downgrade. Must be called once
+  /// per minute in order. Returns the number of downgrades performed for
+  /// this minute.
+  std::size_t flatten_peak(trace::Minute t, sim::KeepAliveSchedule& schedule,
+                           const std::vector<InterArrivalTracker>& trackers);
+
+  /// Utility score for function f keeping variant `variant` alive at t,
+  /// given a pre-normalized priority vector.
+  [[nodiscard]] UtilityComponents score(trace::FunctionId f, std::size_t variant,
+                                        trace::Minute t,
+                                        const sim::Deployment& deployment,
+                                        const std::vector<double>& normalized_priority,
+                                        const std::vector<InterArrivalTracker>& trackers) const;
+
+  [[nodiscard]] std::uint64_t total_downgrades() const noexcept {
+    return priority_.total_downgrades();
+  }
+  [[nodiscard]] const PriorityStructure& priority() const noexcept { return priority_; }
+  [[nodiscard]] const PeakDetector& detector() const noexcept { return detector_; }
+  [[nodiscard]] const DemandHistory& demand_history() const noexcept { return demand_; }
+
+ private:
+  Config config_;
+  PeakDetector detector_;
+  PriorityStructure priority_;
+  DemandHistory demand_;
+};
+
+}  // namespace pulse::core

@@ -1,0 +1,53 @@
+#include "core/interarrival.hpp"
+
+#include <algorithm>
+
+namespace pulse::core {
+
+InterArrivalTracker::InterArrivalTracker() : InterArrivalTracker(Config{}) {}
+
+InterArrivalTracker::InterArrivalTracker(Config config)
+    : config_(config), full_histogram_(config.histogram_capacity) {}
+
+void InterArrivalTracker::record(trace::Minute t) {
+  if (last_invocation_) {
+    if (t <= *last_invocation_) return;  // same minute (or out of order): one sample per minute
+    const auto gap = static_cast<std::size_t>(t - *last_invocation_);
+    full_histogram_.add(gap);
+    recent_.push_back(GapEvent{t, gap});
+    // Bound the deque: events older than the largest supported window are
+    // unreachable by any probability() query.
+    const trace::Minute horizon = t - std::max<trace::Minute>(config_.local_window, 1) * 4;
+    while (!recent_.empty() && recent_.front().end_minute < horizon) recent_.pop_front();
+  }
+  last_invocation_ = t;
+}
+
+double InterArrivalTracker::probability(std::size_t d, trace::Minute now) const {
+  const double p_full = full_histogram_.probability(d);
+
+  // Local-window estimate: gaps whose closing invocation lies within
+  // [now - local_window, now].
+  const trace::Minute cutoff = now - config_.local_window;
+  std::uint64_t local_total = 0;
+  std::uint64_t local_match = 0;
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->end_minute < cutoff) break;
+    ++local_total;
+    if (it->gap == d) ++local_match;
+  }
+
+  if (local_total == 0) return p_full;
+  const double p_local =
+      static_cast<double>(local_match) / static_cast<double>(local_total);
+  return 0.5 * (p_full + p_local);
+}
+
+double InterArrivalTracker::probability_within(std::size_t from_d, std::size_t to_d,
+                                               trace::Minute now) const {
+  double total = 0.0;
+  for (std::size_t d = from_d; d <= to_d; ++d) total += probability(d, now);
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace pulse::core

@@ -1,0 +1,79 @@
+#pragma once
+// Per-function inter-arrival probability estimation (§III-A).
+//
+// PULSE estimates, for each offset d in the 10-minute keep-alive window,
+// the probability that the function's next invocation arrives exactly d
+// minutes after the previous one. Two estimates are combined: one over a
+// sliding local window of recent history (patterns drift — Figure 2) and
+// one over the full history since system start; the two probabilities are
+// averaged.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace pulse::core {
+
+class InterArrivalTracker {
+ public:
+  struct Config {
+    /// Length of the sliding local window, minutes (the paper sweeps
+    /// 10/60/120 in Figure 12; 60 is the default).
+    trace::Minute local_window = 60;
+    /// Largest representable inter-arrival value in the full-history
+    /// histogram; larger gaps count toward the total but not to any bucket.
+    std::size_t histogram_capacity = 240;
+  };
+
+  InterArrivalTracker();  // default Config
+  explicit InterArrivalTracker(Config config);
+
+  /// Records an invocation at minute t. Invocations must be recorded in
+  /// non-decreasing time order; repeated minutes are ignored (the paper's
+  /// inter-arrival resolution is one minute).
+  void record(trace::Minute t);
+
+  /// P(inter-arrival == d), averaged over the local-window estimate and the
+  /// full-history estimate, evaluated at minute `now`. When the local
+  /// window holds no gaps the full-history estimate is used alone.
+  [[nodiscard]] double probability(std::size_t d, trace::Minute now) const;
+
+  /// Sum of probability() over d in [from_d, to_d], clamped to [0, 1] —
+  /// "probability of invocation" during the remainder of a window (the Ip
+  /// component of Equation 2).
+  [[nodiscard]] double probability_within(std::size_t from_d, std::size_t to_d,
+                                          trace::Minute now) const;
+
+  [[nodiscard]] std::optional<trace::Minute> last_invocation() const noexcept {
+    return last_invocation_;
+  }
+
+  /// Smallest gap g such that a fraction `p` of observed inter-arrival
+  /// times are <= g (full history; overflow gaps excluded). nullopt until
+  /// gaps exist. Drives the adaptive keep-alive window extension.
+  [[nodiscard]] std::optional<std::size_t> gap_percentile(double p) const noexcept {
+    return full_histogram_.percentile_value(p);
+  }
+
+  [[nodiscard]] std::uint64_t total_gaps() const noexcept { return full_histogram_.total(); }
+  [[nodiscard]] const util::IntHistogram& full_histogram() const noexcept {
+    return full_histogram_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  struct GapEvent {
+    trace::Minute end_minute;  // minute of the invocation closing the gap
+    std::size_t gap;
+  };
+
+  Config config_;
+  util::IntHistogram full_histogram_;
+  std::deque<GapEvent> recent_;
+  std::optional<trace::Minute> last_invocation_;
+};
+
+}  // namespace pulse::core

@@ -1,0 +1,37 @@
+#include "core/peak_detector.hpp"
+
+namespace pulse::core {
+
+double PeakDetector::prior_memory(const sim::MemoryHistory& history, trace::Minute t) const {
+  if (t <= 0) return kInfiniteMemory;
+
+  const double previous = history.memory_at(t - 1);
+  if (previous > 0.0) {
+    // Continuous activity: minutes after the first of a keep-alive period
+    // simply compare against the previous minute (Algorithm 1, line 21).
+    return previous;
+  }
+
+  // First minute of a keep-alive period after inactivity.
+  const trace::Minute window = config_.local_window;
+  double window_sum = 0.0;
+  trace::Minute window_count = 0;
+  for (trace::Minute q = std::max<trace::Minute>(0, t - window); q < t; ++q) {
+    window_sum += history.memory_at(q);
+    ++window_count;
+  }
+  const double window_avg = window_count > 0 ? window_sum / static_cast<double>(window_count) : 0.0;
+
+  if (t >= 2 * window && window_avg > 0.0) {
+    return window_avg;
+  }
+
+  // Fall back to the last non-zero keep-alive memory value ever recorded.
+  for (trace::Minute q = t - 1; q >= 0; --q) {
+    const double m = history.memory_at(q);
+    if (m > 0.0) return m;
+  }
+  return kInfiniteMemory;
+}
+
+}  // namespace pulse::core

@@ -1,0 +1,68 @@
+#pragma once
+// Keep-alive memory peak detection — Algorithm 1 of the paper.
+//
+// A minute t is a peak when its keep-alive memory exceeds the *prior*
+// keep-alive memory by more than the keep-alive memory threshold KM_T:
+//
+//   is_peak  <=>  C_KaM > P_KaM + KM_T * P_KaM
+//
+// The subtlety Algorithm 1 handles is choosing P_KaM at the first minute of
+// a keep-alive period (i.e. right after a stretch of inactivity): diurnal /
+// nocturnal / intermittent functions would otherwise compare against a
+// zero prior and cold-start en masse. The rules:
+//
+//   * continuous activity (previous minute had keep-alive memory):
+//       P_KaM = keep-alive memory of minute t-1;
+//   * first minute after inactivity, system operational for >= 2x the local
+//     window and the window average is non-zero:
+//       P_KaM = average keep-alive memory over the local window;
+//   * otherwise:
+//       P_KaM = the last non-zero keep-alive memory ever recorded, or
+//       +infinity when none exists (never a peak right at system start).
+
+#include <limits>
+
+#include "sim/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace pulse::core {
+
+class PeakDetector {
+ public:
+  struct Config {
+    /// KM_T: tunable keep-alive memory threshold (paper sweeps 5%/10%/15%
+    /// in Figure 11; 10% is the default M2 setting).
+    double memory_threshold = 0.10;
+    /// Sliding local window duration, minutes.
+    trace::Minute local_window = 60;
+  };
+
+  PeakDetector();  // default Config
+  explicit PeakDetector(Config config) : config_(config) {}
+
+  /// The ISPEAK predicate of Algorithm 1.
+  [[nodiscard]] bool is_peak(double current_memory, double prior_memory) const noexcept {
+    return current_memory > prior_memory + config_.memory_threshold * prior_memory;
+  }
+
+  /// P_KaM for minute t given the recorded history (minutes < t).
+  [[nodiscard]] double prior_memory(const sim::MemoryHistory& history,
+                                    trace::Minute t) const;
+
+  /// Convenience: full Algorithm 1 decision for minute t.
+  [[nodiscard]] bool detect(double current_memory, const sim::MemoryHistory& history,
+                            trace::Minute t) const {
+    return is_peak(current_memory, prior_memory(history, t));
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  static constexpr double kInfiniteMemory = std::numeric_limits<double>::infinity();
+
+ private:
+  Config config_;
+};
+
+inline PeakDetector::PeakDetector() : PeakDetector(Config{}) {}
+
+}  // namespace pulse::core

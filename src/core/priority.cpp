@@ -1,0 +1,34 @@
+#include "core/priority.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace pulse::core {
+
+PriorityStructure::PriorityStructure(std::size_t model_count) : counts_(model_count, 0) {}
+
+void PriorityStructure::record_downgrade(trace::FunctionId f) {
+  counts_.at(f) += 1;
+  ++total_;
+}
+
+std::uint64_t PriorityStructure::downgrade_count(trace::FunctionId f) const {
+  return counts_.at(f);
+}
+
+std::vector<double> PriorityStructure::normalized() const {
+  std::vector<double> values(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    values[i] = static_cast<double>(counts_[i]);
+  }
+  util::minmax_normalize_inplace(values);
+  return values;
+}
+
+double PriorityStructure::normalized_priority(trace::FunctionId f) const {
+  if (f >= counts_.size()) throw std::out_of_range("PriorityStructure::normalized_priority");
+  return normalized()[f];
+}
+
+}  // namespace pulse::core

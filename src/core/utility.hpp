@@ -1,0 +1,44 @@
+#pragma once
+// Utility value of a model keep-alive decision — Equation 2 of the paper:
+//
+//   Uv = Ai + Pr + Ip
+//
+// Ai: accuracy improvement of the kept variant over the next-lower one (or
+//     the variant's own accuracy fraction when it is the lowest);
+// Pr: normalized priority (past downgrade count, Equation 1);
+// Ip: probability of invocation during the peak.
+//
+// Each component lies in [0, 1] and the three are equally weighted; during
+// a peak the model with the lowest Uv is downgraded first.
+
+namespace pulse::core {
+
+/// Component weights for the utility value. The paper weights all three
+/// equally ("To ensure a balanced assessment ... the three components are
+/// equally weighted"); the weights exist for the ablation study that
+/// validates that choice (bench_ablation_utility) — zeroing a component
+/// removes it from the decision.
+struct UtilityWeights {
+  double accuracy_improvement = 1.0;
+  double priority = 1.0;
+  double invocation_probability = 1.0;
+};
+
+struct UtilityComponents {
+  double accuracy_improvement = 0.0;    // Ai
+  double priority = 0.0;                // Pr
+  double invocation_probability = 0.0;  // Ip
+
+  /// Equation 2 with the paper's equal weights.
+  [[nodiscard]] constexpr double value() const noexcept {
+    return accuracy_improvement + priority + invocation_probability;
+  }
+
+  /// Weighted variant for ablations.
+  [[nodiscard]] constexpr double value(const UtilityWeights& w) const noexcept {
+    return w.accuracy_improvement * accuracy_improvement + w.priority * priority +
+           w.invocation_probability * invocation_probability;
+  }
+};
+
+}  // namespace pulse::core

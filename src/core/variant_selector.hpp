@@ -1,0 +1,35 @@
+#pragma once
+// Greedy probability-threshold variant selection (§III-A, Figure 10).
+//
+// For a family with N variants, the invocation-probability space [0, 1] is
+// partitioned into areas; the lowest-accuracy variant is assigned to the
+// lowest-probability area and so on. Two partitioning techniques are
+// evaluated by the paper:
+//
+//   T1: N areas with N-1 thresholds at 1/N, 2/N, ..., (N-1)/N.
+//   T2: probability 0 reserves the lowest-accuracy variant; (0, 1] is
+//       divided into N-1 areas (N-2 thresholds) for the remaining variants.
+//
+// Both always keep *some* variant alive, which is what guarantees PULSE at
+// least a low-quality warm start within the window after an invocation.
+
+#include <cstddef>
+
+namespace pulse::core {
+
+enum class ThresholdTechnique {
+  kT1,  // N areas over [0, 1]
+  kT2,  // lowest variant at p == 0; N-1 areas over (0, 1]
+};
+
+/// Selects the variant index (0 = lowest accuracy) to keep alive for an
+/// invocation probability `probability` in [0, 1] and a family of
+/// `variant_count` (>= 1) variants. Out-of-range probabilities are clamped.
+[[nodiscard]] std::size_t select_variant(double probability, std::size_t variant_count,
+                                         ThresholdTechnique technique);
+
+/// Number of thresholds each technique uses (paper: N-1 for T1, N-2 for T2).
+[[nodiscard]] std::size_t threshold_count(std::size_t variant_count,
+                                          ThresholdTechnique technique) noexcept;
+
+}  // namespace pulse::core

@@ -1,0 +1,38 @@
+#pragma once
+// Artifact-parity result files.
+//
+// The paper's Zenodo artifact (A1) stores one text file per technique and
+// metric, one line per simulation run:
+//   technique_servicetime_sliding_with_memory_constraint_T1.txt
+//   technique_keepalive_cost_sliding_with_memory_constraint_T1.txt
+//   technique_accuracy_sliding_with_memory_constraint_T1.txt
+// and the authors average across runs to build the plots. This module
+// writes the same layout from an EnsembleResult, so downstream scripts
+// written against the original artifact work against this reproduction.
+
+#include <filesystem>
+#include <string>
+
+#include "sim/ensemble.hpp"
+
+namespace pulse::exp {
+
+struct ArtifactFiles {
+  std::filesystem::path service_time;
+  std::filesystem::path keepalive_cost;
+  std::filesystem::path accuracy;
+};
+
+/// Writes the three per-run metric files for `technique` into `directory`
+/// (created if needed) and returns their paths. One line per run: the
+/// run's total service time (s), total keep-alive cost (USD), and average
+/// accuracy (%), in run order.
+ArtifactFiles write_artifact_files(const std::filesystem::path& directory,
+                                   const std::string& technique,
+                                   const sim::EnsembleResult& ensemble);
+
+/// Reads one metric file back (one double per line). Throws
+/// std::runtime_error on I/O or parse failure.
+[[nodiscard]] std::vector<double> read_artifact_metric(const std::filesystem::path& path);
+
+}  // namespace pulse::exp

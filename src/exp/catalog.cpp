@@ -1,0 +1,101 @@
+#include "exp/catalog.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "trace/patterns.hpp"
+
+namespace pulse::exp {
+
+namespace {
+
+/// Builds a uniform workload where every function uses `make(slot)`.
+trace::Workload build_uniform(const ScenarioConfig& config,
+                              const std::function<trace::PatternPtr(std::size_t, util::Pcg32&)>&
+                                  make,
+                              std::size_t peaks, double peak_intensity) {
+  trace::Workload w;
+  w.trace = trace::Trace(config.function_count, config.days * trace::kMinutesPerDay);
+  util::Pcg32 param_rng(config.seed, /*stream=*/0xca7a10);
+  for (trace::FunctionId f = 0; f < config.function_count; ++f) {
+    trace::PatternPtr pattern = make(f, param_rng);
+    util::Pcg32 fn_rng(config.seed + 5000 + f, /*stream=*/f + 1);
+    pattern->generate(w.trace, f, fn_rng);
+    w.trace.set_function_name(f, "fn" + std::to_string(f) + "_" + pattern->label());
+    w.functions.push_back(trace::FunctionSpec{w.trace.function_name(f), pattern->label()});
+  }
+  for (std::size_t p = 0; p < peaks; ++p) {
+    const trace::Minute at = w.trace.duration() * static_cast<trace::Minute>(p + 1) /
+                             static_cast<trace::Minute>(peaks + 1);
+    util::Pcg32 peak_rng(config.seed + 99 + p, /*stream=*/300 + p);
+    trace::inject_global_peak(w.trace, at, 3, peak_intensity, peak_rng);
+    w.peak_minutes.push_back(at);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<CatalogEntry> scenario_catalog() {
+  return {
+      {"azure-like", "mixed pattern archetypes with injected peaks (the default)"},
+      {"steady", "dispersed Poisson arrivals; warm-friendly, offset-unpredictable"},
+      {"periodic", "clockwork inter-arrivals; PULSE's best case"},
+      {"bursty", "idle floors punctuated by coordinated spikes"},
+      {"sparse", "long idle gaps; keep-alive is mostly waste"},
+  };
+}
+
+Scenario make_catalog_scenario(std::string_view name, const ScenarioConfig& base) {
+  Scenario s;
+  s.config = base;
+  s.zoo = models::ModelZoo::builtin();
+
+  if (name == "azure-like") {
+    return make_scenario(base);
+  }
+  if (name == "steady") {
+    s.workload = build_uniform(
+        base,
+        [](std::size_t, util::Pcg32& rng) {
+          return trace::steady_poisson(rng.uniform(0.25, 0.9));
+        },
+        base.global_peaks, base.peak_intensity);
+    return s;
+  }
+  if (name == "periodic") {
+    s.workload = build_uniform(
+        base,
+        [](std::size_t slot, util::Pcg32& rng) {
+          const auto period = static_cast<trace::Minute>(2 + slot % 9);
+          return trace::periodic(period, static_cast<trace::Minute>(rng.bounded(3)), 0, 0.02);
+        },
+        base.global_peaks, base.peak_intensity);
+    return s;
+  }
+  if (name == "bursty") {
+    s.workload = build_uniform(
+        base,
+        [](std::size_t, util::Pcg32& rng) {
+          return trace::bursty(rng.uniform(0.01, 0.05), 0.004,
+                               4 + static_cast<trace::Minute>(rng.bounded(6)),
+                               rng.uniform(3.0, 7.0));
+        },
+        base.global_peaks * 2, base.peak_intensity * 1.5);
+    return s;
+  }
+  if (name == "sparse") {
+    s.workload = build_uniform(
+        base,
+        [](std::size_t slot, util::Pcg32& rng) {
+          if (slot % 2 == 0) return trace::steady_poisson(rng.uniform(0.01, 0.05));
+          return trace::heavy_tail(rng.uniform(8.0, 20.0), 1.3);
+        },
+        /*peaks=*/0, base.peak_intensity);
+    return s;
+  }
+  throw std::invalid_argument("make_catalog_scenario: unknown scenario '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace pulse::exp

@@ -1,0 +1,39 @@
+#pragma once
+// Named workload scenario catalog.
+//
+// The paper evaluates on one production trace; a reproduction should show
+// how sensitive the results are to the workload's character. The catalog
+// defines qualitatively distinct 12-function workloads — each stressing a
+// different aspect of keep-alive policy design — under stable names that
+// benches, tests and the examples can share.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace pulse::exp {
+
+struct CatalogEntry {
+  std::string name;
+  std::string description;
+};
+
+/// The available scenario names:
+///   "azure-like"  the default mixed workload (the paper's setting)
+///   "steady"      all functions busy with dispersed arrivals — easy to keep
+///                 warm, hard to predict offsets
+///   "periodic"    clockwork functions — PULSE's best case
+///   "bursty"      idle floors with coordinated spikes — the peak-flattening
+///                 stress test
+///   "sparse"      low-rate functions with long gaps — keep-alive is mostly
+///                 waste, cold starts dominate
+[[nodiscard]] std::vector<CatalogEntry> scenario_catalog();
+
+/// Builds a catalog scenario by name (days/seed from `base`). Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] Scenario make_catalog_scenario(std::string_view name,
+                                             const ScenarioConfig& base = {});
+
+}  // namespace pulse::exp

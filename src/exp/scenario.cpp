@@ -1,0 +1,47 @@
+#include "exp/scenario.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace pulse::exp {
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  try {
+    return std::stol(raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  Scenario s;
+  s.config = config;
+  s.zoo = models::ModelZoo::builtin();
+
+  trace::WorkloadConfig w;
+  w.function_count = config.function_count;
+  w.duration = config.days * trace::kMinutesPerDay;
+  w.seed = config.seed;
+  w.global_peaks = config.global_peaks;
+  w.peak_intensity = config.peak_intensity;
+  s.workload = trace::build_azure_like_workload(w);
+  return s;
+}
+
+std::size_t bench_ensemble_runs(std::size_t default_runs) {
+  const long v = env_long("PULSE_BENCH_RUNS", static_cast<long>(default_runs));
+  return v > 0 ? static_cast<std::size_t>(v) : default_runs;
+}
+
+trace::Minute bench_trace_days(trace::Minute default_days) {
+  const long v = env_long("PULSE_BENCH_DAYS", static_cast<long>(default_days));
+  return v > 0 ? static_cast<trace::Minute>(v) : default_days;
+}
+
+}  // namespace pulse::exp

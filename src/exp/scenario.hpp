@@ -1,0 +1,42 @@
+#pragma once
+// Shared experiment scenario: the model zoo plus the Azure-like workload,
+// built once per bench binary so every experiment runs on the same
+// substrate the paper's evaluation does (12 functions, two weeks, Table IV
+// models, injected invocation peaks).
+
+#include <cstdint>
+
+#include "models/zoo.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::exp {
+
+struct ScenarioConfig {
+  std::size_t function_count = 12;
+  /// Days of trace. The paper replays 14; benches default to 7 to keep a
+  /// full multi-policy ensemble sweep in the minutes range on one core
+  /// (results are shape-stable from ~4 days up).
+  trace::Minute days = 7;
+  std::uint64_t seed = 42;
+  std::size_t global_peaks = 2;
+  double peak_intensity = 6.0;
+};
+
+struct Scenario {
+  models::ModelZoo zoo;
+  trace::Workload workload;
+  ScenarioConfig config;
+};
+
+/// Builds the default scenario (builtin zoo + Azure-like workload).
+[[nodiscard]] Scenario make_scenario(const ScenarioConfig& config = {});
+
+/// Ensemble size used by the benches. The paper runs 1000; we default to a
+/// smaller ensemble sized for a single-core run and allow override through
+/// the PULSE_BENCH_RUNS environment variable.
+[[nodiscard]] std::size_t bench_ensemble_runs(std::size_t default_runs = 60);
+
+/// Trace days used by benches, overridable via PULSE_BENCH_DAYS.
+[[nodiscard]] trace::Minute bench_trace_days(trace::Minute default_days = 7);
+
+}  // namespace pulse::exp

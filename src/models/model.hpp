@@ -1,0 +1,94 @@
+#pragma once
+// Model variant characterization records.
+//
+// The paper characterizes each ML model variant once on AWS Lambda (warm and
+// cold service times over 1000 inputs, keep-alive cost, accuracy) and then
+// drives its entire simulation from those tuples. This module is the C++
+// equivalent of that characterization table. Variants within a family are
+// ordered by quality: index 0 is the lowest-accuracy (cheapest) variant, the
+// last index is the highest-accuracy (most expensive) one — the ordering the
+// greedy selector and the downgrade path both rely on.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pulse::models {
+
+/// One quality variant of an ML model (e.g. "GPT-Small").
+struct ModelVariant {
+  std::string name;
+
+  /// Execution time on a warm container, seconds (Table I "Service Time
+  /// (with Warmup)").
+  double warm_service_time_s = 0.0;
+
+  /// Extra latency of a cold start (container creation + model load),
+  /// seconds. Added to the warm time when an invocation cold-starts.
+  double cold_start_time_s = 0.0;
+
+  /// Inference accuracy in percent (Table I / the papers the authors cite).
+  double accuracy_pct = 0.0;
+
+  /// Keep-alive memory footprint of the container hosting this variant, MB.
+  /// The paper reports footprints between 300 and 3500 MB.
+  double memory_mb = 0.0;
+
+  /// Accuracy as a fraction in [0, 1] — the unit Algorithm 2 uses.
+  [[nodiscard]] double accuracy_fraction() const noexcept { return accuracy_pct / 100.0; }
+
+  /// Cold-start service time (cold penalty + execution).
+  [[nodiscard]] double cold_service_time_s() const noexcept {
+    return warm_service_time_s + cold_start_time_s;
+  }
+};
+
+/// A family of quality variants for one task (e.g. GPT on wikitext).
+class ModelFamily {
+ public:
+  ModelFamily() = default;
+
+  /// Variants must be non-empty and sorted ascending by accuracy; throws
+  /// std::invalid_argument otherwise. The sort invariant is what makes
+  /// "downgrade by one variant" well-defined.
+  ModelFamily(std::string name, std::string task, std::string dataset,
+              std::vector<ModelVariant> variants);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& task() const noexcept { return task_; }
+  [[nodiscard]] const std::string& dataset() const noexcept { return dataset_; }
+
+  [[nodiscard]] std::size_t variant_count() const noexcept { return variants_.size(); }
+  [[nodiscard]] std::span<const ModelVariant> variants() const noexcept { return variants_; }
+
+  [[nodiscard]] const ModelVariant& variant(std::size_t index) const {
+    if (index >= variants_.size()) {
+      throw std::out_of_range("ModelFamily::variant: index out of range");
+    }
+    return variants_[index];
+  }
+
+  [[nodiscard]] const ModelVariant& lowest() const { return variant(0); }
+  [[nodiscard]] const ModelVariant& highest() const { return variant(variants_.size() - 1); }
+  [[nodiscard]] std::size_t highest_index() const noexcept { return variants_.size() - 1; }
+
+  /// Index of a variant by name; nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> find_variant(std::string_view name) const noexcept;
+
+  /// Accuracy improvement Ai of keeping `index` alive instead of the
+  /// next-lower variant (Algorithm 2): accuracy delta to index-1, or the
+  /// variant's own accuracy fraction when it is already the lowest.
+  [[nodiscard]] double accuracy_improvement(std::size_t index) const;
+
+ private:
+  std::string name_;
+  std::string task_;
+  std::string dataset_;
+  std::vector<ModelVariant> variants_;
+};
+
+}  // namespace pulse::models

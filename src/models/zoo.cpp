@@ -1,0 +1,170 @@
+#include "models/zoo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace pulse::models {
+
+namespace {
+
+/// Memory implied by a Table I keep-alive cost (cents/hour) at the paper's
+/// implied rate. Example: GPT-Large 41.71 cents/h -> ~3505 MB, matching the
+/// paper's statement that models occupy 300-3500 MB.
+constexpr double kCentsPerMbHour = 0.0119;
+
+double memory_from_cost(double cents_per_hour) noexcept {
+  return cents_per_hour / kCentsPerMbHour;
+}
+
+ModelVariant make(std::string name, double warm_s, double accuracy_pct, double memory_mb) {
+  ModelVariant v;
+  v.name = std::move(name);
+  v.warm_service_time_s = warm_s;
+  v.cold_start_time_s = synthesized_cold_start_s(memory_mb);
+  v.accuracy_pct = accuracy_pct;
+  v.memory_mb = memory_mb;
+  return v;
+}
+
+}  // namespace
+
+double synthesized_cold_start_s(double memory_mb) noexcept {
+  return 2.0 + memory_mb / 250.0;
+}
+
+const ModelFamily& ModelZoo::family_by_name(std::string_view name) const {
+  for (const auto& f : families_) {
+    if (f.name() == name) return f;
+  }
+  throw std::invalid_argument("ModelZoo: no family named '" + std::string(name) + "'");
+}
+
+bool ModelZoo::has_family(std::string_view name) const noexcept {
+  return std::any_of(families_.begin(), families_.end(),
+                     [&](const ModelFamily& f) { return f.name() == name; });
+}
+
+std::size_t ModelZoo::max_variant_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : families_) n = std::max(n, f.variant_count());
+  return n;
+}
+
+ModelZoo ModelZoo::builtin() {
+  std::vector<ModelFamily> families;
+
+  // BERT (sentiment analysis, sst2) — Table I rows BERT-Small / BERT-Large.
+  families.emplace_back(
+      "BERT", "sentiment analysis", "sst2",
+      std::vector<ModelVariant>{
+          make("BERT-base", 1.09, 79.60, memory_from_cost(4.392)),
+          make("BERT-large", 2.21, 82.10, memory_from_cost(6.12)),
+      });
+
+  // YOLO (object detection, COCO) — accuracies are the YOLOv5 mAP@0.5
+  // figures (s=56.8 is quoted in the paper's utility-value discussion);
+  // service times and footprints synthesized proportionally to model size.
+  families.emplace_back(
+      "YOLO", "object detection", "COCO",
+      std::vector<ModelVariant>{
+          make("YOLO-s", 0.38, 56.80, 350.0),
+          make("YOLO-l", 0.92, 67.30, 920.0),
+          make("YOLO-x", 1.34, 68.90, 1380.0),
+      });
+
+  // GPT (text generation, wikitext) — Table I rows.
+  families.emplace_back(
+      "GPT", "text generation", "wikitext",
+      std::vector<ModelVariant>{
+          make("GPT-base", 12.90, 87.65, memory_from_cost(11.70)),
+          make("GPT-medium", 22.50, 92.35, memory_from_cost(22.57)),
+          make("GPT-large", 23.66, 93.45, memory_from_cost(41.71)),
+      });
+
+  // ResNet (image classification, CIFAR-10) — accuracies from He et al.
+  // (CIFAR-10 error rates); times/footprints synthesized.
+  families.emplace_back(
+      "ResNet", "image classification", "CIFAR-10",
+      std::vector<ModelVariant>{
+          make("ResNet-50", 0.88, 93.03, 310.0),
+          make("ResNet-101", 1.24, 93.57, 490.0),
+          make("ResNet-152", 1.61, 94.29, 660.0),
+      });
+
+  // DenseNet (image classification, CIFAR-10) — Table I rows.
+  families.emplace_back(
+      "DenseNet", "image classification", "CIFAR-10",
+      std::vector<ModelVariant>{
+          make("DenseNet-121", 1.09, 74.98, memory_from_cost(3.46)),
+          make("DenseNet-169", 1.38, 76.20, memory_from_cost(3.53)),
+          make("DenseNet-201", 1.65, 77.42, memory_from_cost(4.07)),
+      });
+
+  return ModelZoo(std::move(families));
+}
+
+void ModelZoo::save_csv(const std::filesystem::path& path) const {
+  util::CsvTable table(
+      {"family", "task", "dataset", "variant", "warm_s", "cold_s", "accuracy_pct", "memory_mb"});
+  for (const auto& f : families_) {
+    for (const auto& v : f.variants()) {
+      table.add_row({f.name(), f.task(), f.dataset(), v.name,
+                     std::to_string(v.warm_service_time_s), std::to_string(v.cold_start_time_s),
+                     std::to_string(v.accuracy_pct), std::to_string(v.memory_mb)});
+    }
+  }
+  table.write_file(path);
+}
+
+ModelZoo ModelZoo::load_csv(const std::filesystem::path& path) {
+  const util::CsvTable table = util::CsvTable::read_file(path);
+  const int c_family = table.column_index("family");
+  const int c_task = table.column_index("task");
+  const int c_dataset = table.column_index("dataset");
+  const int c_variant = table.column_index("variant");
+  const int c_warm = table.column_index("warm_s");
+  const int c_cold = table.column_index("cold_s");
+  const int c_acc = table.column_index("accuracy_pct");
+  const int c_mem = table.column_index("memory_mb");
+  if (c_family < 0 || c_task < 0 || c_dataset < 0 || c_variant < 0 || c_warm < 0 ||
+      c_cold < 0 || c_acc < 0 || c_mem < 0) {
+    throw std::runtime_error("ModelZoo CSV missing required columns: " + path.string());
+  }
+
+  ModelZoo zoo;
+  std::string cur_family;
+  std::string cur_task;
+  std::string cur_dataset;
+  std::vector<ModelVariant> cur_variants;
+
+  auto flush = [&] {
+    if (!cur_variants.empty()) {
+      zoo.add_family(ModelFamily(cur_family, cur_task, cur_dataset, std::move(cur_variants)));
+      cur_variants.clear();
+    }
+  };
+
+  for (const auto& row : table.rows()) {
+    const std::string& family = row.at(static_cast<std::size_t>(c_family));
+    if (family != cur_family) {
+      flush();
+      cur_family = family;
+      cur_task = row.at(static_cast<std::size_t>(c_task));
+      cur_dataset = row.at(static_cast<std::size_t>(c_dataset));
+    }
+    ModelVariant v;
+    v.name = row.at(static_cast<std::size_t>(c_variant));
+    v.warm_service_time_s = std::stod(row.at(static_cast<std::size_t>(c_warm)));
+    v.cold_start_time_s = std::stod(row.at(static_cast<std::size_t>(c_cold)));
+    v.accuracy_pct = std::stod(row.at(static_cast<std::size_t>(c_acc)));
+    v.memory_mb = std::stod(row.at(static_cast<std::size_t>(c_mem)));
+    cur_variants.push_back(std::move(v));
+  }
+  flush();
+  return zoo;
+}
+
+}  // namespace pulse::models

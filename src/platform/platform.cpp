@@ -1,0 +1,187 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pulse::platform {
+
+namespace {
+
+struct Container {
+  std::size_t variant = 0;
+  double born_s = 0.0;      // creation time, seconds
+  double busy_until_s = 0;  // <= now means idle
+};
+
+/// Sampled per-minute memory record exposed to policies' end_of_minute.
+class SampledHistory final : public sim::MemoryHistory {
+ public:
+  void push(double v) { values_.push_back(v); }
+  [[nodiscard]] double memory_at(trace::Minute t) const override {
+    if (t < 0 || static_cast<std::size_t>(t) >= values_.size()) return 0.0;
+    return values_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] trace::Minute now() const override {
+    return static_cast<trace::Minute>(values_.size());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace
+
+PlatformSimulator::PlatformSimulator(const sim::Deployment& deployment,
+                                     const trace::Trace& trace, PlatformConfig config)
+    : deployment_(&deployment), trace_(&trace), config_(config) {
+  if (deployment.function_count() != trace.function_count()) {
+    throw std::invalid_argument("PlatformSimulator: deployment/trace function count mismatch");
+  }
+}
+
+PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
+  const trace::Trace& tr = *trace_;
+  const sim::Deployment& dep = *deployment_;
+  const trace::Minute duration = tr.duration();
+
+  PlatformResult result;
+  sim::KeepAliveSchedule schedule(dep, duration);
+  SampledHistory history;
+  util::Pcg32 rng(config_.seed, /*stream=*/0x9a7f02);
+
+  std::vector<std::vector<Container>> pool(tr.function_count());
+  std::size_t live_containers = 0;
+
+  auto memory_of = [&](const Container& c, trace::FunctionId f) {
+    return dep.family_of(f).variant(c.variant).memory_mb;
+  };
+
+  auto retire = [&](trace::FunctionId f, std::size_t index, double at_s) {
+    const Container& c = pool[f][index];
+    const double minutes = std::max(0.0, at_s - c.born_s) / 60.0;
+    result.total_cost_usd += config_.cost_model.keepalive_cost_usd(memory_of(c, f), minutes);
+    pool[f][index] = pool[f].back();
+    pool[f].pop_back();
+    --live_containers;
+  };
+
+  auto spawn = [&](trace::FunctionId f, std::size_t variant, double at_s,
+                   double busy_until_s) -> Container& {
+    pool[f].push_back(Container{variant, at_s, busy_until_s});
+    ++result.containers_created;
+    ++live_containers;
+    result.peak_containers = std::max(result.peak_containers, live_containers);
+    return pool[f].back();
+  };
+
+  auto total_memory = [&] {
+    double mem = 0.0;
+    for (trace::FunctionId f = 0; f < pool.size(); ++f) {
+      for (const Container& c : pool[f]) mem += memory_of(c, f);
+    }
+    return mem;
+  };
+
+  policy.initialize(dep, tr, schedule);
+
+  for (trace::Minute m = 0; m < duration; ++m) {
+    const double minute_start_s = static_cast<double>(m) * kSecondsPerMinute;
+
+    // --- reconcile the warm pool with the keep-alive schedule ---
+    for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
+      const int scheduled = schedule.variant_at(f, m);
+      // Reap idle containers that are unscheduled or of the wrong variant;
+      // keep at most one matching idle container.
+      bool kept_one = false;
+      for (std::size_t i = pool[f].size(); i-- > 0;) {
+        Container& c = pool[f][i];
+        if (c.busy_until_s > minute_start_s) continue;  // executing: cannot kill
+        const bool matches = scheduled != sim::kNoVariant &&
+                             c.variant == static_cast<std::size_t>(scheduled);
+        if (matches && !kept_one) {
+          kept_one = true;
+          continue;
+        }
+        retire(f, i, minute_start_s);
+      }
+      // Pre-warm the scheduled variant when no live container provides it.
+      if (scheduled != sim::kNoVariant) {
+        const auto v = static_cast<std::size_t>(scheduled);
+        const bool present = std::any_of(pool[f].begin(), pool[f].end(),
+                                         [&](const Container& c) { return c.variant == v; });
+        if (!present) spawn(f, v, minute_start_s, minute_start_s);
+      }
+    }
+
+    // --- serve this minute's invocations at second granularity ---
+    for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
+      const std::uint32_t count = tr.count(f, m);
+      if (count == 0) continue;
+      const models::ModelFamily& family = dep.family_of(f);
+
+      for (std::uint32_t i = 0; i < count; ++i) {
+        double arrival_s = minute_start_s;
+        if (config_.spread_arrivals) {
+          arrival_s += static_cast<double>(i) * kSecondsPerMinute /
+                       static_cast<double>(count);
+        }
+
+        // Prefer an idle container (any variant the pool holds).
+        Container* idle = nullptr;
+        bool any_live = !pool[f].empty();
+        for (Container& c : pool[f]) {
+          if (c.busy_until_s <= arrival_s) {
+            idle = &c;
+            break;
+          }
+        }
+
+        double service_s;
+        std::size_t served_variant;
+        if (idle != nullptr) {
+          served_variant = idle->variant;
+          const auto& variant = family.variant(served_variant);
+          service_s = config_.deterministic_latency
+                          ? models::LatencyModel::expected_service_time(variant, false)
+                          : config_.latency.sample_service_time(variant, false, rng);
+          idle->busy_until_s = arrival_s + service_s;
+          ++result.warm_starts;
+        } else {
+          // Scale-out or fresh cold start.
+          served_variant = any_live ? pool[f].front().variant
+                                    : policy.cold_start_variant(f, m, dep);
+          const auto& variant = family.variant(served_variant);
+          service_s = config_.deterministic_latency
+                          ? models::LatencyModel::expected_service_time(variant, true)
+                          : config_.latency.sample_service_time(variant, true, rng);
+          spawn(f, served_variant, arrival_s, arrival_s + service_s);
+          ++result.cold_starts;
+          if (any_live) ++result.scale_out_cold_starts;
+        }
+
+        result.total_service_time_s += service_s;
+        result.accuracy_pct_sum += family.variant(served_variant).accuracy_pct;
+        ++result.invocations;
+      }
+
+      policy.on_invocation(f, m, schedule);
+    }
+
+    policy.end_of_minute(m, schedule, history);
+
+    const double mem = total_memory();
+    history.push(mem);
+    if (config_.record_series) result.memory_mb.push_back(mem);
+  }
+
+  // Flush the remaining containers' cost at the horizon.
+  const double end_s = static_cast<double>(duration) * kSecondsPerMinute;
+  for (trace::FunctionId f = 0; f < pool.size(); ++f) {
+    for (std::size_t i = pool[f].size(); i-- > 0;) retire(f, i, end_s);
+  }
+  return result;
+}
+
+}  // namespace pulse::platform

@@ -1,0 +1,76 @@
+#include "policies/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/pulse_policy.hpp"
+#include "policies/fixed_keepalive.hpp"
+#include "policies/icebreaker.hpp"
+#include "policies/ideal.hpp"
+#include "policies/milp_policy.hpp"
+#include "policies/oracle.hpp"
+#include "policies/random_mix.hpp"
+#include "policies/wild.hpp"
+
+namespace pulse::policies {
+
+std::vector<std::string> policy_names() {
+  return {"openwhisk", "all-low",   "random-mix", "oracle", "ideal",
+          "pulse",     "pulse-individual", "pulse-t2", "pulse-adaptive", "wild",
+          "wild+pulse", "icebreaker", "icebreaker+pulse", "milp"};
+}
+
+std::unique_ptr<sim::KeepAlivePolicy> make_policy(std::string_view name) {
+  if (name == "openwhisk") {
+    return std::make_unique<FixedKeepAlivePolicy>();
+  }
+  if (name == "all-low") {
+    FixedKeepAlivePolicy::Config config;
+    config.variant = FixedVariant::kLowest;
+    return std::make_unique<FixedKeepAlivePolicy>(config);
+  }
+  if (name == "random-mix") {
+    return std::make_unique<RandomMixPolicy>();
+  }
+  if (name == "oracle") {
+    return std::make_unique<OraclePolicy>();
+  }
+  if (name == "ideal") {
+    return std::make_unique<IdealPolicy>();
+  }
+  if (name == "pulse") {
+    return std::make_unique<core::PulsePolicy>();
+  }
+  if (name == "pulse-individual") {
+    core::PulsePolicy::Config config;
+    config.enable_global_optimization = false;
+    return std::make_unique<core::PulsePolicy>(config);
+  }
+  if (name == "pulse-t2") {
+    core::PulsePolicy::Config config;
+    config.technique = core::ThresholdTechnique::kT2;
+    return std::make_unique<core::PulsePolicy>(config);
+  }
+  if (name == "pulse-adaptive") {
+    core::PulsePolicy::Config config;
+    config.adaptive_window = true;
+    return std::make_unique<core::PulsePolicy>(config);
+  }
+  if (name == "wild") {
+    return std::make_unique<WildPolicy>();
+  }
+  if (name == "wild+pulse") {
+    return std::make_unique<WildPulsePolicy>();
+  }
+  if (name == "icebreaker") {
+    return std::make_unique<IceBreakerPolicy>();
+  }
+  if (name == "icebreaker+pulse") {
+    return std::make_unique<IceBreakerPulsePolicy>();
+  }
+  if (name == "milp") {
+    return std::make_unique<MilpPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + std::string(name) + "'");
+}
+
+}  // namespace pulse::policies

@@ -1,0 +1,35 @@
+#pragma once
+// Named policy construction for examples and sweep tooling. Every policy in
+// the repository is reachable from its paper-facing name.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace pulse::policies {
+
+/// Names accepted by make_policy().
+[[nodiscard]] std::vector<std::string> policy_names();
+
+/// Creates a fresh policy instance by name (default configurations):
+///   "openwhisk"        fixed 10-minute keep-alive, highest-quality variant
+///   "all-low"          fixed 10-minute keep-alive, lowest-quality variant
+///   "random-mix"       balanced random high/low assignment
+///   "oracle"           the Tables II/III intelligent (future-peeking) solution
+///   "ideal"            Fig. 6(b)'s ideal: alive exactly during invocation minutes
+///   "pulse"            full PULSE (T1, 60-minute window, 10% threshold)
+///   "pulse-individual" PULSE without cross-function optimization (Fig. 4b)
+///   "pulse-t2"         full PULSE with threshold technique T2
+///   "pulse-adaptive"   PULSE with per-function adaptive window lengths
+///   "wild"             Serverless in the Wild
+///   "wild+pulse"       Wild windows + PULSE variants and peak flattening
+///   "icebreaker"       IceBreaker FFT predictor
+///   "icebreaker+pulse" IceBreaker predictor + PULSE variants and flattening
+///   "milp"             MILP-based cross-function optimization (Fig. 9)
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<sim::KeepAlivePolicy> make_policy(std::string_view name);
+
+}  // namespace pulse::policies

@@ -1,0 +1,60 @@
+#pragma once
+// The provider baseline: OpenWhisk's fixed keep-alive policy ("keep the
+// container alive for 10 minutes after its last invocation"), which the
+// paper notes matches AWS/Google/Azure Functions behaviour. The kept
+// variant is fixed — the highest-quality one for the OpenWhisk baseline,
+// the lowest for the "All Low Quality" approach of Tables II/III.
+
+#include <string>
+
+#include "sim/policy.hpp"
+#include "trace/analysis.hpp"
+
+namespace pulse::policies {
+
+enum class FixedVariant {
+  kHighest,  // OpenWhisk / "All High Quality"
+  kLowest,   // "All Low Quality"
+};
+
+class FixedKeepAlivePolicy : public sim::KeepAlivePolicy {
+ public:
+  struct Config {
+    trace::Minute keepalive_window = trace::kKeepAliveWindow;
+    FixedVariant variant = FixedVariant::kHighest;
+  };
+
+  FixedKeepAlivePolicy();  // default Config
+  explicit FixedKeepAlivePolicy(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override {
+    return config_.variant == FixedVariant::kHighest ? "OpenWhisk(fixed-high)"
+                                                     : "Fixed(low)";
+  }
+
+  void on_invocation(trace::FunctionId f, trace::Minute t,
+                     sim::KeepAliveSchedule& schedule) override {
+    const auto& family = schedule.deployment().family_of(f);
+    const int v = config_.variant == FixedVariant::kHighest
+                      ? static_cast<int>(family.highest_index())
+                      : 0;
+    schedule.fill(f, t + 1, t + 1 + config_.keepalive_window, v);
+  }
+
+  [[nodiscard]] std::size_t cold_start_variant(trace::FunctionId f, trace::Minute t,
+                                               const sim::Deployment& deployment) const override {
+    (void)t;
+    return config_.variant == FixedVariant::kHighest
+               ? deployment.family_of(f).highest_index()
+               : 0;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+inline FixedKeepAlivePolicy::FixedKeepAlivePolicy() : FixedKeepAlivePolicy(Config{}) {}
+
+}  // namespace pulse::policies

@@ -1,0 +1,128 @@
+#include "policies/icebreaker.hpp"
+
+#include <algorithm>
+
+#include "predict/fft.hpp"
+
+namespace pulse::policies {
+
+void IceBreakerPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
+                                  sim::KeepAliveSchedule& schedule) {
+  (void)trace;
+  (void)schedule;
+  history_.assign(deployment.function_count(), {});
+  current_minute_count_.assign(deployment.function_count(), 0);
+}
+
+void IceBreakerPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
+                                     sim::KeepAliveSchedule& schedule) {
+  (void)t;
+  (void)schedule;
+  // Only record; all scheduling is predictor-driven at period boundaries.
+  current_minute_count_.at(f) += 1;
+}
+
+std::vector<double> IceBreakerPolicy::forecast(trace::FunctionId f) const {
+  const auto& series = history_.at(f);
+  const std::size_t window = std::min(config_.fft_window, series.size());
+  const std::span<const double> recent(series.data() + (series.size() - window), window);
+  return predict::harmonic_extrapolate(recent, config_.harmonics,
+                                       static_cast<std::size_t>(config_.refresh_interval));
+}
+
+void IceBreakerPolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
+                                      const std::vector<double>& predicted,
+                                      sim::KeepAliveSchedule& schedule) {
+  const auto& family = schedule.deployment().family_of(f);
+  for (std::size_t d = 0; d < predicted.size(); ++d) {
+    const trace::Minute m = t + 1 + static_cast<trace::Minute>(d);
+    if (predicted[d] >= config_.activation_threshold) {
+      schedule.set(f, m, static_cast<int>(family.highest_index()));
+    } else {
+      schedule.set(f, m, sim::kNoVariant);
+    }
+  }
+}
+
+void IceBreakerPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
+                                     const sim::MemoryHistory& history) {
+  (void)history;
+  // Close the accounting for minute t.
+  for (trace::FunctionId f = 0; f < history_.size(); ++f) {
+    history_[f].push_back(static_cast<double>(current_minute_count_[f]));
+    current_minute_count_[f] = 0;
+  }
+
+  // At period boundaries, forecast and schedule the next period.
+  if ((t + 1) % config_.refresh_interval != 0) return;
+  for (trace::FunctionId f = 0; f < history_.size(); ++f) {
+    if (history_[f].empty()) continue;
+    apply_forecast(f, t, forecast(f), schedule);
+  }
+}
+
+IceBreakerPulsePolicy::IceBreakerPulsePolicy() : IceBreakerPulsePolicy(Config{}) {}
+
+IceBreakerPulsePolicy::IceBreakerPulsePolicy(Config config)
+    : IceBreakerPolicy(config.icebreaker), pulse_config_(config) {}
+
+void IceBreakerPulsePolicy::initialize(const sim::Deployment& deployment,
+                                       const trace::Trace& trace,
+                                       sim::KeepAliveSchedule& schedule) {
+  IceBreakerPolicy::initialize(deployment, trace, schedule);
+
+  core::InterArrivalTracker::Config tracker_config;
+  tracker_config.local_window = pulse_config_.local_window;
+  trackers_.assign(deployment.function_count(), core::InterArrivalTracker(tracker_config));
+
+  core::GlobalOptimizer::Config opt_config;
+  opt_config.peak.memory_threshold = pulse_config_.memory_threshold;
+  opt_config.peak.local_window = pulse_config_.local_window;
+  optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
+}
+
+void IceBreakerPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
+                                          sim::KeepAliveSchedule& schedule) {
+  IceBreakerPolicy::on_invocation(f, t, schedule);
+  trackers_.at(f).record(t);
+}
+
+void IceBreakerPulsePolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
+                                           const std::vector<double>& predicted,
+                                           sim::KeepAliveSchedule& schedule) {
+  // PULSE maps the predicted concurrency to an invocation likelihood and
+  // selects the variant greedily instead of always warming the highest one.
+  const std::size_t variants = schedule.deployment().family_of(f).variant_count();
+  for (std::size_t d = 0; d < predicted.size(); ++d) {
+    const trace::Minute m = t + 1 + static_cast<trace::Minute>(d);
+    if (predicted[d] < config_.activation_threshold) {
+      schedule.set(f, m, sim::kNoVariant);
+      continue;
+    }
+    const double likelihood = std::clamp(predicted[d], 0.0, 1.0);
+    const std::size_t v = core::select_variant(likelihood, variants, pulse_config_.technique);
+    schedule.set(f, m, static_cast<int>(v));
+  }
+}
+
+void IceBreakerPulsePolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
+                                          const sim::MemoryHistory& history) {
+  IceBreakerPolicy::end_of_minute(t, schedule, history);
+  optimizer_->flatten_peak(t, schedule, trackers_);
+}
+
+std::size_t IceBreakerPulsePolicy::cold_start_variant(
+    trace::FunctionId f, trace::Minute t, const sim::Deployment& deployment) const {
+  if (f < trackers_.size()) {
+    if (const auto last = trackers_[f].last_invocation()) {
+      if (t - *last <= trace::kKeepAliveWindow) return 0;
+    }
+  }
+  return deployment.family_of(f).highest_index();
+}
+
+std::uint64_t IceBreakerPulsePolicy::downgrade_count() const {
+  return optimizer_ ? optimizer_->total_downgrades() : 0;
+}
+
+}  // namespace pulse::policies

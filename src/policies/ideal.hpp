@@ -1,0 +1,37 @@
+#pragma once
+// The ideal keep-alive reference of Figure 6(b): with perfect foreknowledge,
+// the highest-quality container is alive exactly during the minutes the
+// function is actually invoked — zero cold starts at the minimum possible
+// keep-alive cost for all-warm, all-high service. Not deployable; it bounds
+// what any keep-alive policy could achieve.
+
+#include <string>
+
+#include "sim/policy.hpp"
+
+namespace pulse::policies {
+
+class IdealPolicy : public sim::KeepAlivePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "Ideal(oracle-cost)"; }
+
+  void initialize(const sim::Deployment& deployment, const trace::Trace& trace,
+                  sim::KeepAliveSchedule& schedule) override {
+    for (trace::FunctionId f = 0; f < trace.function_count(); ++f) {
+      const int high = static_cast<int>(deployment.family_of(f).highest_index());
+      for (trace::Minute t : trace.invocation_minutes(f)) {
+        schedule.set(f, t, high);
+      }
+    }
+  }
+
+  void on_invocation(trace::FunctionId f, trace::Minute t,
+                     sim::KeepAliveSchedule& schedule) override {
+    // Everything was pre-scheduled; nothing to do per invocation.
+    (void)f;
+    (void)t;
+    (void)schedule;
+  }
+};
+
+}  // namespace pulse::policies

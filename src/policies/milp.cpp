@@ -1,0 +1,117 @@
+#include "policies/milp.hpp"
+
+#include <algorithm>
+
+namespace pulse::policies {
+
+namespace {
+
+struct SearchState {
+  const MilpProblem* problem;
+  /// suffix_best[i]: sum over items >= i of each item's best option utility
+  /// (the optimistic bound ignoring memory).
+  std::vector<double> suffix_best;
+  /// Per item, option indices sorted by descending utility.
+  std::vector<std::vector<std::size_t>> option_order;
+  std::vector<int> current;
+  MilpSolution best;
+  std::size_t node_limit = 0;
+  bool budget_exhausted = false;
+};
+
+void record_if_better(SearchState& state, double utility, double memory) {
+  if (utility > state.best.utility) {
+    state.best.utility = utility;
+    state.best.memory_mb = memory;
+    state.best.choice = state.current;
+  }
+}
+
+void search(SearchState& state, std::size_t item, double utility, double memory) {
+  if (state.budget_exhausted) return;
+  if (state.node_limit != 0 && state.best.nodes_explored >= state.node_limit) {
+    state.budget_exhausted = true;
+    return;
+  }
+  ++state.best.nodes_explored;
+  const MilpProblem& problem = *state.problem;
+
+  if (item == problem.items.size()) {
+    record_if_better(state, utility, memory);
+    return;
+  }
+
+  // Bound: even taking every remaining item's best option can't beat the
+  // incumbent -> prune.
+  if (utility + state.suffix_best[item] <= state.best.utility) return;
+
+  const auto& options = problem.items[item];
+  for (std::size_t i : state.option_order[item]) {
+    const MilpOption& opt = options[i];
+    if (memory + opt.memory_mb > problem.memory_budget_mb) continue;
+    state.current[item] = static_cast<int>(i);
+    search(state, item + 1, utility + opt.utility, memory + opt.memory_mb);
+  }
+
+  // "Select none" branch.
+  state.current[item] = -1;
+  search(state, item + 1, utility, memory);
+  state.current[item] = -1;
+}
+
+/// Greedy warm start: walk items in input order, take the best-utility
+/// option that still fits. Gives the branch-and-bound a strong incumbent so
+/// the utility bound prunes immediately.
+MilpSolution greedy_incumbent(const MilpProblem& problem,
+                              const std::vector<std::vector<std::size_t>>& option_order) {
+  MilpSolution s;
+  s.choice.assign(problem.items.size(), -1);
+  double memory = 0.0;
+  for (std::size_t i = 0; i < problem.items.size(); ++i) {
+    for (std::size_t o : option_order[i]) {
+      const MilpOption& opt = problem.items[i][o];
+      if (memory + opt.memory_mb <= problem.memory_budget_mb) {
+        s.choice[i] = static_cast<int>(o);
+        s.utility += opt.utility;
+        s.memory_mb = memory += opt.memory_mb;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+MilpSolution solve_milp(const MilpProblem& problem) {
+  SearchState state;
+  state.problem = &problem;
+  state.node_limit = problem.node_limit;
+  state.current.assign(problem.items.size(), -1);
+
+  state.option_order.resize(problem.items.size());
+  for (std::size_t i = 0; i < problem.items.size(); ++i) {
+    auto& order = state.option_order[i];
+    order.resize(problem.items[i].size());
+    for (std::size_t o = 0; o < order.size(); ++o) order[o] = o;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return problem.items[i][a].utility > problem.items[i][b].utility;
+    });
+  }
+
+  state.suffix_best.assign(problem.items.size() + 1, 0.0);
+  for (std::size_t i = problem.items.size(); i-- > 0;) {
+    double best_option = 0.0;
+    for (const auto& opt : problem.items[i]) best_option = std::max(best_option, opt.utility);
+    state.suffix_best[i] = state.suffix_best[i + 1] + best_option;
+  }
+
+  // Seed with the greedy feasible solution (handles the all-none case too).
+  state.best = greedy_incumbent(problem, state.option_order);
+
+  search(state, 0, 0.0, 0.0);
+  state.best.optimal = !state.budget_exhausted;
+  return state.best;
+}
+
+}  // namespace pulse::policies

@@ -1,0 +1,56 @@
+#pragma once
+// Exact solver for the MILP formulation the paper compares against (§V,
+// Figure 9): "maximize overall utility value subject to a strict memory
+// budget constraint", evaluating all selected models and their variants
+// simultaneously.
+//
+// The integer program is a multiple-choice knapsack: for every model, pick
+// at most one variant (or none); maximize the summed utility of the picks
+// subject to the summed memory staying within budget. Solved exactly by
+// depth-first branch-and-bound with an optimistic remaining-utility bound —
+// for the paper's instance sizes (12 functions x <= 3 variants) this always
+// reaches the true optimum.
+
+#include <cstddef>
+#include <vector>
+
+namespace pulse::policies {
+
+struct MilpOption {
+  double utility = 0.0;
+  double memory_mb = 0.0;
+};
+
+struct MilpProblem {
+  /// items[i] holds the selectable options of model i; "select none"
+  /// (utility 0, memory 0) is always implicitly available.
+  std::vector<std::vector<MilpOption>> items;
+  double memory_budget_mb = 0.0;
+
+  /// Search-node budget (0 = unlimited). Instances at the paper's scale
+  /// (~12 models) always solve exactly within a few thousand nodes; the
+  /// budget exists so very large instances degrade to the best incumbent
+  /// found instead of exploding (see MilpSolution::optimal).
+  std::size_t node_limit = 0;
+};
+
+struct MilpSolution {
+  /// choice[i]: selected option index of item i, or -1 for "none".
+  std::vector<int> choice;
+  double utility = 0.0;
+  double memory_mb = 0.0;
+  /// Search-tree nodes explored (overhead diagnostics for Figure 9).
+  std::size_t nodes_explored = 0;
+
+  /// false when the node budget was exhausted before the search completed
+  /// (the solution is then the best feasible incumbent, not a proven
+  /// optimum).
+  bool optimal = true;
+};
+
+/// Exact optimum of `problem`. Options with memory above the remaining
+/// budget are skipped during search; the returned solution is always
+/// feasible (possibly all "none").
+[[nodiscard]] MilpSolution solve_milp(const MilpProblem& problem);
+
+}  // namespace pulse::policies

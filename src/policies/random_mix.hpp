@@ -1,0 +1,68 @@
+#pragma once
+// The "Random High Quality Low Quality" approach of Tables II/III: each
+// function is randomly assigned either the highest- or the lowest-quality
+// variant for its keep-alive windows, with the assignment balanced so that
+// (as the paper ensures) the number of high- and low-assigned functions
+// stays even.
+
+#include <string>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "trace/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace pulse::policies {
+
+class RandomMixPolicy : public sim::KeepAlivePolicy {
+ public:
+  struct Config {
+    trace::Minute keepalive_window = trace::kKeepAliveWindow;
+    std::uint64_t seed = 99;
+  };
+
+  RandomMixPolicy();  // default Config
+  explicit RandomMixPolicy(Config config) : config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] std::string name() const override { return "RandomMix(high/low)"; }
+
+  void initialize(const sim::Deployment& deployment, const trace::Trace& trace,
+                  sim::KeepAliveSchedule& schedule) override {
+    (void)trace;
+    (void)schedule;
+    // Balanced random assignment: shuffle function ids, first half high.
+    std::vector<trace::FunctionId> order(deployment.function_count());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.bounded(static_cast<std::uint32_t>(i))]);
+    }
+    high_assigned_.assign(deployment.function_count(), false);
+    for (std::size_t i = 0; i < order.size() / 2 + order.size() % 2; ++i) {
+      high_assigned_[order[i]] = true;
+    }
+  }
+
+  void on_invocation(trace::FunctionId f, trace::Minute t,
+                     sim::KeepAliveSchedule& schedule) override {
+    const auto& family = schedule.deployment().family_of(f);
+    const int v = high_assigned_.at(f) ? static_cast<int>(family.highest_index()) : 0;
+    schedule.fill(f, t + 1, t + 1 + config_.keepalive_window, v);
+  }
+
+  [[nodiscard]] std::size_t cold_start_variant(trace::FunctionId f, trace::Minute t,
+                                               const sim::Deployment& deployment) const override {
+    (void)t;
+    return high_assigned_.at(f) ? deployment.family_of(f).highest_index() : 0;
+  }
+
+  [[nodiscard]] bool is_high_assigned(trace::FunctionId f) const { return high_assigned_.at(f); }
+
+ private:
+  Config config_;
+  util::Pcg32 rng_;
+  std::vector<bool> high_assigned_;
+};
+
+inline RandomMixPolicy::RandomMixPolicy() : RandomMixPolicy(Config{}) {}
+
+}  // namespace pulse::policies

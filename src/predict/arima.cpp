@@ -1,0 +1,92 @@
+#include "predict/arima.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+#include "util/stats.hpp"
+
+namespace pulse::predict {
+
+ArModel::ArModel(std::size_t order, std::size_t difference)
+    : order_(order), difference_(difference) {
+  if (order_ == 0) throw std::invalid_argument("ArModel: order must be >= 1");
+  if (difference_ > 1) throw std::invalid_argument("ArModel: difference must be 0 or 1");
+}
+
+bool ArModel::fit(std::span<const double> series) {
+  fitted_ = false;
+  fallback_mean_ = util::mean(series);
+  if (series.empty()) return false;
+  last_level_ = series.back();
+
+  // Apply differencing.
+  std::vector<double> y;
+  if (difference_ == 1) {
+    if (series.size() < 2) return false;
+    y.reserve(series.size() - 1);
+    for (std::size_t i = 1; i < series.size(); ++i) y.push_back(series[i] - series[i - 1]);
+  } else {
+    y.assign(series.begin(), series.end());
+  }
+
+  const std::size_t p = order_;
+  if (y.size() < p + 2) return false;
+  const std::size_t m = y.size() - p;  // number of regression rows
+
+  // Design matrix columns: [1, y_{t-1}, ..., y_{t-p}]. Solve the normal
+  // equations (X^T X) beta = X^T y.
+  const std::size_t cols = p + 1;
+  util::Matrix xtx(cols, cols);
+  std::vector<double> xty(cols, 0.0);
+  for (std::size_t row = 0; row < m; ++row) {
+    std::vector<double> x(cols);
+    x[0] = 1.0;
+    for (std::size_t lag = 1; lag <= p; ++lag) x[lag] = y[row + p - lag];
+    const double target = y[row + p];
+    for (std::size_t a = 0; a < cols; ++a) {
+      xty[a] += x[a] * target;
+      for (std::size_t b = 0; b < cols; ++b) xtx.at(a, b) += x[a] * x[b];
+    }
+  }
+  // Tiny ridge term keeps near-constant series solvable.
+  for (std::size_t a = 0; a < cols; ++a) xtx.at(a, a) += 1e-9;
+
+  const auto beta = util::solve_linear_system(std::move(xtx), std::move(xty));
+  if (!beta) return false;
+
+  intercept_ = (*beta)[0];
+  coeffs_.assign(beta->begin() + 1, beta->end());
+  tail_.assign(y.end() - static_cast<std::ptrdiff_t>(p), y.end());
+  fitted_ = true;
+  return true;
+}
+
+std::vector<double> ArModel::forecast(std::size_t steps) const {
+  std::vector<double> out;
+  out.reserve(steps);
+  if (!fitted_) {
+    out.assign(steps, fallback_mean_);
+    return out;
+  }
+
+  std::vector<double> window = tail_;  // most recent last
+  double level = last_level_;
+  for (std::size_t s = 0; s < steps; ++s) {
+    double next = intercept_;
+    for (std::size_t lag = 1; lag <= order_; ++lag) {
+      next += coeffs_[lag - 1] * window[window.size() - lag];
+    }
+    window.erase(window.begin());
+    window.push_back(next);
+    if (difference_ == 1) {
+      level += next;
+      out.push_back(level);
+    } else {
+      out.push_back(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace pulse::predict

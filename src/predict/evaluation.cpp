@@ -1,0 +1,49 @@
+#include "predict/evaluation.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pulse::predict {
+
+PredictorScore evaluate_window_predictor(const trace::Trace& trace,
+                                         const WindowPredictorFn& predictor) {
+  PredictorScore score;
+  for (trace::FunctionId f = 0; f < trace.function_count(); ++f) {
+    const std::vector<trace::Minute> minutes = trace.invocation_minutes(f);
+    for (std::size_t i = 0; i < minutes.size(); ++i) {
+      const trace::Minute t = minutes[i];
+      PredictedWindow w = predictor(f, t);
+      w.begin = std::max<trace::Minute>(1, w.begin);
+      w.end = std::max(w.begin, w.end);
+
+      // Waste accounting: warm minutes between this invocation and the
+      // successor (or the window end when there is none).
+      const trace::Minute warm_from = t + w.begin;
+      const trace::Minute warm_to = t + w.end;  // inclusive
+      for (trace::Minute m = warm_from; m <= warm_to && m < trace.duration(); ++m) {
+        ++score.warm_minutes;
+        if (trace.count(f, m) == 0) ++score.wasted_minutes;
+      }
+
+      if (i + 1 >= minutes.size()) continue;
+      ++score.evaluated_invocations;
+      const trace::Minute gap = minutes[i + 1] - t;
+      if (gap < w.begin) {
+        ++score.before_window;
+      } else if (gap > w.end) {
+        ++score.beyond_horizon;
+      } else {
+        ++score.covered;
+      }
+    }
+  }
+  return score;
+}
+
+WindowPredictorFn fixed_window_predictor(trace::Minute window) {
+  return [window](trace::FunctionId, trace::Minute) {
+    return PredictedWindow{1, window};
+  };
+}
+
+}  // namespace pulse::predict

@@ -1,0 +1,60 @@
+#pragma once
+// Predictor quality evaluation.
+//
+// The warm-up techniques differ only in how well they predict when the
+// next invocation lands; this harness measures that directly, independent
+// of the cost model: replay a function's invocation minutes through a
+// window predictor and score (a) coverage — how often the next invocation
+// fell inside the predicted keep-alive window — and (b) waste — how many
+// predicted-warm minutes saw no invocation. The fixed 10-minute policy is
+// the baseline predictor.
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/trace.hpp"
+
+namespace pulse::predict {
+
+/// A window predictor under evaluation: given the invocation at minute t
+/// (with all prior invocations already observed), return the predicted
+/// keep-alive interval [t + begin, t + end] (inclusive bounds, begin >= 1).
+/// Implementations wrap HybridHistogramPredictor, a fixed window, etc.
+struct PredictedWindow {
+  trace::Minute begin = 1;
+  trace::Minute end = 10;
+};
+
+using WindowPredictorFn =
+    std::function<PredictedWindow(trace::FunctionId f, trace::Minute t)>;
+
+struct PredictorScore {
+  std::uint64_t evaluated_invocations = 0;  // invocations with a successor
+  std::uint64_t covered = 0;                // successor inside the window
+  std::uint64_t beyond_horizon = 0;         // successor after the window end
+  std::uint64_t before_window = 0;          // successor before the window begin
+  std::uint64_t warm_minutes = 0;           // total minutes predicted warm
+  std::uint64_t wasted_minutes = 0;         // warm minutes without invocations
+
+  [[nodiscard]] double coverage() const noexcept {
+    return evaluated_invocations
+               ? static_cast<double>(covered) / static_cast<double>(evaluated_invocations)
+               : 0.0;
+  }
+  [[nodiscard]] double waste_fraction() const noexcept {
+    return warm_minutes ? static_cast<double>(wasted_minutes) /
+                              static_cast<double>(warm_minutes)
+                        : 0.0;
+  }
+};
+
+/// Scores `predictor` over every function of `trace`. The predictor is
+/// invoked once per invocation minute in trace order (so stateful
+/// predictors observe history exactly as they would live).
+[[nodiscard]] PredictorScore evaluate_window_predictor(const trace::Trace& trace,
+                                                       const WindowPredictorFn& predictor);
+
+/// The provider baseline: a fixed [1, window] prediction.
+[[nodiscard]] WindowPredictorFn fixed_window_predictor(trace::Minute window = 10);
+
+}  // namespace pulse::predict

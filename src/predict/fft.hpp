@@ -1,0 +1,37 @@
+#pragma once
+// Radix-2 FFT and harmonic extrapolation — the forecasting substrate of the
+// IceBreaker baseline ("a fast Fourier-based method to forecast
+// inter-arrival times of diverse serverless functions").
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace pulse::predict {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
+/// of two (throws std::invalid_argument otherwise). `inverse` applies the
+/// 1/N-scaled inverse transform.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Next power of two >= n (minimum 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// Decomposes `series` (zero-padded to a power of two) into its Fourier
+/// coefficients, keeps only the DC term and the `harmonics` largest-
+/// magnitude frequency pairs, and evaluates the resulting trigonometric
+/// approximation at indices [series.size(), series.size() + horizon).
+///
+/// This is the classic FFT-based seasonal extrapolation IceBreaker builds
+/// on: the dominant harmonics capture the periodic structure of the
+/// invocation series and extending their phases forecasts the next window.
+[[nodiscard]] std::vector<double> harmonic_extrapolate(std::span<const double> series,
+                                                       std::size_t harmonics,
+                                                       std::size_t horizon);
+
+/// Smoothed reconstruction of the input itself from the top harmonics
+/// (indices [0, series.size())); useful for diagnostics and tests.
+[[nodiscard]] std::vector<double> harmonic_reconstruct(std::span<const double> series,
+                                                       std::size_t harmonics);
+
+}  // namespace pulse::predict

@@ -1,0 +1,67 @@
+#include "predict/hybrid_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pulse::predict {
+
+HybridHistogramPredictor::HybridHistogramPredictor()
+    : HybridHistogramPredictor(Config{}) {}
+
+HybridHistogramPredictor::HybridHistogramPredictor(Config config)
+    : config_(config), histogram_(config.histogram_capacity) {}
+
+void HybridHistogramPredictor::observe_invocation(trace::Minute t) {
+  if (last_invocation_ && t > *last_invocation_) {
+    const auto gap = static_cast<std::size_t>(t - *last_invocation_);
+    histogram_.add(gap);
+    recent_gaps_.push_back(static_cast<double>(gap));
+    if (recent_gaps_.size() > config_.ar_window) {
+      recent_gaps_.erase(recent_gaps_.begin());
+      ++dropped_gaps_;
+    }
+  }
+  last_invocation_ = t;
+}
+
+bool HybridHistogramPredictor::histogram_representative() const {
+  if (histogram_.total() < config_.min_samples) return false;
+  if (histogram_.overflow_fraction() > config_.oob_cutoff) return false;
+  return histogram_.in_range_cv() <= config_.cv_cutoff;
+}
+
+WindowPrediction HybridHistogramPredictor::predict() const {
+  WindowPrediction w;
+  if (histogram_.total() < config_.min_samples) {
+    // Cold model: fall back to the provider's fixed 10-minute window until
+    // enough history accumulates (Wild does the same during warm-up).
+    return w;
+  }
+
+  if (histogram_representative()) {
+    const auto head = histogram_.percentile_value(config_.head_percentile);
+    const auto tail = histogram_.percentile_value(config_.tail_percentile);
+    if (head && tail) {
+      const double lo = static_cast<double>(*head) * (1.0 - config_.margin);
+      const double hi = static_cast<double>(*tail) * (1.0 + config_.margin);
+      w.prewarm_offset = std::max<trace::Minute>(0, static_cast<trace::Minute>(std::floor(lo)));
+      w.keepalive_until =
+          std::max<trace::Minute>(w.prewarm_offset + 1, static_cast<trace::Minute>(std::ceil(hi)));
+      return w;
+    }
+  }
+
+  // Heavy-tailed / out-of-bounds behaviour: forecast the next idle time.
+  ArModel model(config_.ar_order);
+  model.fit(recent_gaps_);
+  const std::vector<double> next = model.forecast(1);
+  const double predicted = next.empty() ? 10.0 : std::max(1.0, next[0]);
+  const double margin = std::max(1.0, predicted * config_.margin);
+  w.prewarm_offset =
+      std::max<trace::Minute>(0, static_cast<trace::Minute>(std::floor(predicted - margin)));
+  w.keepalive_until = static_cast<trace::Minute>(std::ceil(predicted + margin));
+  w.used_time_series = true;
+  return w;
+}
+
+}  // namespace pulse::predict

@@ -1,0 +1,172 @@
+#include "sim/engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace pulse::sim {
+
+namespace {
+
+/// MemoryHistory backed by the engine's growing per-minute record.
+class RecordedHistory final : public MemoryHistory {
+ public:
+  explicit RecordedHistory(const std::vector<double>& record) : record_(&record) {}
+
+  [[nodiscard]] double memory_at(trace::Minute t) const override {
+    if (t < 0 || static_cast<std::size_t>(t) >= record_->size()) return 0.0;
+    return (*record_)[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] trace::Minute now() const override {
+    return static_cast<trace::Minute>(record_->size());
+  }
+
+ private:
+  const std::vector<double>* record_;
+};
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+SimulationEngine::SimulationEngine(const Deployment& deployment, const trace::Trace& trace,
+                                   EngineConfig config)
+    : deployment_(&deployment), trace_(&trace), config_(config) {
+  if (deployment.function_count() != trace.function_count()) {
+    throw std::invalid_argument(
+        "SimulationEngine: deployment/trace function count mismatch");
+  }
+}
+
+RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
+  const trace::Trace& tr = *trace_;
+  const Deployment& dep = *deployment_;
+  const trace::Minute duration = tr.duration();
+
+  RunResult result;
+  KeepAliveSchedule schedule(dep, duration);
+  std::vector<double> memory_record;
+  memory_record.reserve(static_cast<std::size_t>(duration));
+  RecordedHistory history(memory_record);
+  util::Pcg32 latency_rng(config_.seed, /*stream=*/0xc0ffee);
+  util::Pcg32 accuracy_rng(config_.seed, /*stream=*/0xacc);
+
+  if (config_.record_series) {
+    result.keepalive_memory_mb.reserve(static_cast<std::size_t>(duration));
+    result.keepalive_cost_usd.reserve(static_cast<std::size_t>(duration));
+    result.ideal_cost_usd.reserve(static_cast<std::size_t>(duration));
+  }
+
+  util::Pcg32 eviction_rng(config_.seed, /*stream=*/0xeb1c7);
+  if (config_.record_per_function) {
+    result.per_function.assign(tr.function_count(), FunctionMetrics{});
+  }
+
+  policy.initialize(dep, tr, schedule);
+
+  for (trace::Minute t = 0; t < duration; ++t) {
+    double ideal_cost_t = 0.0;
+
+    for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
+      const std::uint32_t count = tr.count(f, t);
+      if (count == 0) continue;
+
+      const models::ModelFamily& family = dep.family_of(f);
+      const int alive = schedule.variant_at(f, t);
+      std::size_t serving;
+      bool first_is_cold;
+      if (alive != kNoVariant) {
+        serving = static_cast<std::size_t>(alive);
+        first_is_cold = false;
+      } else {
+        serving = policy.cold_start_variant(f, t, dep);
+        first_is_cold = true;
+        // The cold-started container exists for the rest of this minute and
+        // counts toward keep-alive memory at t.
+        schedule.set(f, t, static_cast<int>(serving));
+      }
+
+      const models::ModelVariant& variant = family.variant(serving);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const bool cold = first_is_cold && i == 0;
+        const double service_s =
+            config_.deterministic_latency
+                ? models::LatencyModel::expected_service_time(variant, cold)
+                : config_.latency.sample_service_time(variant, cold, latency_rng);
+        const double accuracy_credit =
+            config_.bernoulli_accuracy
+                ? (accuracy_rng.bernoulli(variant.accuracy_fraction()) ? 100.0 : 0.0)
+                : variant.accuracy_pct;
+        result.total_service_time_s += service_s;
+        result.accuracy_pct_sum += accuracy_credit;
+        ++result.invocations;
+        if (cold) {
+          ++result.cold_starts;
+        } else {
+          ++result.warm_starts;
+        }
+        if (config_.record_service_samples) {
+          result.service_time_samples.push_back(service_s);
+        }
+        if (config_.record_per_function) {
+          FunctionMetrics& fm = result.per_function[f];
+          ++fm.invocations;
+          cold ? ++fm.cold_starts : ++fm.warm_starts;
+          fm.service_time_s += service_s;
+          fm.accuracy_pct_sum += accuracy_credit;
+        }
+      }
+
+      // The ideal reference keeps the highest-quality model alive exactly
+      // during invocation minutes (Figure 6b's ideal line).
+      ideal_cost_t += config_.cost_model.keepalive_cost_usd(family.highest().memory_mb, 1.0);
+
+      if (config_.measure_overhead) {
+        const auto start = Clock::now();
+        policy.on_invocation(f, t, schedule);
+        result.policy_overhead_s +=
+            std::chrono::duration<double>(Clock::now() - start).count();
+      } else {
+        policy.on_invocation(f, t, schedule);
+      }
+    }
+
+    if (config_.measure_overhead) {
+      const auto start = Clock::now();
+      policy.end_of_minute(t, schedule, history);
+      result.policy_overhead_s += std::chrono::duration<double>(Clock::now() - start).count();
+    } else {
+      policy.end_of_minute(t, schedule, history);
+    }
+
+    // Capacity pressure: the platform evicts random kept containers until
+    // keep-alive memory fits (the provider baseline behaviour under memory
+    // stress; PULSE-style policies flatten before this fires).
+    if (config_.memory_capacity_mb > 0.0) {
+      while (schedule.memory_at(t) > config_.memory_capacity_mb) {
+        const auto kept = schedule.kept_alive_at(t);
+        if (kept.empty()) break;
+        const auto victim = kept[eviction_rng.bounded(static_cast<std::uint32_t>(kept.size()))];
+        schedule.evict_from(victim.first, t);
+        ++result.capacity_evictions;
+      }
+    }
+
+    const double memory_t = schedule.memory_at(t);
+    const double cost_t = config_.cost_model.keepalive_cost_usd(memory_t, 1.0);
+    result.total_keepalive_cost_usd += cost_t;
+    memory_record.push_back(memory_t);
+
+    if (config_.record_series) {
+      result.keepalive_memory_mb.push_back(memory_t);
+      result.keepalive_cost_usd.push_back(cost_t);
+      result.ideal_cost_usd.push_back(ideal_cost_t);
+    }
+  }
+
+  result.downgrades = policy.downgrade_count();
+  return result;
+}
+
+}  // namespace pulse::sim

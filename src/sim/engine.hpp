@@ -1,0 +1,84 @@
+#pragma once
+// Minute-resolution discrete-event simulation of a serverless platform
+// serving ML inference under a pluggable keep-alive policy.
+//
+// Faithful to the paper's simulation methodology (§IV): the trace is
+// replayed at minute resolution; invocations within a minute share the
+// container state of that minute; the first invocation of a cold minute
+// pays the cold-start penalty; keep-alive memory and cost accrue per minute
+// from the keep-alive schedule the policy maintains.
+
+#include <cstdint>
+
+#include "models/latency.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/deployment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace pulse::sim {
+
+struct EngineConfig {
+  CostModel cost_model{};
+  models::LatencyModel latency{};
+
+  /// Keep the per-minute memory/cost series in the result (Figures 4/6b/7).
+  /// Off by default: the 1000-run ensembles only need the totals.
+  bool record_series = false;
+
+  /// Use expected service times instead of sampled ones. Unit tests and the
+  /// ideal-cost analysis use this for exact arithmetic.
+  bool deterministic_latency = false;
+
+  /// Seed for the latency-jitter stream (independent of trace generation).
+  std::uint64_t seed = 1;
+
+  /// Measure wall-clock time spent inside policy calls (Figure 9). Costs a
+  /// couple of clock reads per invocation minute.
+  bool measure_overhead = false;
+
+  /// Keep per-function invocation/warm/cold/service-time/accuracy
+  /// breakdowns in the result.
+  bool record_per_function = false;
+
+  /// Keep every invocation's service time (tail-latency analysis; memory
+  /// cost is one double per invocation).
+  bool record_service_samples = false;
+
+  /// Draw each invocation's correctness as Bernoulli(variant accuracy)
+  /// instead of crediting the expected accuracy directly. The ensemble
+  /// means converge to the same values (the paper reports expectations);
+  /// this models the per-request variance real inference datasets show.
+  bool bernoulli_accuracy = false;
+
+  /// Absolute keep-alive memory capacity, MB (0 = unlimited). When the
+  /// schedule exceeds it at the end of a minute, the engine evicts random
+  /// kept containers until it fits — the provider behaviour the paper's
+  /// §III-A describes ("random functions/models are downgraded" under
+  /// memory stress). Policies that flatten peaks themselves (PULSE) rarely
+  /// trigger it.
+  double memory_capacity_mb = 0.0;
+};
+
+class SimulationEngine {
+ public:
+  /// deployment/trace must outlive the engine. The deployment's function
+  /// count must match the trace's.
+  SimulationEngine(const Deployment& deployment, const trace::Trace& trace,
+                   EngineConfig config = {});
+
+  /// Replays the whole trace under `policy` and returns the run's metrics.
+  /// The policy is used exclusively by this call (stateful policies must be
+  /// fresh per run).
+  [[nodiscard]] RunResult run(KeepAlivePolicy& policy);
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  const Deployment* deployment_;
+  const trace::Trace* trace_;
+  EngineConfig config_;
+};
+
+}  // namespace pulse::sim

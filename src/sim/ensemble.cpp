@@ -1,0 +1,55 @@
+#include "sim/ensemble.hpp"
+
+namespace pulse::sim {
+
+double EnsembleResult::mean_service_time_s() const {
+  return stats_of([](const RunResult& r) { return r.total_service_time_s; }).mean();
+}
+
+double EnsembleResult::mean_keepalive_cost_usd() const {
+  return stats_of([](const RunResult& r) { return r.total_keepalive_cost_usd; }).mean();
+}
+
+double EnsembleResult::mean_accuracy_pct() const {
+  return stats_of([](const RunResult& r) { return r.average_accuracy_pct(); }).mean();
+}
+
+double EnsembleResult::mean_overhead_s() const {
+  return stats_of([](const RunResult& r) { return r.policy_overhead_s; }).mean();
+}
+
+double EnsembleResult::mean_warm_fraction() const {
+  return stats_of([](const RunResult& r) { return r.warm_start_fraction(); }).mean();
+}
+
+util::RunningStats EnsembleResult::stats_of(
+    const std::function<double(const RunResult&)>& metric) const {
+  util::RunningStats stats;
+  for (const auto& r : runs) stats.add(metric(r));
+  return stats;
+}
+
+EnsembleResult run_ensemble(const models::ModelZoo& zoo, const trace::Trace& trace,
+                            const PolicyFactory& factory, const EnsembleConfig& config) {
+  EnsembleResult result;
+  result.runs.resize(config.runs);
+
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(config.runs, [&](std::size_t i) {
+    // Per-run RNG stream: the deployment depends only on (seed, i).
+    util::Pcg32 assign_rng(config.seed + i, /*stream=*/i * 2 + 1);
+    const Deployment deployment =
+        Deployment::random(zoo, trace.function_count(), assign_rng);
+
+    EngineConfig engine_config = config.engine;
+    engine_config.seed = config.seed * 1000003 + i;
+
+    SimulationEngine engine(deployment, trace, engine_config);
+    auto policy = factory();
+    result.runs[i] = engine.run(*policy);
+  });
+
+  return result;
+}
+
+}  // namespace pulse::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Ensemble runner: the paper's "1000 simulation runs, each presenting a
+// unique combination of model-to-function assignments". Runs are
+// independent — each gets its own Deployment, engine, policy instance and
+// RNG stream — so the thread pool parallelizes them without any shared
+// mutable state, and results are bit-identical for any thread count.
+
+#include <functional>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "sim/engine.hpp"
+#include "sim/policy.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pulse::sim {
+
+/// Creates a fresh policy instance for one run.
+using PolicyFactory = std::function<std::unique_ptr<KeepAlivePolicy>()>;
+
+struct EnsembleConfig {
+  std::size_t runs = 1000;
+  std::uint64_t seed = 7;
+  EngineConfig engine{};
+  std::size_t threads = 0;  // 0 -> hardware concurrency
+};
+
+struct EnsembleResult {
+  /// One entry per run, in run order.
+  std::vector<RunResult> runs;
+
+  /// Aggregates over the runs (totals per run, then averaged — the paper's
+  /// "averaging the values across all runs").
+  [[nodiscard]] double mean_service_time_s() const;
+  [[nodiscard]] double mean_keepalive_cost_usd() const;
+  [[nodiscard]] double mean_accuracy_pct() const;
+  [[nodiscard]] double mean_overhead_s() const;
+  [[nodiscard]] double mean_warm_fraction() const;
+  [[nodiscard]] util::RunningStats stats_of(
+      const std::function<double(const RunResult&)>& metric) const;
+};
+
+/// Runs `config.runs` simulations of `trace` with per-run random
+/// model-to-function assignments from `zoo`, each under a fresh policy from
+/// `factory`.
+[[nodiscard]] EnsembleResult run_ensemble(const models::ModelZoo& zoo,
+                                          const trace::Trace& trace,
+                                          const PolicyFactory& factory,
+                                          const EnsembleConfig& config);
+
+}  // namespace pulse::sim

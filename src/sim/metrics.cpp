@@ -1,0 +1,12 @@
+#include "sim/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace pulse::sim {
+
+double RunResult::service_time_percentile(double p) const {
+  if (service_time_samples.empty()) return 0.0;
+  return util::percentile(service_time_samples, p);
+}
+
+}  // namespace pulse::sim

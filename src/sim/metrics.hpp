@@ -1,0 +1,101 @@
+#pragma once
+// Per-run simulation results: the three metrics the paper evaluates
+// (service time, keep-alive cost, accuracy) plus the per-minute series
+// behind Figures 4, 6(b) and 7.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pulse::sim {
+
+/// Per-function breakdown of a run (EngineConfig::record_per_function).
+struct FunctionMetrics {
+  std::uint64_t invocations = 0;
+  std::uint64_t warm_starts = 0;
+  std::uint64_t cold_starts = 0;
+  double service_time_s = 0.0;
+  double accuracy_pct_sum = 0.0;
+
+  [[nodiscard]] double average_accuracy_pct() const noexcept {
+    return invocations ? accuracy_pct_sum / static_cast<double>(invocations) : 0.0;
+  }
+  [[nodiscard]] double mean_service_time_s() const noexcept {
+    return invocations ? service_time_s / static_cast<double>(invocations) : 0.0;
+  }
+};
+
+struct RunResult {
+  /// Cumulative service time over every invocation (cold start + execution),
+  /// seconds. The paper's "Service Time" metric.
+  double total_service_time_s = 0.0;
+
+  /// Total provider keep-alive spend, USD.
+  double total_keepalive_cost_usd = 0.0;
+
+  /// Sum over invocations of the serving variant's accuracy (percent);
+  /// divide by `invocations` for the paper's accuracy metric.
+  double accuracy_pct_sum = 0.0;
+
+  std::uint64_t invocations = 0;
+  std::uint64_t warm_starts = 0;
+  std::uint64_t cold_starts = 0;
+
+  /// Downgrades performed by the policy's cross-function optimizer.
+  std::uint64_t downgrades = 0;
+
+  /// Wall-clock time spent inside policy decision calls, seconds — the
+  /// overhead metric of Figure 9.
+  double policy_overhead_s = 0.0;
+
+  /// Containers forcibly evicted because total keep-alive memory exceeded
+  /// EngineConfig::memory_capacity_mb (0 when no capacity is set).
+  std::uint64_t capacity_evictions = 0;
+
+  /// Per-minute series (empty unless EngineConfig::record_series).
+  std::vector<double> keepalive_memory_mb;
+  std::vector<double> keepalive_cost_usd;
+  std::vector<double> ideal_cost_usd;
+
+  /// Per-function breakdown (empty unless EngineConfig::record_per_function).
+  std::vector<FunctionMetrics> per_function;
+
+  /// Individual invocation service times in trace order (empty unless
+  /// EngineConfig::record_service_samples). Enables tail-latency analysis.
+  std::vector<double> service_time_samples;
+
+  /// Linear-interpolated percentile of the recorded service-time samples
+  /// (p in [0, 100]); 0 when sampling was off.
+  [[nodiscard]] double service_time_percentile(double p) const;
+
+  [[nodiscard]] double average_accuracy_pct() const noexcept {
+    return invocations ? accuracy_pct_sum / static_cast<double>(invocations) : 0.0;
+  }
+
+  [[nodiscard]] double warm_start_fraction() const noexcept {
+    return invocations ? static_cast<double>(warm_starts) / static_cast<double>(invocations)
+                       : 0.0;
+  }
+
+  /// Overhead relative to delivered service time (Figure 9's x-axis).
+  [[nodiscard]] double overhead_over_service_time() const noexcept {
+    return total_service_time_s > 0.0 ? policy_overhead_s / total_service_time_s : 0.0;
+  }
+};
+
+/// Percentage improvement of `ours` over `baseline` where *smaller is
+/// better* (service time, cost): positive means `ours` is better.
+[[nodiscard]] inline double improvement_pct(double baseline, double ours) noexcept {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+/// Percentage change of `ours` relative to `baseline` where *larger is
+/// better* (accuracy): positive means `ours` is better.
+[[nodiscard]] inline double change_pct(double baseline, double ours) noexcept {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (ours - baseline) / baseline;
+}
+
+}  // namespace pulse::sim

@@ -1,0 +1,77 @@
+#pragma once
+// The pluggable keep-alive policy interface.
+//
+// The engine drives the trace minute by minute. For every minute in which a
+// function is invoked, it calls on_invocation() once (multiple invocations
+// of the same function within one minute share the container). After all of
+// a minute's invocations it calls end_of_minute(), where cross-function
+// policies (PULSE's global optimizer, MILP) flatten keep-alive memory peaks.
+
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "trace/trace.hpp"
+
+namespace pulse::sim {
+
+/// Read-only view of the per-minute keep-alive memory history that the
+/// engine has recorded so far. memory_at(t) is valid for t < now; the
+/// current minute's (possibly still mutating) memory comes from the
+/// schedule.
+class MemoryHistory {
+ public:
+  virtual ~MemoryHistory() = default;
+
+  /// Recorded keep-alive memory (MB) at a past minute; 0 before the trace.
+  [[nodiscard]] virtual double memory_at(trace::Minute t) const = 0;
+
+  /// First minute not yet recorded (== the current minute).
+  [[nodiscard]] virtual trace::Minute now() const = 0;
+};
+
+class KeepAlivePolicy {
+ public:
+  virtual ~KeepAlivePolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the first minute. `schedule` is empty at this
+  /// point; oracle-style baselines may pre-fill it here.
+  virtual void initialize(const Deployment& deployment, const trace::Trace& trace,
+                          KeepAliveSchedule& schedule) {
+    (void)deployment;
+    (void)trace;
+    (void)schedule;
+  }
+
+  /// Function f was invoked at minute t (the engine has already resolved
+  /// warm/cold for this minute). The policy updates the keep-alive plan —
+  /// typically minutes (t, t+10].
+  virtual void on_invocation(trace::FunctionId f, trace::Minute t,
+                             KeepAliveSchedule& schedule) = 0;
+
+  /// Called after all invocations of minute t. Cross-function policies
+  /// inspect schedule.memory_at(t) against `history` and may downgrade.
+  virtual void end_of_minute(trace::Minute t, KeepAliveSchedule& schedule,
+                             const MemoryHistory& history) {
+    (void)t;
+    (void)schedule;
+    (void)history;
+  }
+
+  /// Variant that serves a cold start of f at minute t (no container was
+  /// alive). Default: the highest-quality variant, matching the provider
+  /// behaviour the baselines deploy.
+  [[nodiscard]] virtual std::size_t cold_start_variant(trace::FunctionId f, trace::Minute t,
+                                                       const Deployment& deployment) const {
+    (void)t;
+    return deployment.family_of(f).highest_index();
+  }
+
+  /// Total variant downgrades performed so far (PULSE's global optimizer
+  /// reports these; others return 0).
+  [[nodiscard]] virtual std::uint64_t downgrade_count() const { return 0; }
+};
+
+}  // namespace pulse::sim

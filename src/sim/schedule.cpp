@@ -1,0 +1,92 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pulse::sim {
+
+KeepAliveSchedule::KeepAliveSchedule(const Deployment& deployment, trace::Minute duration)
+    : deployment_(&deployment), duration_(duration) {
+  if (duration < 0) throw std::invalid_argument("KeepAliveSchedule: negative duration");
+  slots_.assign(deployment.function_count(),
+                std::vector<std::int16_t>(static_cast<std::size_t>(duration), kNoVariant));
+}
+
+int KeepAliveSchedule::variant_at(trace::FunctionId f, trace::Minute t) const {
+  if (t < 0 || t >= duration_) return kNoVariant;
+  return slots_.at(f)[static_cast<std::size_t>(t)];
+}
+
+void KeepAliveSchedule::set(trace::FunctionId f, trace::Minute t, int variant) {
+  auto& row = slots_.at(f);
+  if (t < 0 || t >= duration_) return;
+  if (variant != kNoVariant) {
+    const auto count = deployment_->family_of(f).variant_count();
+    if (variant < 0 || static_cast<std::size_t>(variant) >= count) {
+      throw std::out_of_range("KeepAliveSchedule::set: variant index out of range");
+    }
+  }
+  row[static_cast<std::size_t>(t)] = static_cast<std::int16_t>(variant);
+}
+
+void KeepAliveSchedule::fill(trace::FunctionId f, trace::Minute from, trace::Minute to,
+                             int variant) {
+  from = std::max<trace::Minute>(from, 0);
+  to = std::min(to, duration_);
+  for (trace::Minute t = from; t < to; ++t) set(f, t, variant);
+}
+
+void KeepAliveSchedule::clear_from(trace::FunctionId f, trace::Minute from) {
+  from = std::max<trace::Minute>(from, 0);
+  auto& row = slots_.at(f);
+  for (trace::Minute t = from; t < duration_; ++t) {
+    row[static_cast<std::size_t>(t)] = kNoVariant;
+  }
+}
+
+std::optional<int> KeepAliveSchedule::downgrade_from(trace::FunctionId f, trace::Minute t) {
+  const int current = variant_at(f, t);
+  if (current == kNoVariant) return std::nullopt;
+  auto& row = slots_.at(f);
+  for (trace::Minute m = t; m < duration_; ++m) {
+    auto& slot = row[static_cast<std::size_t>(m)];
+    if (slot == kNoVariant) break;  // end of the current keep-alive window
+    slot = static_cast<std::int16_t>(slot > 0 ? slot - 1 : kNoVariant);
+  }
+  return current;
+}
+
+void KeepAliveSchedule::evict_from(trace::FunctionId f, trace::Minute t) {
+  if (t < 0 || t >= duration_) return;
+  auto& row = slots_.at(f);
+  for (trace::Minute m = t; m < duration_; ++m) {
+    auto& slot = row[static_cast<std::size_t>(m)];
+    if (slot == kNoVariant) break;
+    slot = kNoVariant;
+  }
+}
+
+double KeepAliveSchedule::memory_at(trace::Minute t) const {
+  if (t < 0 || t >= duration_) return 0.0;
+  double total = 0.0;
+  for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
+    const int v = slots_[f][static_cast<std::size_t>(t)];
+    if (v != kNoVariant) {
+      total += deployment_->family_of(f).variant(static_cast<std::size_t>(v)).memory_mb;
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<trace::FunctionId, std::size_t>> KeepAliveSchedule::kept_alive_at(
+    trace::Minute t) const {
+  std::vector<std::pair<trace::FunctionId, std::size_t>> out;
+  if (t < 0 || t >= duration_) return out;
+  for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
+    const int v = slots_[f][static_cast<std::size_t>(t)];
+    if (v != kNoVariant) out.emplace_back(f, static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+}  // namespace pulse::sim

@@ -1,0 +1,77 @@
+#pragma once
+// The keep-alive schedule: for every function and minute, which model
+// variant (if any) is kept alive. Policies write it; the engine reads it to
+// resolve warm/cold starts and to account keep-alive memory and cost.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/deployment.hpp"
+#include "trace/trace.hpp"
+
+namespace pulse::sim {
+
+/// Sentinel for "no container kept alive".
+constexpr int kNoVariant = -1;
+
+class KeepAliveSchedule {
+ public:
+  /// The deployment must outlive the schedule.
+  KeepAliveSchedule(const Deployment& deployment, trace::Minute duration);
+
+  [[nodiscard]] trace::Minute duration() const noexcept { return duration_; }
+  [[nodiscard]] std::size_t function_count() const noexcept { return slots_.size(); }
+  [[nodiscard]] const Deployment& deployment() const noexcept { return *deployment_; }
+
+  /// Variant kept alive for f at minute t; kNoVariant when none (or t is
+  /// outside the horizon).
+  [[nodiscard]] int variant_at(trace::FunctionId f, trace::Minute t) const;
+
+  /// true when any container of f is alive at t.
+  [[nodiscard]] bool is_alive(trace::FunctionId f, trace::Minute t) const {
+    return variant_at(f, t) != kNoVariant;
+  }
+
+  /// Sets the kept-alive variant for one minute. Out-of-horizon minutes are
+  /// ignored (policies schedule t+1..t+10 near the trace end). Throws on a
+  /// variant index outside the function's family.
+  void set(trace::FunctionId f, trace::Minute t, int variant);
+
+  void clear(trace::FunctionId f, trace::Minute t) { set(f, t, kNoVariant); }
+
+  /// Fills [from, to) with `variant` (clipped to the horizon).
+  void fill(trace::FunctionId f, trace::Minute from, trace::Minute to, int variant);
+
+  /// Clears every scheduled minute of f at or after `from`.
+  void clear_from(trace::FunctionId f, trace::Minute from);
+
+  /// Downgrades f by one variant for the contiguous scheduled stretch
+  /// starting at t (the function's current keep-alive window): variant v
+  /// becomes v-1; the lowest variant becomes "not kept alive". Minutes after
+  /// the first gap — i.e. keep-alive windows scheduled by later invocations —
+  /// are untouched. Returns the variant index that was scheduled at minute t
+  /// before downgrading, or nullopt (and does nothing) when nothing is
+  /// scheduled at t.
+  std::optional<int> downgrade_from(trace::FunctionId f, trace::Minute t);
+
+  /// Evicts f's container entirely for the contiguous scheduled stretch
+  /// starting at t (capacity-pressure eviction: the platform kills the
+  /// container regardless of variant). No-op when nothing is scheduled at t.
+  void evict_from(trace::FunctionId f, trace::Minute t);
+
+  /// Total keep-alive memory (MB) across functions at minute t.
+  [[nodiscard]] double memory_at(trace::Minute t) const;
+
+  /// (function, variant) pairs kept alive at minute t.
+  [[nodiscard]] std::vector<std::pair<trace::FunctionId, std::size_t>> kept_alive_at(
+      trace::Minute t) const;
+
+ private:
+  const Deployment* deployment_ = nullptr;
+  trace::Minute duration_ = 0;
+  std::vector<std::vector<std::int16_t>> slots_;
+};
+
+}  // namespace pulse::sim

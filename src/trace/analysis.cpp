@@ -1,0 +1,63 @@
+#include "trace/analysis.hpp"
+
+namespace pulse::trace {
+
+InterArrivalProfile interarrival_profile(const Trace& trace, FunctionId f, Minute begin,
+                                         Minute end) {
+  if (end < 0) end = trace.duration();
+  InterArrivalProfile profile;
+
+  const std::vector<Minute> minutes = trace.invocation_minutes(f);
+  std::array<std::uint64_t, kKeepAliveWindow> counts{};
+  std::uint64_t beyond = 0;
+  std::uint64_t observed = 0;
+
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    const Minute t = minutes[i];
+    if (t < begin || t >= end) continue;
+    ++observed;
+    if (i + 1 >= minutes.size()) {
+      ++beyond;
+      continue;
+    }
+    const Minute gap = minutes[i + 1] - t;
+    if (gap >= 1 && gap <= kKeepAliveWindow) {
+      ++counts[static_cast<std::size_t>(gap - 1)];
+    } else {
+      ++beyond;
+    }
+  }
+
+  profile.observed_invocations = observed;
+  if (observed > 0) {
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      profile.within_window[d] =
+          100.0 * static_cast<double>(counts[d]) / static_cast<double>(observed);
+    }
+    profile.beyond_window = 100.0 * static_cast<double>(beyond) / static_cast<double>(observed);
+  }
+  return profile;
+}
+
+std::array<InterArrivalProfile, 3> interarrival_profile_by_thirds(const Trace& trace,
+                                                                  FunctionId f) {
+  const Minute third = trace.duration() / 3;
+  return {
+      interarrival_profile(trace, f, 0, third),
+      interarrival_profile(trace, f, third, 2 * third),
+      interarrival_profile(trace, f, 2 * third, trace.duration()),
+  };
+}
+
+std::vector<Minute> interarrival_gaps(const Trace& trace, FunctionId f) {
+  const std::vector<Minute> minutes = trace.invocation_minutes(f);
+  std::vector<Minute> gaps;
+  if (minutes.size() < 2) return gaps;
+  gaps.reserve(minutes.size() - 1);
+  for (std::size_t i = 1; i < minutes.size(); ++i) {
+    gaps.push_back(minutes[i] - minutes[i - 1]);
+  }
+  return gaps;
+}
+
+}  // namespace pulse::trace

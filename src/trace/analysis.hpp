@@ -1,0 +1,40 @@
+#pragma once
+// Trace analytics backing Figures 1 and 2: for each invocation of a
+// function, where (at minute resolution) does the *next* invocation land
+// inside the 10-minute keep-alive window that follows?
+
+#include <array>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pulse::trace {
+
+/// Length of the keep-alive window the whole paper is built around.
+constexpr Minute kKeepAliveWindow = 10;
+
+/// Distribution of next-invocation offsets within the keep-alive window.
+/// within_window[d-1] is the percentage of invocations whose next invocation
+/// arrived exactly d minutes later (d in 1..10); beyond_window is the
+/// percentage with no follow-up inside the window.
+struct InterArrivalProfile {
+  std::array<double, kKeepAliveWindow> within_window{};
+  double beyond_window = 0.0;
+  std::uint64_t observed_invocations = 0;
+};
+
+/// Figure 1: inter-arrival profile of one function over [begin, end) of the
+/// trace (defaults to the whole horizon).
+[[nodiscard]] InterArrivalProfile interarrival_profile(const Trace& trace, FunctionId f,
+                                                       Minute begin = 0, Minute end = -1);
+
+/// Figure 2: the same function profiled over the first / middle / last
+/// thirds of the horizon.
+[[nodiscard]] std::array<InterArrivalProfile, 3> interarrival_profile_by_thirds(
+    const Trace& trace, FunctionId f);
+
+/// Raw inter-arrival gaps (minutes between consecutive invocation minutes)
+/// of one function — input to the Wild histogram and to trace statistics.
+[[nodiscard]] std::vector<Minute> interarrival_gaps(const Trace& trace, FunctionId f);
+
+}  // namespace pulse::trace

@@ -1,0 +1,151 @@
+#include "trace/azure_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace pulse::trace {
+
+namespace {
+
+constexpr std::size_t kMetaColumns = 4;  // owner, app, function, trigger
+
+struct DayRow {
+  AzureFunctionId id;
+  std::vector<std::uint32_t> counts;  // length kMinutesPerDay
+};
+
+std::vector<DayRow> parse_day_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open Azure day CSV: " + path.string());
+
+  std::vector<DayRow> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_checked = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const util::CsvRow fields = util::parse_csv_line(line);
+    if (!header_checked) {
+      header_checked = true;
+      // The public dataset starts with a header row; detect it by the
+      // HashOwner column name and skip.
+      if (!fields.empty() && fields[0] == "HashOwner") continue;
+    }
+    if (fields.size() != kMetaColumns + static_cast<std::size_t>(kMinutesPerDay)) {
+      throw std::runtime_error(path.string() + ":" + std::to_string(line_no) +
+                               ": expected " +
+                               std::to_string(kMetaColumns + kMinutesPerDay) +
+                               " columns, got " + std::to_string(fields.size()));
+    }
+    DayRow row;
+    row.id = AzureFunctionId{fields[0], fields[1], fields[2], fields[3]};
+    row.counts.resize(static_cast<std::size_t>(kMinutesPerDay));
+    for (std::size_t m = 0; m < row.counts.size(); ++m) {
+      const std::string& cell = fields[kMetaColumns + m];
+      try {
+        row.counts[m] = cell.empty() ? 0u : static_cast<std::uint32_t>(std::stoul(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error(path.string() + ":" + std::to_string(line_no) +
+                                 ": malformed count '" + cell + "' at minute " +
+                                 std::to_string(m + 1));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+AzureTrace load_azure_day_csv(const std::filesystem::path& path) {
+  return load_azure_days({path});
+}
+
+AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths) {
+  if (paths.empty()) throw std::invalid_argument("load_azure_days: no files given");
+
+  // First pass: union of functions, ordered by first appearance.
+  std::vector<std::vector<DayRow>> days;
+  days.reserve(paths.size());
+  std::map<std::string, std::size_t> index_of;
+  std::vector<AzureFunctionId> functions;
+  for (const auto& path : paths) {
+    days.push_back(parse_day_file(path));
+    for (const auto& row : days.back()) {
+      const std::string key = row.id.qualified_name();
+      if (index_of.emplace(key, functions.size()).second) {
+        functions.push_back(row.id);
+      }
+    }
+  }
+
+  AzureTrace out;
+  out.functions = std::move(functions);
+  out.trace = Trace(out.functions.size(),
+                    static_cast<Minute>(paths.size()) * kMinutesPerDay);
+  for (std::size_t day = 0; day < days.size(); ++day) {
+    const Minute base = static_cast<Minute>(day) * kMinutesPerDay;
+    for (const auto& row : days[day]) {
+      const std::size_t f = index_of.at(row.id.qualified_name());
+      for (std::size_t m = 0; m < row.counts.size(); ++m) {
+        if (row.counts[m] > 0) {
+          out.trace.add_invocations(f, base + static_cast<Minute>(m), row.counts[m]);
+        }
+      }
+    }
+  }
+  for (std::size_t f = 0; f < out.functions.size(); ++f) {
+    out.trace.set_function_name(f, out.functions[f].qualified_name());
+  }
+  return out;
+}
+
+Trace select_top_functions(const AzureTrace& azure, std::size_t k) {
+  std::vector<FunctionId> order(azure.trace.function_count());
+  for (std::size_t f = 0; f < order.size(); ++f) order[f] = f;
+  std::stable_sort(order.begin(), order.end(), [&](FunctionId a, FunctionId b) {
+    return azure.trace.total_invocations(a) > azure.trace.total_invocations(b);
+  });
+  k = std::min(k, order.size());
+
+  Trace out(k, azure.trace.duration());
+  for (std::size_t i = 0; i < k; ++i) {
+    const FunctionId src = order[i];
+    out.set_function_name(i, azure.trace.function_name(src));
+    for (Minute t = 0; t < azure.trace.duration(); ++t) {
+      const std::uint32_t c = azure.trace.count(src, t);
+      if (c > 0) out.add_invocations(i, t, c);
+    }
+  }
+  return out;
+}
+
+void save_azure_day_csvs(const Trace& trace, const std::filesystem::path& directory,
+                         const std::string& prefix) {
+  std::filesystem::create_directories(directory);
+  const Minute days = (trace.duration() + kMinutesPerDay - 1) / kMinutesPerDay;
+  for (Minute day = 0; day < days; ++day) {
+    util::CsvRow header{"HashOwner", "HashApp", "HashFunction", "Trigger"};
+    for (Minute m = 1; m <= kMinutesPerDay; ++m) header.push_back(std::to_string(m));
+    util::CsvTable table(std::move(header));
+
+    for (FunctionId f = 0; f < trace.function_count(); ++f) {
+      util::CsvRow row{"owner", "app", trace.function_name(f), "http"};
+      row.reserve(kMetaColumns + static_cast<std::size_t>(kMinutesPerDay));
+      for (Minute m = 0; m < kMinutesPerDay; ++m) {
+        row.push_back(std::to_string(trace.count(f, day * kMinutesPerDay + m)));
+      }
+      table.add_row(std::move(row));
+    }
+    const std::filesystem::path path =
+        directory / (prefix + std::to_string(day + 1) + ".csv");
+    table.write_file(path);
+  }
+}
+
+}  // namespace pulse::trace

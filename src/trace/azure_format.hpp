@@ -1,0 +1,60 @@
+#pragma once
+// Ingestion of the Microsoft Azure Functions trace format (Shahrad et al.,
+// ATC'20) — the dataset the paper replays. Each day of the public release
+// is a CSV with one row per function:
+//
+//   HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+//
+// where columns 1..1440 hold per-minute invocation counts. The trace itself
+// is not redistributable, so this repository ships a generator instead
+// (trace/workload.hpp) — but anyone holding the dataset can load it here and
+// run every experiment on the real thing.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pulse::trace {
+
+/// One function's identity within the Azure dataset.
+struct AzureFunctionId {
+  std::string owner;
+  std::string app;
+  std::string function;
+  std::string trigger;
+
+  [[nodiscard]] std::string qualified_name() const {
+    return owner + "/" + app + "/" + function;
+  }
+};
+
+/// A loaded multi-day Azure trace before function selection.
+struct AzureTrace {
+  std::vector<AzureFunctionId> functions;
+  Trace trace;  // function_count() == functions.size()
+};
+
+/// Parses one day file (1440 minute columns). Functions are keyed by
+/// (owner, app, function); rows with malformed counts throw
+/// std::runtime_error with the offending line number.
+[[nodiscard]] AzureTrace load_azure_day_csv(const std::filesystem::path& path);
+
+/// Loads several day files and concatenates them along the time axis.
+/// Functions present in only some days contribute zero counts elsewhere;
+/// the function set is the union, ordered by first appearance.
+[[nodiscard]] AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths);
+
+/// Keeps only the `k` functions with the most total invocations — the
+/// paper's "12 most commonly used functions" selection — returning a
+/// compact Trace whose function names are the qualified Azure names.
+[[nodiscard]] Trace select_top_functions(const AzureTrace& azure, std::size_t k);
+
+/// Writes a Trace back out in the Azure day format (splitting the horizon
+/// into 1440-minute days; the last partial day is zero-padded). Useful for
+/// exporting synthetic workloads to tools that consume the Azure format.
+void save_azure_day_csvs(const Trace& trace, const std::filesystem::path& directory,
+                         const std::string& prefix = "invocations_day_");
+
+}  // namespace pulse::trace

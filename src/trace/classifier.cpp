@@ -1,0 +1,96 @@
+#include "trace/classifier.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "trace/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace pulse::trace {
+
+std::string_view to_string(PatternClass c) noexcept {
+  switch (c) {
+    case PatternClass::kIdle: return "idle";
+    case PatternClass::kPeriodic: return "periodic";
+    case PatternClass::kSteady: return "steady";
+    case PatternClass::kDiurnal: return "diurnal";
+    case PatternClass::kBursty: return "bursty";
+    case PatternClass::kHeavyTail: return "heavy-tail";
+  }
+  return "?";
+}
+
+PatternFeatures extract_features(const Trace& trace, FunctionId f) {
+  PatternFeatures features;
+  features.invocations = trace.total_invocations(f);
+  const std::vector<Minute> gaps = interarrival_gaps(trace, f);
+  if (gaps.empty()) return features;
+
+  std::vector<double> gap_values(gaps.begin(), gaps.end());
+  features.gap_mean = util::mean(gap_values);
+  features.gap_cv = util::coefficient_of_variation(gap_values);
+
+  // Dominant-gap share: mass of the most common inter-arrival value.
+  std::map<Minute, std::size_t> gap_counts;
+  for (Minute g : gaps) ++gap_counts[g];
+  std::size_t dominant = 0;
+  for (const auto& [gap, count] : gap_counts) {
+    if (count > dominant) {
+      dominant = count;
+      features.dominant_gap = gap;
+    }
+  }
+  features.dominant_gap_share =
+      static_cast<double>(dominant) / static_cast<double>(gaps.size());
+
+  const double median = util::percentile(gap_values, 50);
+  const double p99 = util::percentile(gap_values, 99);
+  features.tail_gap_ratio = median > 0.0 ? p99 / median : 0.0;
+
+  // Diurnal contrast: hour-of-day invocation rates.
+  double hour_rates[24] = {};
+  for (Minute t : trace.invocation_minutes(f)) {
+    hour_rates[(t % kMinutesPerDay) / 60] +=
+        static_cast<double>(trace.count(f, t));
+  }
+  const double mx = *std::max_element(std::begin(hour_rates), std::end(hour_rates));
+  const double mn = *std::min_element(std::begin(hour_rates), std::end(hour_rates));
+  features.diurnal_contrast = (mx + mn) > 0.0 ? (mx - mn) / (mx + mn) : 0.0;
+
+  // Burst concentration: fraction of invocations in the top decile of
+  // active minutes by count.
+  std::vector<double> active_counts;
+  for (Minute t : trace.invocation_minutes(f)) {
+    active_counts.push_back(static_cast<double>(trace.count(f, t)));
+  }
+  std::sort(active_counts.rbegin(), active_counts.rend());
+  const std::size_t decile = std::max<std::size_t>(1, active_counts.size() / 10);
+  double top = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < active_counts.size(); ++i) {
+    total += active_counts[i];
+    if (i < decile) top += active_counts[i];
+  }
+  features.burst_concentration = total > 0.0 ? top / total : 0.0;
+  return features;
+}
+
+PatternClass classify(const PatternFeatures& f) {
+  if (f.invocations < 20) return PatternClass::kIdle;
+  // Burstiness first: a bursty function can have a periodic idle floor, but
+  // a periodic/steady function never concentrates invocations in a few
+  // minutes.
+  if (f.burst_concentration > 0.45) return PatternClass::kBursty;
+  // Dominance of a gap of 1 minute just means "hot" at minute resolution,
+  // not a periodic schedule — require a real period of >= 2 minutes.
+  if (f.dominant_gap_share > 0.55 && f.dominant_gap >= 2) return PatternClass::kPeriodic;
+  if (f.tail_gap_ratio > 12.0 && f.gap_cv > 1.5) return PatternClass::kHeavyTail;
+  if (f.diurnal_contrast > 0.85) return PatternClass::kDiurnal;
+  return PatternClass::kSteady;
+}
+
+PatternClass classify(const Trace& trace, FunctionId f) {
+  return classify(extract_features(trace, f));
+}
+
+}  // namespace pulse::trace

@@ -1,0 +1,48 @@
+#pragma once
+// Invocation-pattern classification.
+//
+// Assigns each function one of the qualitative pattern classes the paper's
+// motivation section distinguishes (Figures 1-2): periodic, steady, diurnal
+// (or nocturnal), bursty, heavy-tailed, or idle. Used by trace_explorer for
+// workload triage and by tests to validate that the generator's archetypes
+// actually produce the pattern they claim.
+
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace pulse::trace {
+
+enum class PatternClass {
+  kIdle,       // too few invocations to classify
+  kPeriodic,   // inter-arrival mass concentrated at one gap
+  kSteady,     // dispersed but stationary arrivals
+  kDiurnal,    // strong daily cycle in arrival rate
+  kBursty,     // long quiet stretches punctuated by dense clusters
+  kHeavyTail,  // many short gaps plus rare very long ones
+};
+
+[[nodiscard]] std::string_view to_string(PatternClass c) noexcept;
+
+/// Diagnostic features behind a classification decision.
+struct PatternFeatures {
+  std::uint64_t invocations = 0;
+  double gap_mean = 0.0;
+  double gap_cv = 0.0;            // coefficient of variation of inter-arrival gaps
+  double dominant_gap_share = 0;  // probability mass of the most common gap
+  trace::Minute dominant_gap = 0;  // the most common gap itself
+  double tail_gap_ratio = 0.0;    // p99 gap / median gap
+  double diurnal_contrast = 0.0;  // (max - min) / (max + min) of hour-of-day rates
+  double burst_concentration = 0.0;  // share of invocations in the busiest 10% of
+                                     // active minutes
+};
+
+/// Extracts the features of one function's series.
+[[nodiscard]] PatternFeatures extract_features(const Trace& trace, FunctionId f);
+
+/// Classifies one function. Thresholds are deliberately coarse — the goal is
+/// the qualitative triage the paper's Figure 1 performs, not a taxonomy.
+[[nodiscard]] PatternClass classify(const Trace& trace, FunctionId f);
+[[nodiscard]] PatternClass classify(const PatternFeatures& features);
+
+}  // namespace pulse::trace

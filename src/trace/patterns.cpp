@@ -1,0 +1,241 @@
+#include "trace/patterns.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace pulse::trace {
+
+namespace {
+
+class SteadyPoisson final : public Pattern {
+ public:
+  explicit SteadyPoisson(double rate) : rate_(rate) {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    for (Minute t = 0; t < trace.duration(); ++t) {
+      const int n = util::poisson(rng, rate_);
+      if (n > 0) trace.add_invocations(f, t, static_cast<std::uint32_t>(n));
+    }
+  }
+
+  [[nodiscard]] std::string label() const override {
+    std::ostringstream os;
+    os << "poisson(" << rate_ << "/min)";
+    return os.str();
+  }
+
+ private:
+  double rate_;
+};
+
+class Periodic final : public Pattern {
+ public:
+  Periodic(Minute period, Minute phase, Minute jitter, double miss_probability)
+      : period_(std::max<Minute>(1, period)),
+        phase_(phase),
+        jitter_(jitter),
+        miss_probability_(miss_probability) {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    for (Minute t = phase_; t < trace.duration(); t += period_) {
+      if (miss_probability_ > 0.0 && rng.bernoulli(miss_probability_)) continue;
+      Minute at = t;
+      if (jitter_ > 0) {
+        at += static_cast<Minute>(rng.bounded(static_cast<std::uint32_t>(2 * jitter_ + 1))) -
+              jitter_;
+      }
+      if (at >= 0 && at < trace.duration()) trace.add_invocations(f, at, 1);
+    }
+  }
+
+  [[nodiscard]] std::string label() const override {
+    std::ostringstream os;
+    os << "periodic(" << period_ << "min)";
+    return os.str();
+  }
+
+ private:
+  Minute period_;
+  Minute phase_;
+  Minute jitter_;
+  double miss_probability_;
+};
+
+class Diurnal final : public Pattern {
+ public:
+  Diurnal(double base_rate, double peak_rate, Minute peak_minute_of_day, bool nocturnal)
+      : base_rate_(base_rate),
+        peak_rate_(peak_rate),
+        peak_minute_(peak_minute_of_day),
+        nocturnal_(nocturnal) {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    for (Minute t = 0; t < trace.duration(); ++t) {
+      const double phase = 2.0 * std::numbers::pi *
+                           static_cast<double>((t - peak_minute_) % kMinutesPerDay) /
+                           static_cast<double>(kMinutesPerDay);
+      double wave = 0.5 * (1.0 + std::cos(phase));  // 1 at the peak minute
+      if (nocturnal_) wave = 1.0 - wave;
+      const double rate = base_rate_ + (peak_rate_ - base_rate_) * wave;
+      const int n = util::poisson(rng, rate);
+      if (n > 0) trace.add_invocations(f, t, static_cast<std::uint32_t>(n));
+    }
+  }
+
+  [[nodiscard]] std::string label() const override {
+    return nocturnal_ ? "nocturnal" : "diurnal";
+  }
+
+ private:
+  double base_rate_;
+  double peak_rate_;
+  Minute peak_minute_;
+  bool nocturnal_;
+};
+
+class Bursty final : public Pattern {
+ public:
+  Bursty(double idle_rate, double burst_start_probability, Minute burst_length,
+         double burst_rate)
+      : idle_rate_(idle_rate),
+        burst_start_probability_(burst_start_probability),
+        burst_length_(std::max<Minute>(1, burst_length)),
+        burst_rate_(burst_rate) {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    Minute burst_remaining = 0;
+    for (Minute t = 0; t < trace.duration(); ++t) {
+      if (burst_remaining == 0 && rng.bernoulli(burst_start_probability_)) {
+        burst_remaining = burst_length_;
+      }
+      const double rate = burst_remaining > 0 ? burst_rate_ : idle_rate_;
+      if (burst_remaining > 0) --burst_remaining;
+      const int n = util::poisson(rng, rate);
+      if (n > 0) trace.add_invocations(f, t, static_cast<std::uint32_t>(n));
+    }
+  }
+
+  [[nodiscard]] std::string label() const override { return "bursty"; }
+
+ private:
+  double idle_rate_;
+  double burst_start_probability_;
+  Minute burst_length_;
+  double burst_rate_;
+};
+
+class HeavyTail final : public Pattern {
+ public:
+  HeavyTail(double scale, double alpha) : scale_(scale), alpha_(alpha) {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    double t = util::pareto(rng, scale_, alpha_);
+    while (static_cast<Minute>(t) < trace.duration()) {
+      trace.add_invocations(f, static_cast<Minute>(t), 1);
+      t += util::pareto(rng, scale_, alpha_);
+    }
+  }
+
+  [[nodiscard]] std::string label() const override {
+    std::ostringstream os;
+    os << "heavy_tail(alpha=" << alpha_ << ")";
+    return os.str();
+  }
+
+ private:
+  double scale_;
+  double alpha_;
+};
+
+class Intermittent final : public Pattern {
+ public:
+  Intermittent(Minute on_length, Minute off_length, double on_rate)
+      : on_length_(std::max<Minute>(1, on_length)),
+        off_length_(std::max<Minute>(0, off_length)),
+        on_rate_(on_rate) {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    const Minute cycle = on_length_ + off_length_;
+    for (Minute t = 0; t < trace.duration(); ++t) {
+      if (t % cycle < on_length_) {
+        const int n = util::poisson(rng, on_rate_);
+        if (n > 0) trace.add_invocations(f, t, static_cast<std::uint32_t>(n));
+      }
+    }
+  }
+
+  [[nodiscard]] std::string label() const override { return "intermittent"; }
+
+ private:
+  Minute on_length_;
+  Minute off_length_;
+  double on_rate_;
+};
+
+/// Applies each sub-pattern to its third of the horizon by generating into a
+/// scratch trace of the third's length and copying the counts in.
+class Drifting final : public Pattern {
+ public:
+  Drifting(PatternPtr first, PatternPtr middle, PatternPtr last)
+      : parts_{std::move(first), std::move(middle), std::move(last)} {}
+
+  void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const override {
+    const Minute third = trace.duration() / 3;
+    for (std::size_t part = 0; part < parts_.size(); ++part) {
+      const Minute begin = static_cast<Minute>(part) * third;
+      const Minute end = part + 1 == parts_.size() ? trace.duration() : begin + third;
+      if (end <= begin) continue;
+      Trace scratch(1, end - begin);
+      parts_[part]->generate(scratch, 0, rng);
+      for (Minute t = 0; t < scratch.duration(); ++t) {
+        const std::uint32_t c = scratch.count(0, t);
+        if (c > 0) trace.add_invocations(f, begin + t, c);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string label() const override {
+    return "drifting(" + parts_[0]->label() + " -> " + parts_[1]->label() + " -> " +
+           parts_[2]->label() + ")";
+  }
+
+ private:
+  std::array<PatternPtr, 3> parts_;
+};
+
+}  // namespace
+
+PatternPtr steady_poisson(double rate_per_minute) {
+  return std::make_unique<SteadyPoisson>(rate_per_minute);
+}
+
+PatternPtr periodic(Minute period, Minute phase, Minute jitter, double miss_probability) {
+  return std::make_unique<Periodic>(period, phase, jitter, miss_probability);
+}
+
+PatternPtr diurnal(double base_rate, double peak_rate, Minute peak_minute_of_day,
+                   bool nocturnal) {
+  return std::make_unique<Diurnal>(base_rate, peak_rate, peak_minute_of_day, nocturnal);
+}
+
+PatternPtr bursty(double idle_rate, double burst_start_probability, Minute burst_length,
+                  double burst_rate) {
+  return std::make_unique<Bursty>(idle_rate, burst_start_probability, burst_length, burst_rate);
+}
+
+PatternPtr heavy_tail(double scale_minutes, double alpha) {
+  return std::make_unique<HeavyTail>(scale_minutes, alpha);
+}
+
+PatternPtr intermittent(Minute on_length, Minute off_length, double on_rate) {
+  return std::make_unique<Intermittent>(on_length, off_length, on_rate);
+}
+
+PatternPtr drifting(PatternPtr first, PatternPtr middle, PatternPtr last) {
+  return std::make_unique<Drifting>(std::move(first), std::move(middle), std::move(last));
+}
+
+}  // namespace pulse::trace

@@ -1,0 +1,68 @@
+#pragma once
+// Invocation pattern generators.
+//
+// The Azure production trace the paper replays is not redistributable, so we
+// synthesize functions from the pattern classes the paper itself documents:
+// Figure 1 shows five qualitatively different inter-arrival shapes within the
+// 10-minute keep-alive window; Figure 2 shows one function whose pattern
+// drifts across trace thirds; §III-B describes diurnal, nocturnal and
+// intermittent functions; §II identifies coordinated invocation peaks.
+// Each generator fills one function's minute series deterministically from
+// an explicit RNG, so traces are reproducible from a single seed.
+
+#include <memory>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace pulse::trace {
+
+/// Interface for one function's invocation pattern.
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+
+  /// Writes invocation counts for minutes [0, trace.duration()) of function
+  /// `f` into `trace` (adds to existing counts, so patterns compose).
+  virtual void generate(Trace& trace, FunctionId f, util::Pcg32& rng) const = 0;
+
+  /// Human-readable pattern label ("periodic(7)", "diurnal", ...).
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+using PatternPtr = std::unique_ptr<Pattern>;
+
+/// Homogeneous Poisson arrivals at `rate_per_minute`.
+[[nodiscard]] PatternPtr steady_poisson(double rate_per_minute);
+
+/// One invocation every `period` minutes (phase offset, +/- `jitter` minutes
+/// of uniform noise, each firing skipped with `miss_probability`).
+[[nodiscard]] PatternPtr periodic(Minute period, Minute phase = 0, Minute jitter = 0,
+                                  double miss_probability = 0.0);
+
+/// Day/night sinusoidal rate: peaks at `peak_minute_of_day` with
+/// `peak_rate`, floors at `base_rate`. `nocturnal` flips the phase.
+[[nodiscard]] PatternPtr diurnal(double base_rate, double peak_rate,
+                                 Minute peak_minute_of_day = 14 * 60, bool nocturnal = false);
+
+/// Mostly idle (rate `idle_rate`); bursts start with probability
+/// `burst_start_probability` per minute and last `burst_length` minutes at
+/// `burst_rate`. Produces the sudden invocation spikes of §II.
+[[nodiscard]] PatternPtr bursty(double idle_rate, double burst_start_probability,
+                                Minute burst_length, double burst_rate);
+
+/// Inter-arrival gaps drawn from a Pareto distribution (heavy tail): many
+/// short gaps plus occasional very long silences — the shape Wild's
+/// histogram classifies as out-of-bounds.
+[[nodiscard]] PatternPtr heavy_tail(double scale_minutes, double alpha);
+
+/// Alternates `on_length` active minutes (Poisson at `on_rate`) with
+/// `off_length` fully idle minutes.
+[[nodiscard]] PatternPtr intermittent(Minute on_length, Minute off_length, double on_rate);
+
+/// Pattern that changes across thirds of the horizon (Figure 2): delegates
+/// to three sub-patterns, one per third.
+[[nodiscard]] PatternPtr drifting(PatternPtr first, PatternPtr middle, PatternPtr last);
+
+}  // namespace pulse::trace

@@ -1,0 +1,80 @@
+#pragma once
+// Invocation trace at minute resolution.
+//
+// The paper replays two weeks of the Microsoft Azure Functions production
+// trace for 12 functions. A Trace is the same shape: for each function, the
+// number of invocations in every minute of the horizon. The simulator, the
+// PULSE predictors, and the trace statistics all consume this type.
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pulse::trace {
+
+/// Simulation time in minutes since trace start.
+using Minute = std::int64_t;
+
+/// Index of a function within the trace/simulation.
+using FunctionId = std::size_t;
+
+constexpr Minute kMinutesPerDay = 24 * 60;
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Creates an empty trace of `function_count` functions over
+  /// `duration_minutes` minutes. Function names default to "fn0", "fn1", ...
+  Trace(std::size_t function_count, Minute duration_minutes);
+
+  [[nodiscard]] std::size_t function_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] Minute duration() const noexcept { return duration_; }
+
+  [[nodiscard]] const std::string& function_name(FunctionId f) const { return names_.at(f); }
+  void set_function_name(FunctionId f, std::string name) { names_.at(f) = std::move(name); }
+
+  /// Invocation count of function f at minute t (0 outside the horizon).
+  [[nodiscard]] std::uint32_t count(FunctionId f, Minute t) const;
+
+  void set_count(FunctionId f, Minute t, std::uint32_t value);
+  void add_invocations(FunctionId f, Minute t, std::uint32_t value = 1);
+
+  /// Whole per-minute series of one function.
+  [[nodiscard]] std::span<const std::uint32_t> series(FunctionId f) const {
+    return counts_.at(f);
+  }
+
+  /// Sum of invocations of function f over the whole horizon.
+  [[nodiscard]] std::uint64_t total_invocations(FunctionId f) const;
+
+  /// Sum of invocations across all functions over the whole horizon.
+  [[nodiscard]] std::uint64_t total_invocations() const;
+
+  /// Sum across functions at one minute — the "concurrent invocation volume"
+  /// the paper's peak analysis looks at.
+  [[nodiscard]] std::uint64_t invocations_at(Minute t) const;
+
+  /// Per-minute aggregate series (length == duration()).
+  [[nodiscard]] std::vector<std::uint64_t> aggregate_series() const;
+
+  /// Minutes at which function f has at least one invocation, ascending.
+  [[nodiscard]] std::vector<Minute> invocation_minutes(FunctionId f) const;
+
+  /// Restricts the trace to [begin, end) minutes (used by the peak-window
+  /// experiments of Tables II/III).
+  [[nodiscard]] Trace slice(Minute begin, Minute end) const;
+
+  /// CSV round trip. Columns: function,name then one count per minute.
+  void save_csv(const std::filesystem::path& path) const;
+  [[nodiscard]] static Trace load_csv(const std::filesystem::path& path);
+
+ private:
+  Minute duration_ = 0;
+  std::vector<std::vector<std::uint32_t>> counts_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pulse::trace

@@ -1,0 +1,60 @@
+#pragma once
+// Tiny declarative CLI flag parser used by the examples. Supports
+// --name=value, --name value, and boolean switches; generates a usage
+// string from the registered flags.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pulse::util {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag with a default value; the value is retrievable after
+  /// parse() via the typed getters.
+  void add_flag(std::string name, std::string default_value, std::string help);
+  void add_switch(std::string name, std::string help);
+
+  /// Parses argv. Returns false (and fills error()) on an unknown flag or a
+  /// missing value. "--help" sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::string usage() const;
+
+  [[nodiscard]] std::string get_string(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  /// Positional arguments remaining after flags.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_switch = false;
+  };
+
+  const Flag* find(std::string_view name) const;
+
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pulse::util

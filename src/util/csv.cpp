@@ -1,0 +1,115 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pulse::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else if (c == '\r') {
+        // tolerate CRLF line endings
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string format_csv_line(const CsvRow& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    out += needs_quoting(fields[i]) ? quote(fields[i]) : fields[i];
+  }
+  return out;
+}
+
+int CsvTable::column_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  if (!header_.empty()) os << format_csv_line(header_) << '\n';
+  for (const auto& row : rows_) os << format_csv_line(row) << '\n';
+}
+
+void CsvTable::write_file(const std::filesystem::path& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open CSV for writing: " + path.string());
+  write(os);
+  if (!os) throw std::runtime_error("CSV write failed: " + path.string());
+}
+
+CsvTable CsvTable::read(std::istream& is, bool has_header) {
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_csv_line(line);
+    if (first && has_header) {
+      table.set_header(std::move(fields));
+    } else {
+      table.add_row(std::move(fields));
+    }
+    first = false;
+  }
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::filesystem::path& path, bool has_header) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open CSV for reading: " + path.string());
+  return read(is, has_header);
+}
+
+}  // namespace pulse::util

@@ -1,0 +1,52 @@
+#pragma once
+// Minimal CSV reader/writer used for trace persistence and experiment export.
+// Handles quoting (RFC 4180 style: fields containing comma, quote or newline
+// are quoted, embedded quotes doubled). No external dependencies.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pulse::util {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line into fields. Embedded newlines are not supported at
+/// the line level (the file reader handles multi-line quoted fields).
+[[nodiscard]] CsvRow parse_csv_line(std::string_view line);
+
+/// Serializes fields into one CSV line (no trailing newline).
+[[nodiscard]] std::string format_csv_line(const CsvRow& fields);
+
+/// In-memory CSV table with an optional header row.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(CsvRow header) : header_(std::move(header)) {}
+
+  void set_header(CsvRow header) { header_ = std::move(header); }
+  [[nodiscard]] const CsvRow& header() const noexcept { return header_; }
+
+  void add_row(CsvRow row) { rows_.push_back(std::move(row)); }
+  [[nodiscard]] const std::vector<CsvRow>& rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Index of a header column by name; -1 when absent.
+  [[nodiscard]] int column_index(std::string_view name) const noexcept;
+
+  void write(std::ostream& os) const;
+  void write_file(const std::filesystem::path& path) const;
+
+  /// Reads a whole CSV stream; when `has_header`, the first row becomes the
+  /// header. Throws std::runtime_error on I/O failure.
+  static CsvTable read(std::istream& is, bool has_header = true);
+  static CsvTable read_file(const std::filesystem::path& path, bool has_header = true);
+
+ private:
+  CsvRow header_;
+  std::vector<CsvRow> rows_;
+};
+
+}  // namespace pulse::util

@@ -1,0 +1,50 @@
+#pragma once
+// Leveled logging with a process-global threshold. The simulator is silent
+// by default (benchmarks must produce clean table output); examples raise
+// the level to kInfo for progress reporting.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pulse::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets/reads the global threshold. Messages below the threshold are
+/// discarded without formatting cost (the macro checks first).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Writes one formatted line to stderr ("[LEVEL] message"). Thread-safe.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pulse::util
+
+#define PULSE_LOG(level)                                    \
+  if (static_cast<int>(level) < static_cast<int>(::pulse::util::log_level())) {} \
+  else ::pulse::util::detail::LogLine(level)
+
+#define PULSE_LOG_DEBUG PULSE_LOG(::pulse::util::LogLevel::kDebug)
+#define PULSE_LOG_INFO PULSE_LOG(::pulse::util::LogLevel::kInfo)
+#define PULSE_LOG_WARN PULSE_LOG(::pulse::util::LogLevel::kWarn)
+#define PULSE_LOG_ERROR PULSE_LOG(::pulse::util::LogLevel::kError)

@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pulse::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), aligns_(header_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    if (a == Align::kLeft) {
+      out = s + std::string(w - s.size(), ' ');
+    } else {
+      out = std::string(w - s.size(), ' ') + s;
+    }
+    return out;
+  };
+
+  auto rule = [&]() {
+    std::string out = "+";
+    for (std::size_t w : widths) out += std::string(w + 2, '-') + "+";
+    out += "\n";
+    return out;
+  };
+
+  std::ostringstream os;
+  os << rule();
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ' << pad(header_[c], widths[c], Align::kLeft) << " |";
+  }
+  os << "\n" << rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << rule();
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ' << pad(row.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    os << "\n";
+  }
+  os << rule();
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_pct(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  if (value >= 0) os << '+';
+  os << value << '%';
+  return os.str();
+}
+
+std::string bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0.0 || width == 0) return {};
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(std::lround(frac * static_cast<double>(width)));
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+}  // namespace pulse::util

@@ -1,0 +1,56 @@
+#pragma once
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// prints the same rows the paper's tables/figures report; this formatter
+// keeps that output aligned and diff-friendly.
+
+#include <string>
+#include <vector>
+
+namespace pulse::util {
+
+enum class Align { kLeft, kRight };
+
+/// Column-aligned plain-text table.
+///
+///   TextTable t({"Model", "Service Time (s)", "Accuracy (%)"});
+///   t.add_row({"GPT-Small", "12.90", "87.65"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Rows shorter than the header are padded with empty cells; longer rows
+  /// are truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator at the current position.
+  void add_separator();
+
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with fixed precision (default 2 decimal places).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Formats a percentage improvement with sign, e.g. "+39.5%" / "-0.6%".
+[[nodiscard]] std::string fmt_pct(double value, int precision = 1);
+
+/// Renders a horizontal unicode-free sparkline-style bar of given width,
+/// proportional to value/max. Used for figure-style series output.
+[[nodiscard]] std::string bar(double value, double max_value, std::size_t width = 40);
+
+}  // namespace pulse::util

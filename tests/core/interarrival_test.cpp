@@ -1,0 +1,132 @@
+#include "core/interarrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pulse::core {
+namespace {
+
+TEST(InterArrival, NoDataZeroProbability) {
+  InterArrivalTracker t;
+  EXPECT_DOUBLE_EQ(t.probability(2, 100), 0.0);
+  EXPECT_FALSE(t.last_invocation().has_value());
+}
+
+TEST(InterArrival, SingleInvocationNoGaps) {
+  InterArrivalTracker t;
+  t.record(10);
+  EXPECT_EQ(t.total_gaps(), 0u);
+  EXPECT_DOUBLE_EQ(t.probability(1, 10), 0.0);
+  EXPECT_EQ(t.last_invocation().value(), 10);
+}
+
+TEST(InterArrival, PaperProbabilityExample) {
+  // "when the inter-arrival time of 2 appears 10 times, we compute the
+  // probability of 2 as 10 divided by the total number of inter-arrival
+  // times" — with full history equal to the local window, the average of
+  // the two estimates equals the single estimate.
+  InterArrivalTracker::Config config;
+  config.local_window = 1000;
+  InterArrivalTracker t(config);
+  trace::Minute now = 0;
+  for (int i = 0; i < 10; ++i) {
+    t.record(now);
+    now += 2;
+  }
+  t.record(now);
+  now += 5;
+  t.record(now);  // one gap of 5 -> totals: 10 gaps of 2, 1 gap of 5
+  EXPECT_NEAR(t.probability(2, now), 10.0 / 11.0, 1e-12);
+  EXPECT_NEAR(t.probability(5, now), 1.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.probability(3, now), 0.0);
+}
+
+TEST(InterArrival, SameMinuteRecordIgnored) {
+  InterArrivalTracker t;
+  t.record(5);
+  t.record(5);
+  EXPECT_EQ(t.total_gaps(), 0u);
+}
+
+TEST(InterArrival, OutOfOrderRecordIgnored) {
+  InterArrivalTracker t;
+  t.record(10);
+  t.record(3);
+  EXPECT_EQ(t.total_gaps(), 0u);
+  EXPECT_EQ(t.last_invocation().value(), 10);
+}
+
+TEST(InterArrival, LocalWindowDetectsDrift) {
+  // Long history of gap 8, recent history of gap 2: the averaged estimate
+  // should weigh the recent pattern higher than the full history does.
+  InterArrivalTracker::Config config;
+  config.local_window = 30;
+  InterArrivalTracker t(config);
+  trace::Minute now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 8;
+    t.record(now);
+  }
+  for (int i = 0; i < 10; ++i) {
+    now += 2;
+    t.record(now);
+  }
+  // Full history alone gives P(2) = 10/110 ~ 0.09; the local window (last
+  // 30 minutes, dominated by gap-2 events) lifts the average far above it
+  // and pulls P(8) far below its full-history value of ~0.91.
+  const double p2 = t.probability(2, now);
+  const double p8 = t.probability(8, now);
+  EXPECT_GT(p2, 0.35);
+  EXPECT_LT(p8, 0.65);
+  EXPECT_GT(p2, 10.0 / 110.0 + 0.2);
+  EXPECT_LT(p8, 100.0 / 110.0 - 0.2);
+}
+
+TEST(InterArrival, EmptyLocalWindowFallsBackToFullHistory) {
+  InterArrivalTracker::Config config;
+  config.local_window = 10;
+  InterArrivalTracker t(config);
+  t.record(0);
+  t.record(4);
+  t.record(8);
+  // Query far in the future: no gaps in the local window.
+  EXPECT_NEAR(t.probability(4, 10000), 1.0, 1e-12);
+}
+
+TEST(InterArrival, ProbabilityWithinSumsAndClamps) {
+  InterArrivalTracker::Config config;
+  config.local_window = 1000;
+  InterArrivalTracker t(config);
+  trace::Minute now = 0;
+  // Half gaps of 2, half gaps of 3.
+  for (int i = 0; i < 20; ++i) {
+    now += (i % 2 == 0) ? 2 : 3;
+    t.record(now);
+  }
+  EXPECT_NEAR(t.probability_within(2, 3, now), 1.0, 1e-12);
+  EXPECT_NEAR(t.probability_within(1, 10, now), 1.0, 1e-12);
+  EXPECT_NEAR(t.probability_within(4, 10, now), 0.0, 1e-12);
+}
+
+TEST(InterArrival, ProbabilitiesFormDistribution) {
+  InterArrivalTracker t;
+  util::Pcg32 rng(5);
+  trace::Minute now = 0;
+  for (int i = 0; i < 500; ++i) {
+    now += 1 + static_cast<trace::Minute>(rng.bounded(12));
+    t.record(now);
+  }
+  double sum = 0.0;
+  for (std::size_t d = 1; d <= 240; ++d) sum += t.probability(d, now);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.9);  // nearly all mass within histogram capacity
+}
+
+TEST(InterArrival, DefaultConfigMatchesPaper) {
+  InterArrivalTracker t;
+  EXPECT_EQ(t.config().local_window, 60);
+}
+
+}  // namespace
+}  // namespace pulse::core

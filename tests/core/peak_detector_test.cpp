@@ -1,0 +1,137 @@
+#include "core/peak_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pulse::core {
+namespace {
+
+/// Vector-backed MemoryHistory for driving Algorithm 1 scenarios directly.
+class FakeHistory final : public sim::MemoryHistory {
+ public:
+  explicit FakeHistory(std::vector<double> values) : values_(std::move(values)) {}
+
+  [[nodiscard]] double memory_at(trace::Minute t) const override {
+    if (t < 0 || static_cast<std::size_t>(t) >= values_.size()) return 0.0;
+    return values_[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] trace::Minute now() const override {
+    return static_cast<trace::Minute>(values_.size());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+PeakDetector::Config config_with(double threshold, trace::Minute window) {
+  PeakDetector::Config c;
+  c.memory_threshold = threshold;
+  c.local_window = window;
+  return c;
+}
+
+TEST(PeakDetector, IsPeakPredicate) {
+  const PeakDetector d(config_with(0.10, 60));
+  EXPECT_FALSE(d.is_peak(100.0, 100.0));
+  EXPECT_FALSE(d.is_peak(110.0, 100.0));  // exactly at threshold: not a peak
+  EXPECT_TRUE(d.is_peak(110.1, 100.0));
+  EXPECT_TRUE(d.is_peak(500.0, 100.0));
+}
+
+TEST(PeakDetector, ThresholdScalesWithPrior) {
+  const PeakDetector d(config_with(0.05, 60));
+  EXPECT_TRUE(d.is_peak(1051.0, 1000.0));
+  EXPECT_FALSE(d.is_peak(1049.0, 1000.0));
+}
+
+TEST(PeakDetector, FirstMinuteNeverPeaks) {
+  const PeakDetector d;
+  FakeHistory history({});
+  EXPECT_EQ(d.prior_memory(history, 0), PeakDetector::kInfiniteMemory);
+  EXPECT_FALSE(d.detect(1e9, history, 0));
+}
+
+TEST(PeakDetector, ContinuousActivityUsesPreviousMinute) {
+  const PeakDetector d(config_with(0.10, 4));
+  FakeHistory history({100.0, 200.0, 300.0});
+  EXPECT_DOUBLE_EQ(d.prior_memory(history, 3), 300.0);
+  EXPECT_FALSE(d.detect(320.0, history, 3));
+  EXPECT_TRUE(d.detect(340.0, history, 3));
+}
+
+TEST(PeakDetector, AfterInactivityUsesWindowAverageWhenWarmedUp) {
+  // 10 minutes of history (>= 2x window of 4), activity within the window,
+  // previous minute idle: prior = average over the last 4 minutes.
+  const PeakDetector d(config_with(0.10, 4));
+  std::vector<double> mem(10, 0.0);
+  mem[6] = 100.0;
+  mem[7] = 300.0;
+  mem[8] = 200.0;
+  mem[9] = 0.0;  // previous minute inactive
+  FakeHistory history(mem);
+  EXPECT_DOUBLE_EQ(d.prior_memory(history, 10), (100.0 + 300.0 + 200.0 + 0.0) / 4.0);
+}
+
+TEST(PeakDetector, AfterInactivityFallsBackToLastNonZero) {
+  // Window average is zero (long idle stretch): prior = last non-zero value.
+  const PeakDetector d(config_with(0.10, 4));
+  std::vector<double> mem(20, 0.0);
+  mem[3] = 250.0;  // activity long ago
+  FakeHistory history(mem);
+  EXPECT_DOUBLE_EQ(d.prior_memory(history, 20), 250.0);
+}
+
+TEST(PeakDetector, EarlyLifeWithIdlePrefixUsesLastNonZero) {
+  // System younger than 2x window: even with window activity, Algorithm 1
+  // falls back to the last non-zero value.
+  const PeakDetector d(config_with(0.10, 4));
+  std::vector<double> mem = {0.0, 150.0, 0.0};
+  FakeHistory history(mem);
+  EXPECT_DOUBLE_EQ(d.prior_memory(history, 3), 150.0);
+}
+
+TEST(PeakDetector, NoActivityEverMeansInfinitePrior) {
+  const PeakDetector d(config_with(0.10, 4));
+  FakeHistory history(std::vector<double>(30, 0.0));
+  EXPECT_EQ(d.prior_memory(history, 30), PeakDetector::kInfiniteMemory);
+  EXPECT_FALSE(d.detect(1e12, history, 30));
+}
+
+TEST(PeakDetector, NocturnalFunctionScenario) {
+  // The §III-B motivation: a function idle for hours must not be treated
+  // as peaking the moment it wakes up at its usual level.
+  const PeakDetector d(config_with(0.10, 60));
+  std::vector<double> mem(600, 0.0);
+  for (std::size_t m = 0; m < 100; ++m) mem[m] = 400.0;  // active night shift
+  FakeHistory history(mem);
+  // Waking up at the historical level is not a peak...
+  EXPECT_FALSE(d.detect(400.0, history, 600));
+  // ...but waking up far above it is.
+  EXPECT_TRUE(d.detect(900.0, history, 600));
+}
+
+TEST(PeakDetector, DefaultsMatchPaper) {
+  const PeakDetector d;
+  EXPECT_DOUBLE_EQ(d.config().memory_threshold, 0.10);  // M2 setting
+  EXPECT_EQ(d.config().local_window, 60);
+}
+
+// Figure 11's sweep: the detector must behave sanely for all three
+// published thresholds.
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, TighterThresholdFiresEarlier) {
+  const double threshold = GetParam();
+  const PeakDetector d(config_with(threshold, 60));
+  const double prior = 1000.0;
+  EXPECT_FALSE(d.is_peak(prior * (1.0 + threshold) - 0.1, prior));
+  EXPECT_TRUE(d.is_peak(prior * (1.0 + threshold) + 0.1, prior));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperThresholds, ThresholdSweep,
+                         ::testing::Values(0.05, 0.10, 0.15));
+
+}  // namespace
+}  // namespace pulse::core

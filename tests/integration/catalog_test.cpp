@@ -1,0 +1,87 @@
+#include "exp/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/summary.hpp"
+#include "trace/classifier.hpp"
+
+namespace pulse::exp {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig c;
+  c.days = 1;
+  return c;
+}
+
+TEST(Catalog, ListsFiveScenarios) {
+  const auto entries = scenario_catalog();
+  ASSERT_EQ(entries.size(), 5u);
+  for (const auto& e : entries) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.description.empty());
+  }
+}
+
+TEST(Catalog, EveryListedScenarioBuilds) {
+  for (const auto& e : scenario_catalog()) {
+    const Scenario s = make_catalog_scenario(e.name, small_config());
+    EXPECT_EQ(s.workload.trace.function_count(), 12u) << e.name;
+    EXPECT_GT(s.workload.trace.total_invocations(), 0u) << e.name;
+    EXPECT_EQ(s.zoo.family_count(), 5u) << e.name;
+  }
+}
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(make_catalog_scenario("nope", small_config()), std::invalid_argument);
+}
+
+TEST(Catalog, AzureLikeMatchesDefaultBuilder) {
+  const Scenario a = make_catalog_scenario("azure-like", small_config());
+  const Scenario b = make_scenario(small_config());
+  EXPECT_EQ(a.workload.trace.total_invocations(), b.workload.trace.total_invocations());
+}
+
+TEST(Catalog, PeriodicScenarioClassifiesPeriodic) {
+  ScenarioConfig config = small_config();
+  config.global_peaks = 0;  // peaks would register as bursts
+  const Scenario s = make_catalog_scenario("periodic", config);
+  std::size_t periodic_count = 0;
+  for (trace::FunctionId f = 0; f < s.workload.trace.function_count(); ++f) {
+    if (trace::classify(s.workload.trace, f) == trace::PatternClass::kPeriodic) {
+      ++periodic_count;
+    }
+  }
+  EXPECT_GE(periodic_count, 8u);
+}
+
+TEST(Catalog, SparseScenarioIsActuallySparse) {
+  const Scenario sparse = make_catalog_scenario("sparse", small_config());
+  const Scenario steady = make_catalog_scenario("steady", small_config());
+  EXPECT_LT(sparse.workload.trace.total_invocations(),
+            steady.workload.trace.total_invocations() / 4);
+}
+
+TEST(Catalog, BurstyScenarioHasPeaks) {
+  const Scenario s = make_catalog_scenario("bursty", small_config());
+  EXPECT_GE(s.workload.peak_minutes.size(), 2u);
+}
+
+TEST(Catalog, DeterministicInSeed) {
+  const Scenario a = make_catalog_scenario("bursty", small_config());
+  const Scenario b = make_catalog_scenario("bursty", small_config());
+  EXPECT_EQ(a.workload.trace.total_invocations(), b.workload.trace.total_invocations());
+}
+
+TEST(Catalog, PulseStillCheaperOnEveryClass) {
+  // The robustness claim behind bench_workload_sensitivity, in miniature.
+  for (const auto& e : scenario_catalog()) {
+    const Scenario s = make_catalog_scenario(e.name, small_config());
+    const PolicySummary openwhisk = run_policy_ensemble(s, "openwhisk", 3);
+    const PolicySummary pulse = run_policy_ensemble(s, "pulse", 3);
+    EXPECT_LT(pulse.keepalive_cost_usd, openwhisk.keepalive_cost_usd) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace pulse::exp

@@ -1,0 +1,130 @@
+// End-to-end reproductions of the paper's headline orderings on a reduced
+// workload: these are the claims the benches reproduce at full scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/scenario.hpp"
+#include "exp/summary.hpp"
+#include "policies/factory.hpp"
+#include "sim/ensemble.hpp"
+
+namespace pulse::exp {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config;
+    config.days = 2;
+    scenario_ = new Scenario(make_scenario(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static PolicySummary run(const std::string& policy) {
+    return run_policy_ensemble(*scenario_, policy, /*runs=*/5);
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* EndToEnd::scenario_ = nullptr;
+
+TEST_F(EndToEnd, PulseCheaperThanOpenWhisk) {
+  const auto openwhisk = run("openwhisk");
+  const auto pulse = run("pulse");
+  // Figure 6(a): substantially lower keep-alive cost...
+  EXPECT_LT(pulse.keepalive_cost_usd, openwhisk.keepalive_cost_usd * 0.9);
+  // ...with only a small accuracy drop.
+  EXPECT_GT(pulse.accuracy_pct, openwhisk.accuracy_pct - 8.0);
+}
+
+TEST_F(EndToEnd, CostOrderingLowPulseHigh) {
+  // Figure 5: PULSE's cost sits near the all-low floor, far below all-high.
+  const auto low = run("all-low");
+  const auto high = run("openwhisk");
+  const auto pulse = run("pulse");
+  EXPECT_LT(low.keepalive_cost_usd, high.keepalive_cost_usd);
+  EXPECT_LT(pulse.keepalive_cost_usd, high.keepalive_cost_usd);
+  EXPECT_GT(pulse.accuracy_pct, low.accuracy_pct);
+}
+
+TEST_F(EndToEnd, AccuracyOrderingAcrossBaselines) {
+  // Tables II/III ordering: AllLow < RandomMix < AllHigh.
+  const auto low = run("all-low");
+  const auto mix = run("random-mix");
+  const auto high = run("openwhisk");
+  EXPECT_LT(low.accuracy_pct, mix.accuracy_pct);
+  EXPECT_LT(mix.accuracy_pct, high.accuracy_pct + 1e-9);
+}
+
+TEST_F(EndToEnd, WarmStartParityWithOpenWhisk) {
+  // §V: "PULSE ensures at least the container with low-quality model is
+  // kept alive every 10 minutes after an invocation" — warm starts should
+  // be close to OpenWhisk's (global downgrades can drop a few).
+  const auto openwhisk = run("openwhisk");
+  const auto pulse = run("pulse");
+  // Global peak flattening converts some warms into (cheap, lowest-variant)
+  // cold starts, so parity is approximate rather than exact.
+  EXPECT_GT(pulse.warm_fraction, openwhisk.warm_fraction * 0.75);
+}
+
+TEST_F(EndToEnd, IndividualOnlyAlreadyCheaper) {
+  // Figure 4: the function-centric optimization alone reduces keep-alive
+  // memory (hence cost) versus the fixed policy.
+  const auto openwhisk = run("openwhisk");
+  const auto solo = run("pulse-individual");
+  EXPECT_LT(solo.keepalive_cost_usd, openwhisk.keepalive_cost_usd);
+}
+
+TEST_F(EndToEnd, T1AndT2AreComparable) {
+  // Figure 10: both threshold techniques deliver similar trade-offs.
+  const auto t1 = run("pulse");
+  const auto t2 = run("pulse-t2");
+  EXPECT_NEAR(t1.accuracy_pct, t2.accuracy_pct, 6.0);
+  // T2's floor is one variant higher for any non-zero probability, so it is
+  // systematically costlier; "comparable" here means same order, both far
+  // below the fixed policy.
+  EXPECT_LT(std::abs(t1.keepalive_cost_usd - t2.keepalive_cost_usd),
+            t1.keepalive_cost_usd + 1e-9);
+  const auto openwhisk = run("openwhisk");
+  EXPECT_LT(t1.keepalive_cost_usd, openwhisk.keepalive_cost_usd);
+  EXPECT_LT(t2.keepalive_cost_usd, openwhisk.keepalive_cost_usd);
+}
+
+TEST_F(EndToEnd, ImprovementRowsComputeCorrectly) {
+  PolicySummary base;
+  base.policy = "base";
+  base.service_time_s = 200.0;
+  base.keepalive_cost_usd = 10.0;
+  base.accuracy_pct = 80.0;
+  PolicySummary ours;
+  ours.policy = "ours";
+  ours.service_time_s = 150.0;
+  ours.keepalive_cost_usd = 6.0;
+  ours.accuracy_pct = 79.2;
+  const ImprovementRow row = improvement_over(base, ours);
+  EXPECT_NEAR(row.service_time_pct, 25.0, 1e-9);
+  EXPECT_NEAR(row.keepalive_cost_pct, 40.0, 1e-9);
+  EXPECT_NEAR(row.accuracy_pct, -1.0, 1e-9);
+}
+
+TEST_F(EndToEnd, SingleRunSeriesRecorded) {
+  const auto r = run_policy_single(*scenario_, "pulse");
+  EXPECT_EQ(r.keepalive_memory_mb.size(),
+            static_cast<std::size_t>(scenario_->workload.trace.duration()));
+  EXPECT_EQ(r.keepalive_cost_usd.size(), r.keepalive_memory_mb.size());
+  EXPECT_EQ(r.ideal_cost_usd.size(), r.keepalive_memory_mb.size());
+}
+
+TEST_F(EndToEnd, ScenarioEnvOverrides) {
+  EXPECT_EQ(bench_ensemble_runs(42), 42u);
+  EXPECT_EQ(bench_trace_days(3), 3);
+}
+
+}  // namespace
+}  // namespace pulse::exp

@@ -1,0 +1,144 @@
+// Cross-policy simulation invariants, swept over (policy x seed) with
+// parameterized gtest. These are the properties any keep-alive policy must
+// preserve regardless of its decisions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <tuple>
+
+#include "policies/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse {
+namespace {
+
+struct Fixture {
+  models::ModelZoo zoo = models::ModelZoo::builtin();
+  trace::Workload workload;
+  sim::Deployment deployment;
+
+  explicit Fixture(std::uint64_t seed) {
+    trace::WorkloadConfig config;
+    config.function_count = 6;
+    config.duration = 600;
+    config.seed = seed;
+    workload = trace::build_azure_like_workload(config);
+    util::Pcg32 rng(seed);
+    deployment = sim::Deployment::random(zoo, 6, rng);
+  }
+};
+
+class PolicyInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(PolicyInvariants, ConservationAndBounds) {
+  const auto& [policy_name, seed] = GetParam();
+  Fixture fx(seed);
+
+  sim::EngineConfig config;
+  config.record_series = true;
+  config.seed = seed;
+  sim::SimulationEngine engine(fx.deployment, fx.workload.trace, config);
+  const auto policy = policies::make_policy(policy_name);
+  const sim::RunResult r = engine.run(*policy);
+
+  // Every trace invocation is served exactly once.
+  EXPECT_EQ(r.invocations, fx.workload.trace.total_invocations());
+  EXPECT_EQ(r.invocations, r.warm_starts + r.cold_starts);
+
+  // Service time is at least the sum of warm execution minima.
+  EXPECT_GT(r.total_service_time_s, 0.0);
+
+  // Accuracy must lie within the deployed families' accuracy envelope.
+  double min_acc = 100.0;
+  double max_acc = 0.0;
+  for (std::size_t f = 0; f < fx.deployment.function_count(); ++f) {
+    min_acc = std::min(min_acc, fx.deployment.family_of(f).lowest().accuracy_pct);
+    max_acc = std::max(max_acc, fx.deployment.family_of(f).highest().accuracy_pct);
+  }
+  EXPECT_GE(r.average_accuracy_pct(), min_acc - 1e-9);
+  EXPECT_LE(r.average_accuracy_pct(), max_acc + 1e-9);
+
+  // Keep-alive memory can never exceed the all-highest footprint, and the
+  // per-minute cost series must sum to the total.
+  double cost_sum = 0.0;
+  for (std::size_t m = 0; m < r.keepalive_memory_mb.size(); ++m) {
+    EXPECT_GE(r.keepalive_memory_mb[m], 0.0);
+    EXPECT_LE(r.keepalive_memory_mb[m], fx.deployment.peak_highest_memory_mb() + 1e-9);
+    cost_sum += r.keepalive_cost_usd[m];
+  }
+  EXPECT_NEAR(cost_sum, r.total_keepalive_cost_usd, 1e-9);
+}
+
+TEST_P(PolicyInvariants, Deterministic) {
+  const auto& [policy_name, seed] = GetParam();
+  Fixture fx(seed);
+  sim::EngineConfig config;
+  config.seed = seed;
+
+  auto run_once = [&] {
+    sim::SimulationEngine engine(fx.deployment, fx.workload.trace, config);
+    const auto policy = policies::make_policy(policy_name);
+    return engine.run(*policy);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.total_service_time_s, b.total_service_time_s);
+  EXPECT_DOUBLE_EQ(a.total_keepalive_cost_usd, b.total_keepalive_cost_usd);
+  EXPECT_EQ(a.warm_starts, b.warm_starts);
+  EXPECT_EQ(a.downgrades, b.downgrades);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, std::uint64_t>>& info) {
+  std::string name = std::get<0>(info.param) + "_s" + std::to_string(std::get<1>(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariants,
+    ::testing::Combine(::testing::ValuesIn(policies::policy_names()),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2})),
+    param_name);
+
+// PULSE-specific dominance properties over a seed sweep.
+class PulseDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PulseDominance, CheaperThanOpenWhiskAtSimilarWarmRate) {
+  Fixture fx(GetParam());
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(fx.deployment, fx.workload.trace, config);
+
+  const auto pulse = policies::make_policy("pulse");
+  const auto openwhisk = policies::make_policy("openwhisk");
+  const auto rp = engine.run(*pulse);
+  const auto ro = engine.run(*openwhisk);
+
+  EXPECT_LT(rp.total_keepalive_cost_usd, ro.total_keepalive_cost_usd);
+  EXPECT_GT(rp.warm_starts + rp.invocations / 10, ro.warm_starts * 8 / 10);
+}
+
+TEST_P(PulseDominance, AccuracyAtLeastAllLow) {
+  Fixture fx(GetParam());
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(fx.deployment, fx.workload.trace, config);
+
+  const auto pulse = policies::make_policy("pulse");
+  const auto low = policies::make_policy("all-low");
+  EXPECT_GE(engine.run(*pulse).average_accuracy_pct(),
+            engine.run(*low).average_accuracy_pct() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PulseDominance,
+                         ::testing::Values(3u, 7u, 11u, 13u, 17u));
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,74 @@
+#include "models/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::models {
+namespace {
+
+ModelVariant variant() { return {"v", 2.0, 6.0, 80.0, 500.0}; }
+
+TEST(Latency, ExpectedWarmTime) {
+  EXPECT_DOUBLE_EQ(LatencyModel::expected_service_time(variant(), /*cold=*/false), 2.0);
+}
+
+TEST(Latency, ExpectedColdTimeAddsPenalty) {
+  EXPECT_DOUBLE_EQ(LatencyModel::expected_service_time(variant(), /*cold=*/true), 8.0);
+}
+
+TEST(Latency, ZeroCvIsDeterministic) {
+  LatencyModel model(0.0, 0.0);
+  util::Pcg32 rng(1);
+  EXPECT_DOUBLE_EQ(model.sample_service_time(variant(), false, rng), 2.0);
+  EXPECT_DOUBLE_EQ(model.sample_service_time(variant(), true, rng), 8.0);
+}
+
+TEST(Latency, SamplesArePositive) {
+  LatencyModel model;
+  util::Pcg32 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(model.sample_service_time(variant(), i % 2 == 0, rng), 0.0);
+  }
+}
+
+TEST(Latency, WarmSampleMeanNearCharacterizedTime) {
+  LatencyModel model(0.08, 0.15);
+  util::Pcg32 rng(3);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += model.sample_service_time(variant(), false, rng);
+  EXPECT_NEAR(sum / kN, 2.0, 0.02);
+}
+
+TEST(Latency, ColdSampleMeanNearCharacterizedTime) {
+  LatencyModel model(0.08, 0.15);
+  util::Pcg32 rng(4);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += model.sample_service_time(variant(), true, rng);
+  EXPECT_NEAR(sum / kN, 8.0, 0.05);
+}
+
+TEST(Latency, ColdAlwaysSlowerOnAverage) {
+  LatencyModel model;
+  util::Pcg32 rng(5);
+  double warm = 0.0;
+  double cold = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    warm += model.sample_service_time(variant(), false, rng);
+    cold += model.sample_service_time(variant(), true, rng);
+  }
+  EXPECT_GT(cold, warm);
+}
+
+TEST(Latency, DeterministicGivenSameRngState) {
+  LatencyModel model;
+  util::Pcg32 a(7);
+  util::Pcg32 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample_service_time(variant(), i % 3 == 0, a),
+                     model.sample_service_time(variant(), i % 3 == 0, b));
+  }
+}
+
+}  // namespace
+}  // namespace pulse::models

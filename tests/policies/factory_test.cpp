@@ -1,0 +1,74 @@
+#include "policies/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::policies {
+namespace {
+
+TEST(Factory, AllListedNamesConstruct) {
+  for (const auto& name : policy_names()) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty()) << name;
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_policy("nonsense"), std::invalid_argument);
+  EXPECT_THROW(make_policy(""), std::invalid_argument);
+}
+
+TEST(Factory, NamesAreUnique) {
+  auto names = policy_names();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Factory, FactoryPoliciesAreFreshInstances) {
+  const auto a = make_policy("pulse");
+  const auto b = make_policy("pulse");
+  EXPECT_NE(a.get(), b.get());
+}
+
+// Smoke sweep: every policy must survive a short end-to-end simulation.
+class PolicySmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicySmoke, RunsOnSmallWorkload) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 4;
+  wconfig.duration = 400;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 4);
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(d, workload.trace, config);
+
+  const auto policy = make_policy(GetParam());
+  const auto r = engine.run(*policy);
+  EXPECT_GT(r.invocations, 0u);
+  EXPECT_EQ(r.invocations, r.warm_starts + r.cold_starts);
+  EXPECT_GE(r.total_service_time_s, 0.0);
+  EXPECT_GE(r.total_keepalive_cost_usd, 0.0);
+  EXPECT_GE(r.average_accuracy_pct(), 50.0);
+  EXPECT_LE(r.average_accuracy_pct(), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySmoke,
+                         ::testing::ValuesIn(policy_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pulse::policies

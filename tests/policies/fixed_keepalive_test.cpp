@@ -1,0 +1,83 @@
+#include "policies/fixed_keepalive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::policies {
+namespace {
+
+models::ModelZoo zoo() { return models::ModelZoo::builtin(); }
+
+TEST(FixedKeepAlive, NameDistinguishesVariants) {
+  EXPECT_EQ(FixedKeepAlivePolicy().name(), "OpenWhisk(fixed-high)");
+  FixedKeepAlivePolicy::Config low;
+  low.variant = FixedVariant::kLowest;
+  EXPECT_EQ(FixedKeepAlivePolicy(low).name(), "Fixed(low)");
+}
+
+TEST(FixedKeepAlive, SchedulesHighestForTenMinutes) {
+  const auto z = zoo();
+  const auto d = sim::Deployment::round_robin(z, 1);
+  sim::KeepAliveSchedule schedule(d, 40);
+  FixedKeepAlivePolicy p;
+  p.on_invocation(0, 5, schedule);
+
+  const int high = static_cast<int>(d.family_of(0).highest_index());
+  EXPECT_EQ(schedule.variant_at(0, 5), sim::kNoVariant);  // current minute untouched
+  for (trace::Minute m = 6; m <= 15; ++m) EXPECT_EQ(schedule.variant_at(0, m), high);
+  EXPECT_EQ(schedule.variant_at(0, 16), sim::kNoVariant);
+}
+
+TEST(FixedKeepAlive, LowVariantSchedulesLowest) {
+  const auto z = zoo();
+  const auto d = sim::Deployment::round_robin(z, 1);
+  sim::KeepAliveSchedule schedule(d, 40);
+  FixedKeepAlivePolicy::Config config;
+  config.variant = FixedVariant::kLowest;
+  FixedKeepAlivePolicy p(config);
+  p.on_invocation(0, 5, schedule);
+  for (trace::Minute m = 6; m <= 15; ++m) EXPECT_EQ(schedule.variant_at(0, m), 0);
+}
+
+TEST(FixedKeepAlive, ReInvocationExtendsWindow) {
+  // An invocation at minute 2 then 8: container alive until minute 18 —
+  // the paper's "invocation in the 2nd minute keeps it until the 12th".
+  const auto z = zoo();
+  const auto d = sim::Deployment::round_robin(z, 1);
+  sim::KeepAliveSchedule schedule(d, 40);
+  FixedKeepAlivePolicy p;
+  p.on_invocation(0, 2, schedule);
+  p.on_invocation(0, 8, schedule);
+  EXPECT_TRUE(schedule.is_alive(0, 18));
+  EXPECT_FALSE(schedule.is_alive(0, 19));
+}
+
+TEST(FixedKeepAlive, ColdStartVariantMatchesConfig) {
+  const auto z = zoo();
+  const auto d = sim::Deployment::round_robin(z, 2);
+  FixedKeepAlivePolicy high;
+  EXPECT_EQ(high.cold_start_variant(0, 0, d), d.family_of(0).highest_index());
+  FixedKeepAlivePolicy::Config config;
+  config.variant = FixedVariant::kLowest;
+  FixedKeepAlivePolicy low(config);
+  EXPECT_EQ(low.cold_start_variant(0, 0, d), 0u);
+}
+
+TEST(FixedKeepAlive, CustomWindowLength) {
+  const auto z = zoo();
+  const auto d = sim::Deployment::round_robin(z, 1);
+  sim::KeepAliveSchedule schedule(d, 40);
+  FixedKeepAlivePolicy::Config config;
+  config.keepalive_window = 3;
+  FixedKeepAlivePolicy p(config);
+  p.on_invocation(0, 10, schedule);
+  EXPECT_TRUE(schedule.is_alive(0, 13));
+  EXPECT_FALSE(schedule.is_alive(0, 14));
+}
+
+TEST(FixedKeepAlive, NeverDowngrades) {
+  FixedKeepAlivePolicy p;
+  EXPECT_EQ(p.downgrade_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pulse::policies

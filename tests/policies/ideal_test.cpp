@@ -1,0 +1,75 @@
+#include "policies/ideal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::policies {
+namespace {
+
+TEST(Ideal, NoColdStartsEver) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 4;
+  wconfig.duration = 500;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 4);
+
+  sim::SimulationEngine engine(d, workload.trace, {});
+  IdealPolicy policy;
+  const sim::RunResult r = engine.run(policy);
+  EXPECT_EQ(r.cold_starts, 0u);
+  EXPECT_EQ(r.warm_starts, r.invocations);
+}
+
+TEST(Ideal, CostIsLowerBoundAmongAllHighPolicies) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 4;
+  wconfig.duration = 500;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 4);
+
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(d, workload.trace, config);
+
+  IdealPolicy ideal;
+  FixedKeepAlivePolicy fixed;
+  const auto ri = engine.run(ideal);
+  const auto rf = engine.run(fixed);
+  EXPECT_LT(ri.total_keepalive_cost_usd, rf.total_keepalive_cost_usd);
+  // Both serve every invocation with the highest variant.
+  EXPECT_DOUBLE_EQ(ri.average_accuracy_pct(), rf.average_accuracy_pct());
+  // All-warm service is strictly faster than anything with cold starts.
+  EXPECT_LE(ri.total_service_time_s, rf.total_service_time_s);
+}
+
+TEST(Ideal, MemoryOnlyDuringInvocations) {
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 30);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 12, 2);
+
+  sim::EngineConfig config;
+  config.record_series = true;
+  sim::SimulationEngine engine(d, t, config);
+  IdealPolicy policy;
+  const sim::RunResult r = engine.run(policy);
+
+  for (trace::Minute m = 0; m < 30; ++m) {
+    const bool invoked = (m == 5 || m == 12);
+    EXPECT_EQ(r.keepalive_memory_mb[static_cast<std::size_t>(m)] > 0.0, invoked)
+        << "minute " << m;
+  }
+  // The recorded cost equals the ideal-cost series exactly.
+  for (std::size_t m = 0; m < 30; ++m) {
+    EXPECT_NEAR(r.keepalive_cost_usd[m], r.ideal_cost_usd[m], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pulse::policies

@@ -1,0 +1,199 @@
+#include "policies/milp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/milp_policy.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace pulse::policies {
+namespace {
+
+TEST(MilpSolver, EmptyProblem) {
+  MilpProblem p;
+  p.memory_budget_mb = 100.0;
+  const MilpSolution s = solve_milp(p);
+  EXPECT_TRUE(s.choice.empty());
+  EXPECT_DOUBLE_EQ(s.utility, 0.0);
+}
+
+TEST(MilpSolver, SingleItemPicksBestFeasible) {
+  MilpProblem p;
+  p.items = {{{1.0, 50.0}, {3.0, 200.0}, {2.0, 80.0}}};
+  p.memory_budget_mb = 100.0;
+  const MilpSolution s = solve_milp(p);
+  ASSERT_EQ(s.choice.size(), 1u);
+  EXPECT_EQ(s.choice[0], 2);  // utility 2.0 at 80 MB (3.0 doesn't fit)
+  EXPECT_DOUBLE_EQ(s.utility, 2.0);
+}
+
+TEST(MilpSolver, ZeroBudgetSelectsNothing) {
+  MilpProblem p;
+  p.items = {{{5.0, 10.0}}, {{2.0, 1.0}}};
+  p.memory_budget_mb = 0.0;
+  const MilpSolution s = solve_milp(p);
+  EXPECT_EQ(s.choice, (std::vector<int>{-1, -1}));
+  EXPECT_DOUBLE_EQ(s.utility, 0.0);
+  EXPECT_DOUBLE_EQ(s.memory_mb, 0.0);
+}
+
+TEST(MilpSolver, PrefersTwoSmallOverOneBig) {
+  // Classic knapsack interaction across items.
+  MilpProblem p;
+  p.items = {
+      {{3.0, 90.0}, {1.2, 30.0}},
+      {{1.5, 40.0}},
+  };
+  p.memory_budget_mb = 75.0;
+  const MilpSolution s = solve_milp(p);
+  // item0-big (90 MB) exceeds the budget on its own; the optimum combines
+  // item0-small (30 MB) with item1 (40 MB): utility 2.7 at 70 MB.
+  EXPECT_NEAR(s.utility, 2.7, 1e-12);
+  EXPECT_EQ(s.choice[0], 1);
+  EXPECT_EQ(s.choice[1], 0);
+}
+
+TEST(MilpSolver, AtMostOneOptionPerItem) {
+  MilpProblem p;
+  p.items = {{{1.0, 10.0}, {1.0, 10.0}, {1.0, 10.0}}};
+  p.memory_budget_mb = 1000.0;
+  const MilpSolution s = solve_milp(p);
+  EXPECT_DOUBLE_EQ(s.utility, 1.0);  // cannot stack options of one item
+}
+
+TEST(MilpSolver, MatchesBruteForceOnRandomInstances) {
+  util::Pcg32 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    MilpProblem p;
+    const std::size_t items = 1 + rng.bounded(6);
+    for (std::size_t i = 0; i < items; ++i) {
+      std::vector<MilpOption> options;
+      const std::size_t count = 1 + rng.bounded(3);
+      for (std::size_t o = 0; o < count; ++o) {
+        options.push_back(MilpOption{rng.uniform(0.0, 3.0), rng.uniform(10.0, 500.0)});
+      }
+      p.items.push_back(std::move(options));
+    }
+    p.memory_budget_mb = rng.uniform(100.0, 1200.0);
+
+    // Brute force over all (option+1)^items combinations.
+    double best = 0.0;
+    std::vector<std::size_t> radix(p.items.size());
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < p.items.size(); ++i) {
+      radix[i] = p.items[i].size() + 1;
+      total *= radix[i];
+    }
+    for (std::size_t code = 0; code < total; ++code) {
+      std::size_t rest = code;
+      double utility = 0.0;
+      double memory = 0.0;
+      for (std::size_t i = 0; i < p.items.size(); ++i) {
+        const std::size_t pick = rest % radix[i];
+        rest /= radix[i];
+        if (pick > 0) {
+          utility += p.items[i][pick - 1].utility;
+          memory += p.items[i][pick - 1].memory_mb;
+        }
+      }
+      if (memory <= p.memory_budget_mb) best = std::max(best, utility);
+    }
+
+    const MilpSolution s = solve_milp(p);
+    EXPECT_NEAR(s.utility, best, 1e-9) << "trial " << trial;
+    EXPECT_LE(s.memory_mb, p.memory_budget_mb + 1e-9);
+  }
+}
+
+TEST(MilpSolver, NodeLimitReturnsFeasibleIncumbent) {
+  // A large instance with a tiny node budget must still return a feasible
+  // solution (the greedy incumbent or better) and flag non-optimality.
+  util::Pcg32 rng(123);
+  MilpProblem p;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<MilpOption> options;
+    for (int o = 0; o < 3; ++o) {
+      options.push_back(MilpOption{rng.uniform(0.0, 2.0), rng.uniform(100.0, 900.0)});
+    }
+    p.items.push_back(std::move(options));
+  }
+  p.memory_budget_mb = 8000.0;
+  p.node_limit = 100;
+  const MilpSolution s = solve_milp(p);
+  EXPECT_FALSE(s.optimal);
+  EXPECT_LE(s.memory_mb, p.memory_budget_mb + 1e-9);
+  EXPECT_GT(s.utility, 0.0);  // the greedy incumbent is never empty here
+}
+
+TEST(MilpSolver, SmallInstancesAlwaysOptimalFlag) {
+  MilpProblem p;
+  p.items = {{{1.0, 10.0}}, {{2.0, 20.0}}};
+  p.memory_budget_mb = 100.0;
+  p.node_limit = 1'000'000;
+  const MilpSolution s = solve_milp(p);
+  EXPECT_TRUE(s.optimal);
+  EXPECT_DOUBLE_EQ(s.utility, 3.0);
+}
+
+TEST(MilpSolver, SolutionIsConsistent) {
+  MilpProblem p;
+  p.items = {{{2.0, 100.0}, {4.0, 300.0}}, {{1.0, 50.0}}, {{0.5, 25.0}}};
+  p.memory_budget_mb = 400.0;
+  const MilpSolution s = solve_milp(p);
+  double utility = 0.0;
+  double memory = 0.0;
+  for (std::size_t i = 0; i < p.items.size(); ++i) {
+    if (s.choice[i] >= 0) {
+      utility += p.items[i][static_cast<std::size_t>(s.choice[i])].utility;
+      memory += p.items[i][static_cast<std::size_t>(s.choice[i])].memory_mb;
+    }
+  }
+  EXPECT_DOUBLE_EQ(s.utility, utility);
+  EXPECT_DOUBLE_EQ(s.memory_mb, memory);
+  EXPECT_GT(s.nodes_explored, 0u);
+}
+
+TEST(MilpPolicy, RunsEndToEndAndDowngradesUnderPeaks) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 8;
+  wconfig.duration = trace::kMinutesPerDay;
+  wconfig.peak_intensity = 8.0;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 8);
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(d, workload.trace, config);
+
+  MilpPolicy milp;
+  const auto r = engine.run(milp);
+  EXPECT_GT(r.invocations, 0u);
+  EXPECT_GT(r.downgrades, 0u);
+  EXPECT_GT(milp.solver_nodes(), 0u);
+}
+
+TEST(MilpPolicy, FlattensPeaksLikePulse) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 8;
+  wconfig.duration = trace::kMinutesPerDay;
+  wconfig.peak_intensity = 8.0;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 8);
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  config.record_series = true;
+  sim::SimulationEngine engine(d, workload.trace, config);
+
+  MilpPolicy milp;
+  const auto milp_result = engine.run(milp);
+
+  // Sanity: memory stays bounded by the all-highest deployment footprint.
+  for (double m : milp_result.keepalive_memory_mb) {
+    EXPECT_LE(m, d.peak_highest_memory_mb() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pulse::policies

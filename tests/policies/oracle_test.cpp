@@ -1,0 +1,94 @@
+#include "policies/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+
+namespace pulse::policies {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : zoo_(models::ModelZoo::builtin()),
+        deployment_(sim::Deployment::round_robin(zoo_, 2)),
+        trace_(2, 100),
+        schedule_(deployment_, 100) {}
+
+  models::ModelZoo zoo_;
+  sim::Deployment deployment_;
+  trace::Trace trace_;
+  sim::KeepAliveSchedule schedule_;
+};
+
+TEST_F(OracleTest, FutureInvocationKeepsHighQuality) {
+  trace_.set_count(0, 10, 1);
+  trace_.set_count(0, 15, 1);  // follow-up inside the window
+  OraclePolicy::Config config;
+  config.high_quality_threshold = 1;
+  OraclePolicy p(config);
+  p.initialize(deployment_, trace_, schedule_);
+  p.on_invocation(0, 10, schedule_);
+  const int high = static_cast<int>(deployment_.family_of(0).highest_index());
+  for (trace::Minute m = 11; m <= 20; ++m) EXPECT_EQ(schedule_.variant_at(0, m), high);
+}
+
+TEST_F(OracleTest, NoFutureInvocationKeepsLowQuality) {
+  trace_.set_count(0, 10, 1);  // nothing afterwards
+  OraclePolicy p;
+  p.initialize(deployment_, trace_, schedule_);
+  p.on_invocation(0, 10, schedule_);
+  for (trace::Minute m = 11; m <= 20; ++m) EXPECT_EQ(schedule_.variant_at(0, m), 0);
+}
+
+TEST_F(OracleTest, InvocationJustBeyondWindowDoesNotCount) {
+  trace_.set_count(0, 10, 1);
+  trace_.set_count(0, 21, 1);  // 11 minutes later: outside the window
+  OraclePolicy::Config config;
+  config.high_quality_threshold = 1;
+  OraclePolicy p(config);
+  p.initialize(deployment_, trace_, schedule_);
+  p.on_invocation(0, 10, schedule_);
+  EXPECT_EQ(schedule_.variant_at(0, 11), 0);
+}
+
+TEST_F(OracleTest, ThresholdConfigurable) {
+  trace_.set_count(0, 10, 1);
+  trace_.set_count(0, 12, 1);  // only one future invocation
+  OraclePolicy::Config config;
+  config.high_quality_threshold = 2;
+  OraclePolicy p(config);
+  p.initialize(deployment_, trace_, schedule_);
+  p.on_invocation(0, 10, schedule_);
+  EXPECT_EQ(schedule_.variant_at(0, 11), 0);  // below the threshold of 2
+}
+
+TEST_F(OracleTest, OracleAccuracyBetweenLowAndHighBaselines) {
+  // Tables II/III ordering: AllLow <= Oracle <= AllHigh in accuracy.
+  trace::Trace t(2, 500);
+  util::Pcg32 rng(3);
+  for (trace::FunctionId f = 0; f < 2; ++f) {
+    for (trace::Minute m = 0; m < 500; ++m) {
+      if (rng.bernoulli(0.08)) t.set_count(f, m, 1);
+    }
+  }
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  sim::SimulationEngine engine(deployment_, t, config);
+
+  FixedKeepAlivePolicy high;
+  FixedKeepAlivePolicy::Config low_config;
+  low_config.variant = FixedVariant::kLowest;
+  FixedKeepAlivePolicy low(low_config);
+  OraclePolicy oracle;
+
+  const double acc_high = engine.run(high).average_accuracy_pct();
+  const double acc_low = engine.run(low).average_accuracy_pct();
+  const double acc_oracle = engine.run(oracle).average_accuracy_pct();
+  EXPECT_LE(acc_oracle, acc_high + 1e-9);
+  EXPECT_GE(acc_oracle, acc_low - 1e-9);
+}
+
+}  // namespace
+}  // namespace pulse::policies

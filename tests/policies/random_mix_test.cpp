@@ -1,0 +1,95 @@
+#include "policies/random_mix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::policies {
+namespace {
+
+class RandomMixTest : public ::testing::Test {
+ protected:
+  RandomMixTest()
+      : zoo_(models::ModelZoo::builtin()),
+        deployment_(sim::Deployment::round_robin(zoo_, 12)),
+        trace_(12, 100),
+        schedule_(deployment_, 100) {}
+
+  models::ModelZoo zoo_;
+  sim::Deployment deployment_;
+  trace::Trace trace_;
+  sim::KeepAliveSchedule schedule_;
+};
+
+TEST_F(RandomMixTest, AssignmentIsBalanced) {
+  RandomMixPolicy p;
+  p.initialize(deployment_, trace_, schedule_);
+  std::size_t high = 0;
+  for (trace::FunctionId f = 0; f < 12; ++f) {
+    if (p.is_high_assigned(f)) ++high;
+  }
+  EXPECT_EQ(high, 6u);  // the paper balances high/low counts
+}
+
+TEST_F(RandomMixTest, OddFunctionCountBalancedWithinOne) {
+  const auto d = sim::Deployment::round_robin(zoo_, 7);
+  trace::Trace t(7, 10);
+  sim::KeepAliveSchedule s(d, 10);
+  RandomMixPolicy p;
+  p.initialize(d, t, s);
+  std::size_t high = 0;
+  for (trace::FunctionId f = 0; f < 7; ++f) {
+    if (p.is_high_assigned(f)) ++high;
+  }
+  EXPECT_EQ(high, 4u);  // ceil(7/2)
+}
+
+TEST_F(RandomMixTest, SchedulesAssignedVariantForWindow) {
+  RandomMixPolicy p;
+  p.initialize(deployment_, trace_, schedule_);
+  p.on_invocation(3, 20, schedule_);
+  const int expected = p.is_high_assigned(3)
+                           ? static_cast<int>(deployment_.family_of(3).highest_index())
+                           : 0;
+  for (trace::Minute m = 21; m <= 30; ++m) {
+    EXPECT_EQ(schedule_.variant_at(3, m), expected);
+  }
+}
+
+TEST_F(RandomMixTest, ColdStartMatchesAssignment) {
+  RandomMixPolicy p;
+  p.initialize(deployment_, trace_, schedule_);
+  for (trace::FunctionId f = 0; f < 12; ++f) {
+    const std::size_t v = p.cold_start_variant(f, 0, deployment_);
+    if (p.is_high_assigned(f)) {
+      EXPECT_EQ(v, deployment_.family_of(f).highest_index());
+    } else {
+      EXPECT_EQ(v, 0u);
+    }
+  }
+}
+
+TEST_F(RandomMixTest, SeedChangesAssignment) {
+  RandomMixPolicy a;  // default seed
+  RandomMixPolicy::Config config;
+  config.seed = 12345;
+  RandomMixPolicy b(config);
+  a.initialize(deployment_, trace_, schedule_);
+  b.initialize(deployment_, trace_, schedule_);
+  bool differ = false;
+  for (trace::FunctionId f = 0; f < 12; ++f) {
+    if (a.is_high_assigned(f) != b.is_high_assigned(f)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(RandomMixTest, SameSeedSameAssignment) {
+  RandomMixPolicy a;
+  RandomMixPolicy b;
+  a.initialize(deployment_, trace_, schedule_);
+  b.initialize(deployment_, trace_, schedule_);
+  for (trace::FunctionId f = 0; f < 12; ++f) {
+    EXPECT_EQ(a.is_high_assigned(f), b.is_high_assigned(f));
+  }
+}
+
+}  // namespace
+}  // namespace pulse::policies

@@ -1,0 +1,103 @@
+#include "predict/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/hybrid_histogram.hpp"
+
+namespace pulse::predict {
+namespace {
+
+TEST(PredictorEval, FixedWindowCoversShortGaps) {
+  trace::Trace t(1, 200);
+  for (trace::Minute m = 0; m < 200; m += 5) t.set_count(0, m, 1);
+  const PredictorScore s = evaluate_window_predictor(t, fixed_window_predictor(10));
+  EXPECT_EQ(s.evaluated_invocations, 39u);
+  EXPECT_EQ(s.covered, 39u);
+  EXPECT_DOUBLE_EQ(s.coverage(), 1.0);
+}
+
+TEST(PredictorEval, FixedWindowMissesLongGaps) {
+  trace::Trace t(1, 400);
+  for (trace::Minute m = 0; m < 400; m += 25) t.set_count(0, m, 1);
+  const PredictorScore s = evaluate_window_predictor(t, fixed_window_predictor(10));
+  EXPECT_EQ(s.covered, 0u);
+  EXPECT_EQ(s.beyond_horizon, s.evaluated_invocations);
+}
+
+TEST(PredictorEval, WasteAccountsIdleWarmMinutes) {
+  // One invocation, fixed 10-minute window, no successor: all 10 warm
+  // minutes are wasted.
+  trace::Trace t(1, 100);
+  t.set_count(0, 10, 1);
+  const PredictorScore s = evaluate_window_predictor(t, fixed_window_predictor(10));
+  EXPECT_EQ(s.warm_minutes, 10u);
+  EXPECT_EQ(s.wasted_minutes, 10u);
+  EXPECT_DOUBLE_EQ(s.waste_fraction(), 1.0);
+}
+
+TEST(PredictorEval, PerfectOracleWindowHasNoWaste) {
+  trace::Trace t(1, 200);
+  for (trace::Minute m = 0; m < 200; m += 4) t.set_count(0, m, 1);
+  // Oracle: window exactly [4, 4].
+  const auto oracle = [](trace::FunctionId, trace::Minute) {
+    return PredictedWindow{4, 4};
+  };
+  const PredictorScore s = evaluate_window_predictor(t, oracle);
+  EXPECT_DOUBLE_EQ(s.coverage(), 1.0);
+  EXPECT_LE(s.waste_fraction(), 0.05);  // only the trailing window wastes
+}
+
+TEST(PredictorEval, BeforeWindowCounted) {
+  trace::Trace t(1, 100);
+  t.set_count(0, 10, 1);
+  t.set_count(0, 12, 1);  // gap 2, predicted window starts at 5
+  const auto late = [](trace::FunctionId, trace::Minute) {
+    return PredictedWindow{5, 15};
+  };
+  const PredictorScore s = evaluate_window_predictor(t, late);
+  EXPECT_EQ(s.before_window, 1u);
+}
+
+TEST(PredictorEval, HybridHistogramBeatsFixedOnSlowPeriodic) {
+  // Period-20 function: the fixed 10-minute window covers nothing; the
+  // hybrid histogram learns the gap and covers nearly everything at far
+  // lower waste.
+  trace::Trace t(1, 4000);
+  for (trace::Minute m = 0; m < 4000; m += 20) t.set_count(0, m, 1);
+
+  std::vector<HybridHistogramPredictor> predictors(1);
+  const auto wild = [&](trace::FunctionId f, trace::Minute now) {
+    predictors[f].observe_invocation(now);
+    const WindowPrediction w = predictors[f].predict();
+    return PredictedWindow{std::max<trace::Minute>(1, w.prewarm_offset), w.keepalive_until};
+  };
+
+  const PredictorScore fixed = evaluate_window_predictor(t, fixed_window_predictor(10));
+  const PredictorScore hybrid = evaluate_window_predictor(t, wild);
+  EXPECT_DOUBLE_EQ(fixed.coverage(), 0.0);
+  EXPECT_GT(hybrid.coverage(), 0.9);
+  EXPECT_LT(hybrid.waste_fraction(), fixed.waste_fraction());
+}
+
+TEST(PredictorEval, DegenerateWindowNormalized) {
+  trace::Trace t(1, 100);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 6, 1);
+  const auto degenerate = [](trace::FunctionId, trace::Minute) {
+    return PredictedWindow{-3, -7};  // normalized to [1, 1]
+  };
+  const PredictorScore s = evaluate_window_predictor(t, degenerate);
+  EXPECT_EQ(s.covered, 1u);  // gap of 1 inside [1, 1]
+}
+
+TEST(PredictorEval, EmptyTraceScoresZero) {
+  trace::Trace t(2, 100);
+  const PredictorScore s = evaluate_window_predictor(t, fixed_window_predictor());
+  EXPECT_EQ(s.evaluated_invocations, 0u);
+  EXPECT_EQ(s.warm_minutes, 0u);
+  EXPECT_DOUBLE_EQ(s.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(s.waste_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace pulse::predict

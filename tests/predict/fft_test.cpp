@@ -1,0 +1,128 @@
+#include "predict/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace pulse::predict {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, NonPow2Throws) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<std::complex<double>> data{{3.0, -1.0}};
+  fft(data);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -1.0);
+}
+
+TEST(Fft, DcComponentOfConstant) {
+  std::vector<std::complex<double>> data(8, {2.0, 0.0});
+  fft(data);
+  EXPECT_NEAR(data[0].real(), 16.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 64; ++i) {
+    data.emplace_back(std::sin(0.3 * i) + 0.2 * i, std::cos(0.7 * i));
+  }
+  const auto original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  constexpr std::size_t n = 64;
+  constexpr std::size_t k = 5;
+  std::vector<std::complex<double>> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.emplace_back(std::cos(2.0 * std::numbers::pi * k * i / n), 0.0);
+  }
+  fft(data);
+  // Energy concentrated in bins k and n-k.
+  EXPECT_NEAR(std::abs(data[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[k + 1]), 0.0, 1e-9);
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 32; ++i) data.emplace_back(std::sin(1.1 * i), 0.0);
+  double time_energy = 0.0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-9);
+}
+
+TEST(HarmonicReconstruct, RecoversPeriodicSignalOnPow2Length) {
+  // A power-of-two-length periodic series is reconstructed near-exactly
+  // when enough harmonics are kept.
+  constexpr std::size_t n = 128;
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] = 3.0 + 2.0 * std::cos(2.0 * std::numbers::pi * 8.0 * i / n);
+  }
+  const auto rec = harmonic_reconstruct(series, 2);
+  ASSERT_EQ(rec.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(rec[i], series[i], 1e-9);
+}
+
+TEST(HarmonicExtrapolate, PeriodicExtensionContinuesPattern) {
+  constexpr std::size_t n = 128;
+  constexpr std::size_t period = 16;
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] = 1.0 + std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  }
+  const auto pred = harmonic_extrapolate(series, 3, 32);
+  ASSERT_EQ(pred.size(), 32u);
+  for (std::size_t h = 0; h < pred.size(); ++h) {
+    const double expected =
+        1.0 + std::cos(2.0 * std::numbers::pi * static_cast<double>(n + h) / period);
+    EXPECT_NEAR(pred[h], expected, 0.05) << "h=" << h;
+  }
+}
+
+TEST(HarmonicExtrapolate, ConstantSeriesPredictsConstant) {
+  const std::vector<double> series(64, 4.0);
+  const auto pred = harmonic_extrapolate(series, 4, 10);
+  for (double p : pred) EXPECT_NEAR(p, 4.0, 1e-9);
+}
+
+TEST(HarmonicExtrapolate, EmptyInputsAreSafe) {
+  EXPECT_TRUE(harmonic_extrapolate({}, 3, 0).empty());
+  const auto pred = harmonic_extrapolate({}, 3, 5);
+  ASSERT_EQ(pred.size(), 5u);
+  for (double p : pred) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(HarmonicExtrapolate, ZeroHarmonicsGivesMeanOnly) {
+  std::vector<double> series;
+  for (int i = 0; i < 64; ++i) series.push_back(i % 2 == 0 ? 0.0 : 2.0);
+  const auto pred = harmonic_extrapolate(series, 0, 8);
+  for (double p : pred) EXPECT_NEAR(p, 1.0, 1e-9);  // just the DC level
+}
+
+}  // namespace
+}  // namespace pulse::predict

@@ -1,0 +1,120 @@
+#include "predict/hybrid_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pulse::predict {
+namespace {
+
+TEST(HybridHistogram, DefaultWindowBeforeData) {
+  HybridHistogramPredictor p;
+  const WindowPrediction w = p.predict();
+  EXPECT_EQ(w.prewarm_offset, 0);
+  EXPECT_EQ(w.keepalive_until, 10);
+  EXPECT_FALSE(w.used_time_series);
+}
+
+TEST(HybridHistogram, BelowMinSamplesKeepsDefault) {
+  HybridHistogramPredictor::Config config;
+  config.min_samples = 8;
+  HybridHistogramPredictor p(config);
+  for (trace::Minute t = 0; t < 5 * 7; t += 7) p.observe_invocation(t);  // 4 gaps
+  const WindowPrediction w = p.predict();
+  EXPECT_EQ(w.prewarm_offset, 0);
+  EXPECT_EQ(w.keepalive_until, 10);
+}
+
+TEST(HybridHistogram, PeriodicFunctionGetsTightWindow) {
+  HybridHistogramPredictor p;
+  for (trace::Minute t = 0; t <= 600; t += 6) p.observe_invocation(t);
+  const WindowPrediction w = p.predict();
+  EXPECT_FALSE(w.used_time_series);
+  // All gaps are exactly 6: window should bracket 6 with the 10% margin.
+  EXPECT_GE(w.prewarm_offset, 4);
+  EXPECT_LE(w.prewarm_offset, 6);
+  EXPECT_GE(w.keepalive_until, 6);
+  EXPECT_LE(w.keepalive_until, 8);
+}
+
+TEST(HybridHistogram, WindowCoversHeadAndTailPercentiles) {
+  HybridHistogramPredictor p;
+  // Alternate gaps of 3 and 12 minutes.
+  trace::Minute t = 0;
+  for (int i = 0; i < 40; ++i) {
+    t += (i % 2 == 0) ? 3 : 12;
+    p.observe_invocation(t);
+  }
+  const WindowPrediction w = p.predict();
+  EXPECT_FALSE(w.used_time_series);
+  EXPECT_LE(w.prewarm_offset, 3);
+  EXPECT_GE(w.keepalive_until, 12);
+}
+
+TEST(HybridHistogram, SameMinuteInvocationsAddNoGap) {
+  HybridHistogramPredictor p;
+  p.observe_invocation(5);
+  p.observe_invocation(5);
+  EXPECT_EQ(p.histogram().total(), 0u);
+}
+
+TEST(HybridHistogram, HighDispersionTriggersTimeSeries) {
+  HybridHistogramPredictor::Config config;
+  config.cv_cutoff = 0.3;  // tight cutoff: the mixed gaps below exceed it
+  HybridHistogramPredictor p(config);
+  trace::Minute t = 0;
+  for (int i = 0; i < 40; ++i) {
+    t += (i % 2 == 0) ? 1 : 30;
+    p.observe_invocation(t);
+  }
+  const WindowPrediction w = p.predict();
+  EXPECT_TRUE(w.used_time_series);
+  EXPECT_GE(w.keepalive_until, w.prewarm_offset + 1);
+}
+
+TEST(HybridHistogram, OutOfBoundsMassTriggersTimeSeries) {
+  HybridHistogramPredictor::Config config;
+  config.histogram_capacity = 10;
+  config.oob_cutoff = 0.4;
+  HybridHistogramPredictor p(config);
+  trace::Minute t = 0;
+  for (int i = 0; i < 30; ++i) {
+    t += 50;  // every gap lands out of bounds
+    p.observe_invocation(t);
+  }
+  const WindowPrediction w = p.predict();
+  EXPECT_TRUE(w.used_time_series);
+}
+
+TEST(HybridHistogram, PredictionWindowIsAlwaysValid) {
+  HybridHistogramPredictor p;
+  util::Pcg32 rng(3);
+  trace::Minute t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += 1 + static_cast<trace::Minute>(rng.bounded(40));
+    p.observe_invocation(t);
+    const WindowPrediction w = p.predict();
+    EXPECT_GE(w.prewarm_offset, 0);
+    EXPECT_GT(w.keepalive_until, w.prewarm_offset);
+  }
+}
+
+TEST(HybridHistogram, ObservedIdleTimesCounts) {
+  HybridHistogramPredictor p;
+  for (trace::Minute t = 0; t <= 50; t += 5) p.observe_invocation(t);
+  EXPECT_EQ(p.observed_idle_times(), 10u);
+}
+
+TEST(HybridHistogram, ArWindowBoundsRetainedGaps) {
+  HybridHistogramPredictor::Config config;
+  config.ar_window = 8;
+  HybridHistogramPredictor p(config);
+  for (trace::Minute t = 0; t <= 1000; t += 10) p.observe_invocation(t);
+  // Histogram keeps everything; the AR buffer is bounded (observed count
+  // still reports the true total).
+  EXPECT_EQ(p.observed_idle_times(), 100u);
+  EXPECT_EQ(p.histogram().total(), 100u);
+}
+
+}  // namespace
+}  // namespace pulse::predict

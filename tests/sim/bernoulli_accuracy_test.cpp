@@ -1,0 +1,95 @@
+// The per-invocation Bernoulli accuracy model.
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+
+namespace pulse::sim {
+namespace {
+
+models::ModelZoo test_zoo() {
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Test", "t", "d", {models::ModelVariant{"only", 1.0, 4.0, 80.0, 100.0}}));
+  return zoo;
+}
+
+trace::Trace dense_trace(trace::Minute duration) {
+  trace::Trace t(1, duration);
+  for (trace::Minute m = 0; m < duration; ++m) t.set_count(0, m, 2);
+  return t;
+}
+
+TEST(BernoulliAccuracy, DisabledCreditsExpectedAccuracy) {
+  const auto zoo = test_zoo();
+  const auto d = Deployment::round_robin(zoo, 1);
+  const auto t = dense_trace(100);
+  SimulationEngine engine(d, t, {});
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_DOUBLE_EQ(r.average_accuracy_pct(), 80.0);
+}
+
+TEST(BernoulliAccuracy, CreditsAreZeroOrHundred) {
+  const auto zoo = test_zoo();
+  const auto d = Deployment::round_robin(zoo, 1);
+  const auto t = dense_trace(50);
+  EngineConfig config;
+  config.bernoulli_accuracy = true;
+  config.record_per_function = true;
+  SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  // The sum must be a multiple of 100 (each invocation is right or wrong).
+  EXPECT_DOUBLE_EQ(r.accuracy_pct_sum,
+                   100.0 * std::round(r.accuracy_pct_sum / 100.0));
+  // And the per-function breakdown must agree with the total.
+  EXPECT_DOUBLE_EQ(r.per_function.at(0).accuracy_pct_sum, r.accuracy_pct_sum);
+}
+
+TEST(BernoulliAccuracy, ConvergesToExpectedAccuracy) {
+  const auto zoo = test_zoo();
+  const auto d = Deployment::round_robin(zoo, 1);
+  const auto t = dense_trace(5000);  // 10000 invocations
+  EngineConfig config;
+  config.bernoulli_accuracy = true;
+  SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_NEAR(r.average_accuracy_pct(), 80.0, 1.5);
+}
+
+TEST(BernoulliAccuracy, SeedDeterministic) {
+  const auto zoo = test_zoo();
+  const auto d = Deployment::round_robin(zoo, 1);
+  const auto t = dense_trace(200);
+  EngineConfig config;
+  config.bernoulli_accuracy = true;
+  config.seed = 31;
+  auto run_once = [&] {
+    SimulationEngine engine(d, t, config);
+    policies::FixedKeepAlivePolicy policy;
+    return engine.run(policy).accuracy_pct_sum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(BernoulliAccuracy, DoesNotPerturbLatencyStream) {
+  // Enabling the accuracy draws must not change the sampled service times
+  // (separate RNG streams).
+  const auto zoo = test_zoo();
+  const auto d = Deployment::round_robin(zoo, 1);
+  const auto t = dense_trace(200);
+  EngineConfig with;
+  with.bernoulli_accuracy = true;
+  EngineConfig without;
+  policies::FixedKeepAlivePolicy p1;
+  policies::FixedKeepAlivePolicy p2;
+  SimulationEngine e1(d, t, with);
+  SimulationEngine e2(d, t, without);
+  EXPECT_DOUBLE_EQ(e1.run(p1).total_service_time_s, e2.run(p2).total_service_time_s);
+}
+
+}  // namespace
+}  // namespace pulse::sim

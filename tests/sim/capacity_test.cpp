@@ -1,0 +1,200 @@
+// Capacity-constrained engine behaviour, per-function metrics, and
+// service-time sampling.
+
+#include <gtest/gtest.h>
+
+#include "core/pulse_policy.hpp"
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::sim {
+namespace {
+
+models::ModelZoo test_zoo() {
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Test", "t", "d",
+      {models::ModelVariant{"low", 1.0, 4.0, 70.0, 100.0},
+       models::ModelVariant{"high", 2.0, 8.0, 90.0, 300.0}}));
+  return zoo;
+}
+
+TEST(Capacity, UnlimitedByDefault) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 4);
+  trace::Trace t(4, 50);
+  for (trace::FunctionId f = 0; f < 4; ++f) t.set_count(f, 5, 1);
+
+  SimulationEngine engine(d, t, {});
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_EQ(r.capacity_evictions, 0u);
+}
+
+TEST(Capacity, EvictsUntilFit) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 4);
+  trace::Trace t(4, 50);
+  for (trace::FunctionId f = 0; f < 4; ++f) t.set_count(f, 5, 1);
+
+  EngineConfig config;
+  config.record_series = true;
+  config.memory_capacity_mb = 650.0;  // fits two high containers, not four
+  SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  EXPECT_GT(r.capacity_evictions, 0u);
+  for (double m : r.keepalive_memory_mb) EXPECT_LE(m, 650.0 + 1e-9);
+}
+
+TEST(Capacity, EvictionsCauseColdStarts) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 4);
+  trace::Trace t(4, 60);
+  for (trace::FunctionId f = 0; f < 4; ++f) {
+    t.set_count(f, 5, 1);
+    t.set_count(f, 10, 1);  // follow-ups that would be warm without a cap
+  }
+
+  auto run_with_capacity = [&](double cap) {
+    EngineConfig config;
+    config.deterministic_latency = true;
+    config.memory_capacity_mb = cap;
+    SimulationEngine engine(d, t, config);
+    policies::FixedKeepAlivePolicy policy;
+    return engine.run(policy);
+  };
+
+  const RunResult unconstrained = run_with_capacity(0.0);
+  const RunResult tight = run_with_capacity(350.0);  // one container fits
+  EXPECT_GT(tight.cold_starts, unconstrained.cold_starts);
+}
+
+TEST(Capacity, PulseToleratesTighterCapsThanFixed) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 8;
+  wconfig.duration = 600;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const Deployment d = Deployment::round_robin(zoo, 8);
+
+  EngineConfig config;
+  config.deterministic_latency = true;
+  config.memory_capacity_mb = d.peak_highest_memory_mb() * 0.5;
+  SimulationEngine engine(d, workload.trace, config);
+
+  policies::FixedKeepAlivePolicy fixed;
+  core::PulsePolicy pulse;
+  const RunResult rf = engine.run(fixed);
+  const RunResult rp = engine.run(pulse);
+  EXPECT_LT(rp.capacity_evictions, rf.capacity_evictions);
+}
+
+TEST(Capacity, EvictionsDeterministicInSeed) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 4);
+  trace::Trace t(4, 50);
+  for (trace::FunctionId f = 0; f < 4; ++f) t.set_count(f, 5, 1);
+
+  EngineConfig config;
+  config.memory_capacity_mb = 500.0;
+  config.seed = 9;
+  auto run_once = [&] {
+    SimulationEngine engine(d, t, config);
+    policies::FixedKeepAlivePolicy policy;
+    return engine.run(policy);
+  };
+  EXPECT_EQ(run_once().capacity_evictions, run_once().capacity_evictions);
+  EXPECT_EQ(run_once().cold_starts, run_once().cold_starts);
+}
+
+TEST(PerFunctionMetrics, BreakdownSumsToTotals) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 5;
+  wconfig.duration = 400;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const Deployment d = Deployment::round_robin(zoo, 5);
+
+  EngineConfig config;
+  config.record_per_function = true;
+  config.deterministic_latency = true;
+  SimulationEngine engine(d, workload.trace, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  ASSERT_EQ(r.per_function.size(), 5u);
+  std::uint64_t invocations = 0;
+  std::uint64_t warm = 0;
+  double service = 0.0;
+  double accuracy = 0.0;
+  for (const auto& fm : r.per_function) {
+    invocations += fm.invocations;
+    warm += fm.warm_starts;
+    service += fm.service_time_s;
+    accuracy += fm.accuracy_pct_sum;
+    EXPECT_EQ(fm.invocations, fm.warm_starts + fm.cold_starts);
+  }
+  EXPECT_EQ(invocations, r.invocations);
+  EXPECT_EQ(warm, r.warm_starts);
+  EXPECT_NEAR(service, r.total_service_time_s, 1e-6);
+  EXPECT_NEAR(accuracy, r.accuracy_pct_sum, 1e-6);
+}
+
+TEST(PerFunctionMetrics, PerFunctionAveragesSane) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 20);
+  t.set_count(0, 2, 3);
+
+  EngineConfig config;
+  config.record_per_function = true;
+  config.deterministic_latency = true;
+  SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  const FunctionMetrics& fm = r.per_function.at(0);
+  EXPECT_EQ(fm.invocations, 3u);
+  EXPECT_DOUBLE_EQ(fm.average_accuracy_pct(), 90.0);
+  // (10 + 2 + 2) / 3 seconds.
+  EXPECT_NEAR(fm.mean_service_time_s(), 14.0 / 3.0, 1e-12);
+}
+
+TEST(ServiceSamples, PercentilesFromSamples) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 40);
+  t.set_count(0, 2, 1);   // cold: 10 s
+  t.set_count(0, 4, 1);   // warm: 2 s
+  t.set_count(0, 6, 1);   // warm: 2 s
+
+  EngineConfig config;
+  config.record_service_samples = true;
+  config.deterministic_latency = true;
+  SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  ASSERT_EQ(r.service_time_samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.service_time_percentile(0), 2.0);
+  EXPECT_DOUBLE_EQ(r.service_time_percentile(100), 10.0);
+  EXPECT_GT(r.service_time_percentile(99), r.service_time_percentile(50));
+}
+
+TEST(ServiceSamples, EmptyWhenDisabled) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 10);
+  t.set_count(0, 1, 1);
+  SimulationEngine engine(d, t, {});
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_TRUE(r.service_time_samples.empty());
+  EXPECT_EQ(r.service_time_percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace pulse::sim

@@ -1,0 +1,59 @@
+#include "sim/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pulse::sim {
+namespace {
+
+TEST(Deployment, RoundRobinCyclesFamilies) {
+  const auto zoo = models::ModelZoo::builtin();
+  const Deployment d = Deployment::round_robin(zoo, 12);
+  EXPECT_EQ(d.function_count(), 12u);
+  for (std::size_t f = 0; f < 12; ++f) {
+    EXPECT_EQ(&d.family_of(f), &zoo.family(f % zoo.family_count()));
+  }
+}
+
+TEST(Deployment, RandomIsDeterministicInRng) {
+  const auto zoo = models::ModelZoo::builtin();
+  util::Pcg32 a(5);
+  util::Pcg32 b(5);
+  const Deployment da = Deployment::random(zoo, 30, a);
+  const Deployment db = Deployment::random(zoo, 30, b);
+  for (std::size_t f = 0; f < 30; ++f) EXPECT_EQ(&da.family_of(f), &db.family_of(f));
+}
+
+TEST(Deployment, RandomCoversFamilies) {
+  const auto zoo = models::ModelZoo::builtin();
+  util::Pcg32 rng(6);
+  const Deployment d = Deployment::random(zoo, 200, rng);
+  std::set<const models::ModelFamily*> seen;
+  for (std::size_t f = 0; f < 200; ++f) seen.insert(&d.family_of(f));
+  EXPECT_EQ(seen.size(), zoo.family_count());
+}
+
+TEST(Deployment, EmptyZooThrows) {
+  models::ModelZoo empty;
+  util::Pcg32 rng(1);
+  EXPECT_THROW(Deployment::random(empty, 3, rng), std::invalid_argument);
+  EXPECT_THROW(Deployment::round_robin(empty, 3), std::invalid_argument);
+}
+
+TEST(Deployment, NullFamilyPointerThrows) {
+  EXPECT_THROW(Deployment({nullptr}), std::invalid_argument);
+}
+
+TEST(Deployment, PeakHighestMemorySumsHighestVariants) {
+  const auto zoo = models::ModelZoo::builtin();
+  const Deployment d = Deployment::round_robin(zoo, zoo.family_count());
+  double expected = 0.0;
+  for (std::size_t i = 0; i < zoo.family_count(); ++i) {
+    expected += zoo.family(i).highest().memory_mb;
+  }
+  EXPECT_DOUBLE_EQ(d.peak_highest_memory_mb(), expected);
+}
+
+}  // namespace
+}  // namespace pulse::sim

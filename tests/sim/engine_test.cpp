@@ -1,0 +1,241 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.hpp"
+
+namespace pulse::sim {
+namespace {
+
+/// One family, two variants with round numbers for exact arithmetic.
+models::ModelZoo test_zoo() {
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Test", "task", "data",
+      {
+          models::ModelVariant{"low", 1.0, 4.0, 70.0, 100.0},
+          models::ModelVariant{"high", 2.0, 8.0, 90.0, 300.0},
+      }));
+  return zoo;
+}
+
+EngineConfig exact_config() {
+  EngineConfig config;
+  config.deterministic_latency = true;
+  config.record_series = true;
+  return config;
+}
+
+TEST(Engine, MismatchedFunctionCountThrows) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 2);
+  trace::Trace t(3, 10);
+  EXPECT_THROW(SimulationEngine(d, t, {}), std::invalid_argument);
+}
+
+TEST(Engine, SingleInvocationIsCold) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 20);
+  t.set_count(0, 5, 1);
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  EXPECT_EQ(r.invocations, 1u);
+  EXPECT_EQ(r.cold_starts, 1u);
+  EXPECT_EQ(r.warm_starts, 0u);
+  // Cold start of the high variant: 2.0 exec + 8.0 cold = 10.0.
+  EXPECT_DOUBLE_EQ(r.total_service_time_s, 10.0);
+  EXPECT_DOUBLE_EQ(r.accuracy_pct_sum, 90.0);
+}
+
+TEST(Engine, FollowUpWithinWindowIsWarm) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 30);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 9, 1);  // 4 minutes later: inside the 10-minute window
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  EXPECT_EQ(r.cold_starts, 1u);
+  EXPECT_EQ(r.warm_starts, 1u);
+  // 10.0 (cold) + 2.0 (warm).
+  EXPECT_DOUBLE_EQ(r.total_service_time_s, 12.0);
+}
+
+TEST(Engine, FollowUpBeyondWindowIsColdAgain) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 40);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 16, 1);  // 11 minutes later: outside the window
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  EXPECT_EQ(r.cold_starts, 2u);
+  EXPECT_EQ(r.warm_starts, 0u);
+}
+
+TEST(Engine, InvocationAtExactWindowEndIsWarm) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 40);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 15, 1);  // exactly 10 minutes later: last kept minute
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_EQ(r.warm_starts, 1u);
+}
+
+TEST(Engine, MultipleInvocationsSameMinuteOnlyFirstCold) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 20);
+  t.set_count(0, 3, 5);
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  EXPECT_EQ(r.invocations, 5u);
+  EXPECT_EQ(r.cold_starts, 1u);
+  EXPECT_EQ(r.warm_starts, 4u);
+  // 10.0 cold + 4 x 2.0 warm.
+  EXPECT_DOUBLE_EQ(r.total_service_time_s, 18.0);
+}
+
+TEST(Engine, KeepAliveCostMatchesHandComputation) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 30);
+  t.set_count(0, 5, 1);
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  // High variant (300 MB) alive at minute 5 (execution) + minutes 6..15.
+  const CostModel cost;
+  const double expected = cost.keepalive_cost_usd(300.0, 11.0);
+  EXPECT_NEAR(r.total_keepalive_cost_usd, expected, 1e-12);
+}
+
+TEST(Engine, MemorySeriesReflectsKeepAlive) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 30);
+  t.set_count(0, 5, 1);
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  ASSERT_EQ(r.keepalive_memory_mb.size(), 30u);
+  EXPECT_DOUBLE_EQ(r.keepalive_memory_mb[4], 0.0);
+  for (std::size_t m = 5; m <= 15; ++m) EXPECT_DOUBLE_EQ(r.keepalive_memory_mb[m], 300.0);
+  EXPECT_DOUBLE_EQ(r.keepalive_memory_mb[16], 0.0);
+}
+
+TEST(Engine, IdealCostOnlyDuringInvocationMinutes) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 30);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 7, 2);
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+
+  const CostModel cost;
+  const double per_minute = cost.keepalive_cost_usd(300.0, 1.0);
+  ASSERT_EQ(r.ideal_cost_usd.size(), 30u);
+  EXPECT_DOUBLE_EQ(r.ideal_cost_usd[5], per_minute);
+  EXPECT_DOUBLE_EQ(r.ideal_cost_usd[6], 0.0);
+  EXPECT_DOUBLE_EQ(r.ideal_cost_usd[7], per_minute);
+}
+
+TEST(Engine, AllLowPolicyServesLowVariant) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 20);
+  t.set_count(0, 2, 1);
+
+  policies::FixedKeepAlivePolicy::Config config;
+  config.variant = policies::FixedVariant::kLowest;
+  policies::FixedKeepAlivePolicy policy(config);
+
+  SimulationEngine engine(d, t, exact_config());
+  const RunResult r = engine.run(policy);
+
+  // Cold start of the LOW variant: 1.0 + 4.0.
+  EXPECT_DOUBLE_EQ(r.total_service_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(r.accuracy_pct_sum, 70.0);
+}
+
+TEST(Engine, StochasticLatencyIsSeedDeterministic) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 200);
+  for (trace::Minute m = 0; m < 200; m += 3) t.set_count(0, m, 1);
+
+  EngineConfig config;
+  config.seed = 77;
+  auto run_once = [&] {
+    SimulationEngine engine(d, t, config);
+    policies::FixedKeepAlivePolicy policy;
+    return engine.run(policy).total_service_time_s;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Engine, OverheadMeasurementAccumulates) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 500);
+  for (trace::Minute m = 0; m < 500; m += 2) t.set_count(0, m, 1);
+
+  EngineConfig config = exact_config();
+  config.measure_overhead = true;
+  SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_GT(r.policy_overhead_s, 0.0);
+  EXPECT_LT(r.policy_overhead_s, 5.0);
+}
+
+TEST(Engine, WarmFractionAndAverageAccuracy) {
+  const auto zoo = test_zoo();
+  const Deployment d = Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 20);
+  t.set_count(0, 2, 4);
+
+  SimulationEngine engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy policy;
+  const RunResult r = engine.run(policy);
+  EXPECT_DOUBLE_EQ(r.warm_start_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(r.average_accuracy_pct(), 90.0);
+}
+
+TEST(RunResultHelpers, ImprovementPct) {
+  EXPECT_DOUBLE_EQ(improvement_pct(100.0, 60.0), 40.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(0.0, 5.0), 0.0);
+}
+
+TEST(RunResultHelpers, ChangePct) {
+  EXPECT_NEAR(change_pct(80.0, 79.2), -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(change_pct(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pulse::sim

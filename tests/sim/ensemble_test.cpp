@@ -1,0 +1,115 @@
+#include "sim/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::sim {
+namespace {
+
+trace::Trace small_trace() {
+  trace::WorkloadConfig config;
+  config.function_count = 4;
+  config.duration = 300;
+  config.global_peaks = 1;
+  return trace::build_azure_like_workload(config).trace;
+}
+
+PolicyFactory openwhisk_factory() {
+  return [] { return std::make_unique<policies::FixedKeepAlivePolicy>(); };
+}
+
+TEST(Ensemble, RunsRequestedCount) {
+  const auto zoo = models::ModelZoo::builtin();
+  const auto trace = small_trace();
+  EnsembleConfig config;
+  config.runs = 8;
+  config.threads = 2;
+  const EnsembleResult r = run_ensemble(zoo, trace, openwhisk_factory(), config);
+  EXPECT_EQ(r.runs.size(), 8u);
+  for (const auto& run : r.runs) EXPECT_GT(run.invocations, 0u);
+}
+
+TEST(Ensemble, DeterministicAcrossThreadCounts) {
+  const auto zoo = models::ModelZoo::builtin();
+  const auto trace = small_trace();
+
+  auto run_with_threads = [&](std::size_t threads) {
+    EnsembleConfig config;
+    config.runs = 6;
+    config.threads = threads;
+    return run_ensemble(zoo, trace, openwhisk_factory(), config);
+  };
+
+  const EnsembleResult a = run_with_threads(1);
+  const EnsembleResult b = run_with_threads(4);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.runs[i].total_service_time_s, b.runs[i].total_service_time_s);
+    EXPECT_DOUBLE_EQ(a.runs[i].total_keepalive_cost_usd, b.runs[i].total_keepalive_cost_usd);
+    EXPECT_EQ(a.runs[i].invocations, b.runs[i].invocations);
+  }
+}
+
+TEST(Ensemble, DifferentSeedsGiveDifferentAssignments) {
+  const auto zoo = models::ModelZoo::builtin();
+  const auto trace = small_trace();
+  EnsembleConfig a;
+  a.runs = 4;
+  a.seed = 1;
+  EnsembleConfig b = a;
+  b.seed = 2;
+  const auto ra = run_ensemble(zoo, trace, openwhisk_factory(), a);
+  const auto rb = run_ensemble(zoo, trace, openwhisk_factory(), b);
+  EXPECT_NE(ra.mean_keepalive_cost_usd(), rb.mean_keepalive_cost_usd());
+}
+
+TEST(Ensemble, RunsVaryWithAssignment) {
+  // Different model-to-function assignments must change per-run totals
+  // (that is the whole point of the 1000-run ensemble).
+  const auto zoo = models::ModelZoo::builtin();
+  const auto trace = small_trace();
+  EnsembleConfig config;
+  config.runs = 6;
+  const auto r = run_ensemble(zoo, trace, openwhisk_factory(), config);
+  bool any_differ = false;
+  for (std::size_t i = 1; i < r.runs.size(); ++i) {
+    if (r.runs[i].total_keepalive_cost_usd != r.runs[0].total_keepalive_cost_usd) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Ensemble, AggregatesMatchManualAverages) {
+  const auto zoo = models::ModelZoo::builtin();
+  const auto trace = small_trace();
+  EnsembleConfig config;
+  config.runs = 5;
+  const auto r = run_ensemble(zoo, trace, openwhisk_factory(), config);
+
+  double cost = 0.0;
+  double service = 0.0;
+  for (const auto& run : r.runs) {
+    cost += run.total_keepalive_cost_usd;
+    service += run.total_service_time_s;
+  }
+  EXPECT_NEAR(r.mean_keepalive_cost_usd(), cost / 5.0, 1e-9);
+  EXPECT_NEAR(r.mean_service_time_s(), service / 5.0, 1e-9);
+}
+
+TEST(Ensemble, StatsOfExposesDistribution) {
+  const auto zoo = models::ModelZoo::builtin();
+  const auto trace = small_trace();
+  EnsembleConfig config;
+  config.runs = 5;
+  const auto r = run_ensemble(zoo, trace, openwhisk_factory(), config);
+  const auto stats = r.stats_of([](const RunResult& x) { return x.total_keepalive_cost_usd; });
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_GE(stats.max(), stats.min());
+  EXPECT_GT(stats.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace pulse::sim

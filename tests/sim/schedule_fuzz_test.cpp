@@ -1,0 +1,153 @@
+// Model-based fuzzing of KeepAliveSchedule: random operation sequences are
+// applied both to the real schedule and to a trivially-correct reference
+// model (a plain 2D vector); all observations must agree at every step.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace pulse::sim {
+namespace {
+
+/// The obviously-correct reference implementation.
+class ReferenceSchedule {
+ public:
+  ReferenceSchedule(const Deployment& deployment, trace::Minute duration)
+      : deployment_(&deployment),
+        duration_(duration),
+        slots_(deployment.function_count(),
+               std::vector<int>(static_cast<std::size_t>(duration), kNoVariant)) {}
+
+  void set(trace::FunctionId f, trace::Minute t, int v) {
+    if (t < 0 || t >= duration_) return;
+    slots_[f][static_cast<std::size_t>(t)] = v;
+  }
+
+  void fill(trace::FunctionId f, trace::Minute from, trace::Minute to, int v) {
+    for (trace::Minute t = std::max<trace::Minute>(0, from); t < std::min(to, duration_); ++t) {
+      slots_[f][static_cast<std::size_t>(t)] = v;
+    }
+  }
+
+  void clear_from(trace::FunctionId f, trace::Minute from) {
+    for (trace::Minute t = std::max<trace::Minute>(0, from); t < duration_; ++t) {
+      slots_[f][static_cast<std::size_t>(t)] = kNoVariant;
+    }
+  }
+
+  std::optional<int> downgrade_from(trace::FunctionId f, trace::Minute t) {
+    if (t < 0 || t >= duration_) return std::nullopt;
+    const int current = slots_[f][static_cast<std::size_t>(t)];
+    if (current == kNoVariant) return std::nullopt;
+    for (trace::Minute m = t; m < duration_; ++m) {
+      int& slot = slots_[f][static_cast<std::size_t>(m)];
+      if (slot == kNoVariant) break;
+      slot = slot > 0 ? slot - 1 : kNoVariant;
+    }
+    return current;
+  }
+
+  void evict_from(trace::FunctionId f, trace::Minute t) {
+    if (t < 0 || t >= duration_) return;
+    for (trace::Minute m = t; m < duration_; ++m) {
+      int& slot = slots_[f][static_cast<std::size_t>(m)];
+      if (slot == kNoVariant) break;
+      slot = kNoVariant;
+    }
+  }
+
+  [[nodiscard]] int variant_at(trace::FunctionId f, trace::Minute t) const {
+    if (t < 0 || t >= duration_) return kNoVariant;
+    return slots_[f][static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] double memory_at(trace::Minute t) const {
+    if (t < 0 || t >= duration_) return 0.0;
+    double mem = 0.0;
+    for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
+      const int v = slots_[f][static_cast<std::size_t>(t)];
+      if (v != kNoVariant) {
+        mem += deployment_->family_of(f).variant(static_cast<std::size_t>(v)).memory_mb;
+      }
+    }
+    return mem;
+  }
+
+ private:
+  const Deployment* deployment_;
+  trace::Minute duration_;
+  std::vector<std::vector<int>> slots_;
+};
+
+class ScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleFuzz, AgreesWithReferenceModel) {
+  const auto zoo = models::ModelZoo::builtin();
+  constexpr std::size_t kFunctions = 5;
+  constexpr trace::Minute kDuration = 120;
+  const Deployment deployment = Deployment::round_robin(zoo, kFunctions);
+
+  KeepAliveSchedule real(deployment, kDuration);
+  ReferenceSchedule ref(deployment, kDuration);
+  util::Pcg32 rng(GetParam());
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto f = static_cast<trace::FunctionId>(rng.bounded(kFunctions));
+    const auto variants =
+        static_cast<std::uint32_t>(deployment.family_of(f).variant_count());
+    const auto t = static_cast<trace::Minute>(rng.bounded(kDuration + 20)) - 10;
+
+    switch (rng.bounded(5)) {
+      case 0: {
+        const int v = static_cast<int>(rng.bounded(variants + 1)) - 1;  // incl. kNoVariant
+        // Real set() throws on invalid variants, so only feed valid ones.
+        real.set(f, t, v);
+        ref.set(f, t, v);
+        break;
+      }
+      case 1: {
+        const int v = static_cast<int>(rng.bounded(variants));
+        const auto len = static_cast<trace::Minute>(rng.bounded(15));
+        real.fill(f, t, t + len, v);
+        ref.fill(f, t, t + len, v);
+        break;
+      }
+      case 2:
+        real.clear_from(f, std::max<trace::Minute>(0, t));
+        ref.clear_from(f, std::max<trace::Minute>(0, t));
+        break;
+      case 3: {
+        const auto a = real.downgrade_from(f, t);
+        const auto b = ref.downgrade_from(f, t);
+        ASSERT_EQ(a, b) << "step " << step;
+        break;
+      }
+      case 4:
+        real.evict_from(f, t);
+        ref.evict_from(f, t);
+        break;
+    }
+
+    // Spot-check observations each step; full sweep periodically.
+    const auto probe = static_cast<trace::Minute>(rng.bounded(kDuration));
+    ASSERT_EQ(real.variant_at(f, probe), ref.variant_at(f, probe)) << "step " << step;
+    ASSERT_DOUBLE_EQ(real.memory_at(probe), ref.memory_at(probe)) << "step " << step;
+    if (step % 200 == 0) {
+      for (trace::Minute m = 0; m < kDuration; ++m) {
+        for (trace::FunctionId g = 0; g < kFunctions; ++g) {
+          ASSERT_EQ(real.variant_at(g, m), ref.variant_at(g, m))
+              << "step " << step << " f=" << g << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace pulse::sim

@@ -1,0 +1,128 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::sim {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleTest()
+      : zoo_(models::ModelZoo::builtin()),
+        deployment_(Deployment::round_robin(zoo_, 4)),
+        schedule_(deployment_, 100) {}
+
+  models::ModelZoo zoo_;
+  Deployment deployment_;
+  KeepAliveSchedule schedule_;
+};
+
+TEST_F(ScheduleTest, StartsEmpty) {
+  for (trace::Minute t = 0; t < 100; ++t) {
+    EXPECT_EQ(schedule_.memory_at(t), 0.0);
+    for (trace::FunctionId f = 0; f < 4; ++f) {
+      EXPECT_EQ(schedule_.variant_at(f, t), kNoVariant);
+      EXPECT_FALSE(schedule_.is_alive(f, t));
+    }
+  }
+}
+
+TEST_F(ScheduleTest, SetAndReadBack) {
+  schedule_.set(0, 10, 1);
+  EXPECT_EQ(schedule_.variant_at(0, 10), 1);
+  EXPECT_TRUE(schedule_.is_alive(0, 10));
+  EXPECT_EQ(schedule_.variant_at(0, 11), kNoVariant);
+}
+
+TEST_F(ScheduleTest, OutOfHorizonSetIsIgnored) {
+  schedule_.set(0, 100, 1);   // beyond the end: no-op by design
+  schedule_.set(0, -1, 1);    // before the start: no-op
+  EXPECT_EQ(schedule_.variant_at(0, 100), kNoVariant);
+}
+
+TEST_F(ScheduleTest, InvalidVariantThrows) {
+  const int too_big = static_cast<int>(deployment_.family_of(0).variant_count());
+  EXPECT_THROW(schedule_.set(0, 5, too_big), std::out_of_range);
+  EXPECT_THROW(schedule_.set(0, 5, -7), std::out_of_range);
+}
+
+TEST_F(ScheduleTest, FillCoversRangeAndClips) {
+  schedule_.fill(1, 95, 120, 0);
+  for (trace::Minute t = 95; t < 100; ++t) EXPECT_EQ(schedule_.variant_at(1, t), 0);
+  EXPECT_EQ(schedule_.variant_at(1, 94), kNoVariant);
+}
+
+TEST_F(ScheduleTest, ClearFromErasesTail) {
+  schedule_.fill(0, 10, 30, 1);
+  schedule_.clear_from(0, 20);
+  EXPECT_EQ(schedule_.variant_at(0, 19), 1);
+  EXPECT_EQ(schedule_.variant_at(0, 20), kNoVariant);
+  EXPECT_EQ(schedule_.variant_at(0, 29), kNoVariant);
+}
+
+TEST_F(ScheduleTest, MemorySumsKeptVariants) {
+  schedule_.set(0, 50, 0);
+  schedule_.set(1, 50, 1);
+  const double expected = deployment_.family_of(0).variant(0).memory_mb +
+                          deployment_.family_of(1).variant(1).memory_mb;
+  EXPECT_DOUBLE_EQ(schedule_.memory_at(50), expected);
+}
+
+TEST_F(ScheduleTest, KeptAliveAtListsPairs) {
+  schedule_.set(2, 7, 1);
+  schedule_.set(0, 7, 0);
+  const auto kept = schedule_.kept_alive_at(7);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].first, 0u);
+  EXPECT_EQ(kept[0].second, 0u);
+  EXPECT_EQ(kept[1].first, 2u);
+  EXPECT_EQ(kept[1].second, 1u);
+}
+
+TEST_F(ScheduleTest, DowngradeFromLowersWholeTail) {
+  schedule_.fill(0, 10, 20, 1);
+  const auto prev = schedule_.downgrade_from(0, 12);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, 1);
+  EXPECT_EQ(schedule_.variant_at(0, 11), 1);  // before t untouched
+  for (trace::Minute t = 12; t < 20; ++t) EXPECT_EQ(schedule_.variant_at(0, t), 0);
+}
+
+TEST_F(ScheduleTest, DowngradeLowestDropsContainer) {
+  schedule_.fill(0, 10, 15, 0);
+  const auto prev = schedule_.downgrade_from(0, 10);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, 0);
+  for (trace::Minute t = 10; t < 15; ++t) {
+    EXPECT_EQ(schedule_.variant_at(0, t), kNoVariant);
+  }
+}
+
+TEST_F(ScheduleTest, DowngradeNothingScheduledIsNoop) {
+  EXPECT_FALSE(schedule_.downgrade_from(0, 10).has_value());
+}
+
+TEST_F(ScheduleTest, DowngradeStopsAtWindowGap) {
+  schedule_.set(0, 10, 1);
+  schedule_.set(0, 30, 1);  // a later, disjoint keep-alive stretch
+  ASSERT_TRUE(schedule_.downgrade_from(0, 10).has_value());
+  EXPECT_EQ(schedule_.variant_at(0, 10), 0);
+  // The disjoint later window belongs to a different keep-alive decision
+  // and must be untouched.
+  EXPECT_EQ(schedule_.variant_at(0, 30), 1);
+  EXPECT_EQ(schedule_.variant_at(0, 20), kNoVariant);
+}
+
+TEST_F(ScheduleTest, DowngradeReducesMemory) {
+  schedule_.fill(0, 10, 20, 1);
+  const double before = schedule_.memory_at(10);
+  schedule_.downgrade_from(0, 10);
+  EXPECT_LT(schedule_.memory_at(10), before);
+}
+
+TEST_F(ScheduleTest, NegativeDurationThrows) {
+  EXPECT_THROW(KeepAliveSchedule(deployment_, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulse::sim

@@ -1,0 +1,85 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pulse::trace {
+namespace {
+
+TEST(InterArrivalProfile, EmptyFunction) {
+  Trace t(1, 100);
+  const auto p = interarrival_profile(t, 0);
+  EXPECT_EQ(p.observed_invocations, 0u);
+  EXPECT_EQ(p.beyond_window, 0.0);
+}
+
+TEST(InterArrivalProfile, PeriodicFunctionConcentratesAtPeriod) {
+  Trace t(1, 1000);
+  for (Minute m = 0; m < 1000; m += 4) t.set_count(0, m, 1);
+  const auto p = interarrival_profile(t, 0);
+  EXPECT_GT(p.within_window[3], 99.0);  // offset 4 -> index 3
+  EXPECT_LT(p.beyond_window, 1.0);
+}
+
+TEST(InterArrivalProfile, GapBeyondWindowCountsAsBeyond) {
+  Trace t(1, 100);
+  t.set_count(0, 0, 1);
+  t.set_count(0, 50, 1);  // gap of 50 > 10
+  const auto p = interarrival_profile(t, 0);
+  EXPECT_EQ(p.observed_invocations, 2u);
+  // First invocation's follow-up is beyond the window; the last invocation
+  // has no follow-up at all -> both count as beyond.
+  EXPECT_DOUBLE_EQ(p.beyond_window, 100.0);
+}
+
+TEST(InterArrivalProfile, PercentagesSumToHundred) {
+  Trace t(1, 2000);
+  for (Minute m = 0; m < 2000; m += 7) t.set_count(0, m, 1);
+  const auto p = interarrival_profile(t, 0);
+  const double sum =
+      std::accumulate(p.within_window.begin(), p.within_window.end(), p.beyond_window);
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(InterArrivalProfile, WindowRestriction) {
+  Trace t(1, 100);
+  // Offsets of 2 in the first half, 5 in the second half.
+  for (Minute m = 0; m < 50; m += 2) t.set_count(0, m, 1);
+  for (Minute m = 50; m < 100; m += 5) t.set_count(0, m, 1);
+  const auto first = interarrival_profile(t, 0, 0, 49);
+  const auto second = interarrival_profile(t, 0, 50, 100);
+  EXPECT_GT(first.within_window[1], 90.0);   // gap 2 dominates
+  EXPECT_GT(second.within_window[4], 80.0);  // gap 5 dominates
+}
+
+TEST(InterArrivalProfileByThirds, DetectsDrift) {
+  Trace t(1, 300);
+  for (Minute m = 0; m < 100; m += 2) t.set_count(0, m, 1);
+  for (Minute m = 100; m < 200; m += 9) t.set_count(0, m, 1);
+  for (Minute m = 200; m < 300; m += 5) t.set_count(0, m, 1);
+  const auto thirds = interarrival_profile_by_thirds(t, 0);
+  EXPECT_GT(thirds[0].within_window[1], 90.0);
+  EXPECT_GT(thirds[1].within_window[8], 80.0);
+  EXPECT_GT(thirds[2].within_window[4], 80.0);
+}
+
+TEST(InterArrivalGaps, BasicGaps) {
+  Trace t(1, 50);
+  t.set_count(0, 1, 1);
+  t.set_count(0, 4, 2);  // count > 1 still one invocation minute
+  t.set_count(0, 10, 1);
+  EXPECT_EQ(interarrival_gaps(t, 0), (std::vector<Minute>{3, 6}));
+}
+
+TEST(InterArrivalGaps, FewerThanTwoInvocations) {
+  Trace t(1, 50);
+  EXPECT_TRUE(interarrival_gaps(t, 0).empty());
+  t.set_count(0, 5, 1);
+  EXPECT_TRUE(interarrival_gaps(t, 0).empty());
+}
+
+TEST(KeepAliveWindowConstant, IsTenMinutes) { EXPECT_EQ(kKeepAliveWindow, 10); }
+
+}  // namespace
+}  // namespace pulse::trace

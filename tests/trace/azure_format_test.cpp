@@ -1,0 +1,140 @@
+#include "trace/azure_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/workload.hpp"
+
+namespace pulse::trace {
+namespace {
+
+class AzureFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "pulse_azure_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes a minimal day file with given function rows; each row is
+  /// (owner, app, fn, minute -> count map).
+  std::filesystem::path write_day(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::map<Minute, std::uint32_t>>>& fns,
+      bool with_header = true) {
+    const auto path = dir_ / name;
+    std::ofstream os(path);
+    if (with_header) {
+      os << "HashOwner,HashApp,HashFunction,Trigger";
+      for (Minute m = 1; m <= kMinutesPerDay; ++m) os << ',' << m;
+      os << '\n';
+    }
+    for (const auto& [fn, counts] : fns) {
+      os << "o1,a1," << fn << ",http";
+      for (Minute m = 0; m < kMinutesPerDay; ++m) {
+        const auto it = counts.find(m);
+        os << ',' << (it == counts.end() ? 0u : it->second);
+      }
+      os << '\n';
+    }
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(AzureFormatTest, LoadSingleDay) {
+  const auto path = write_day("day1.csv", {{"f1", {{0, 3}, {100, 1}}}, {"f2", {{5, 2}}}});
+  const AzureTrace azure = load_azure_day_csv(path);
+  ASSERT_EQ(azure.functions.size(), 2u);
+  EXPECT_EQ(azure.functions[0].function, "f1");
+  EXPECT_EQ(azure.trace.duration(), kMinutesPerDay);
+  EXPECT_EQ(azure.trace.count(0, 0), 3u);
+  EXPECT_EQ(azure.trace.count(0, 100), 1u);
+  EXPECT_EQ(azure.trace.count(1, 5), 2u);
+  EXPECT_EQ(azure.trace.function_name(0), "o1/a1/f1");
+}
+
+TEST_F(AzureFormatTest, LoadWithoutHeader) {
+  const auto path = write_day("nohdr.csv", {{"f1", {{7, 4}}}}, /*with_header=*/false);
+  const AzureTrace azure = load_azure_day_csv(path);
+  EXPECT_EQ(azure.trace.count(0, 7), 4u);
+}
+
+TEST_F(AzureFormatTest, MultiDayConcatenation) {
+  const auto day1 = write_day("d1.csv", {{"f1", {{10, 1}}}, {"f2", {{20, 2}}}});
+  const auto day2 = write_day("d2.csv", {{"f2", {{30, 3}}}, {"f3", {{40, 4}}}});
+  const AzureTrace azure = load_azure_days({day1, day2});
+
+  ASSERT_EQ(azure.functions.size(), 3u);  // union of f1, f2, f3
+  EXPECT_EQ(azure.trace.duration(), 2 * kMinutesPerDay);
+  EXPECT_EQ(azure.trace.count(0, 10), 1u);                       // f1 day 1
+  EXPECT_EQ(azure.trace.count(1, kMinutesPerDay + 30), 3u);      // f2 day 2
+  EXPECT_EQ(azure.trace.count(2, kMinutesPerDay + 40), 4u);      // f3 day 2
+  EXPECT_EQ(azure.trace.count(0, kMinutesPerDay + 10), 0u);      // f1 absent day 2
+}
+
+TEST_F(AzureFormatTest, MalformedWidthThrows) {
+  const auto path = dir_ / "bad.csv";
+  std::ofstream(path) << "o,a,f,http,1,2,3\n";
+  EXPECT_THROW(load_azure_day_csv(path), std::runtime_error);
+}
+
+TEST_F(AzureFormatTest, MalformedCountThrows) {
+  const auto path = dir_ / "badcount.csv";
+  std::ofstream os(path);
+  os << "o,a,f,http";
+  for (Minute m = 1; m <= kMinutesPerDay; ++m) os << (m == 3 ? ",xyz" : ",0");
+  os << '\n';
+  os.close();
+  EXPECT_THROW(load_azure_day_csv(path), std::runtime_error);
+}
+
+TEST_F(AzureFormatTest, MissingFileThrows) {
+  EXPECT_THROW(load_azure_day_csv(dir_ / "nope.csv"), std::runtime_error);
+  EXPECT_THROW(load_azure_days({}), std::invalid_argument);
+}
+
+TEST_F(AzureFormatTest, SelectTopFunctions) {
+  const auto path = write_day(
+      "top.csv", {{"cold", {{1, 1}}}, {"hot", {{1, 50}, {2, 50}}}, {"warm", {{1, 5}}}});
+  const AzureTrace azure = load_azure_day_csv(path);
+  const Trace top2 = select_top_functions(azure, 2);
+  ASSERT_EQ(top2.function_count(), 2u);
+  EXPECT_EQ(top2.function_name(0), "o1/a1/hot");
+  EXPECT_EQ(top2.function_name(1), "o1/a1/warm");
+  EXPECT_EQ(top2.total_invocations(0), 100u);
+}
+
+TEST_F(AzureFormatTest, SelectMoreThanAvailableClamps) {
+  const auto path = write_day("few.csv", {{"f1", {{1, 1}}}});
+  const AzureTrace azure = load_azure_day_csv(path);
+  EXPECT_EQ(select_top_functions(azure, 10).function_count(), 1u);
+}
+
+TEST_F(AzureFormatTest, ExportRoundTrip) {
+  // Generate a workload, export it in Azure format, reload, and compare.
+  WorkloadConfig config;
+  config.function_count = 3;
+  config.duration = 2 * kMinutesPerDay;
+  const Workload workload = build_azure_like_workload(config);
+
+  const auto out_dir = dir_ / "export";
+  save_azure_day_csvs(workload.trace, out_dir);
+  const AzureTrace back = load_azure_days(
+      {out_dir / "invocations_day_1.csv", out_dir / "invocations_day_2.csv"});
+
+  ASSERT_EQ(back.trace.function_count(), 3u);
+  ASSERT_EQ(back.trace.duration(), workload.trace.duration());
+  for (FunctionId f = 0; f < 3; ++f) {
+    for (Minute t = 0; t < workload.trace.duration(); ++t) {
+      ASSERT_EQ(back.trace.count(f, t), workload.trace.count(f, t))
+          << "f=" << f << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pulse::trace

@@ -1,0 +1,93 @@
+#include "trace/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/patterns.hpp"
+
+namespace pulse::trace {
+namespace {
+
+Trace generate(const PatternPtr& p, Minute duration, std::uint64_t seed = 1) {
+  Trace t(1, duration);
+  util::Pcg32 rng(seed);
+  p->generate(t, 0, rng);
+  return t;
+}
+
+TEST(Classifier, IdleFunction) {
+  Trace t(1, 1000);
+  t.set_count(0, 5, 1);
+  EXPECT_EQ(classify(t, 0), PatternClass::kIdle);
+}
+
+TEST(Classifier, PeriodicFunction) {
+  const Trace t = generate(periodic(7, 0, 0, 0.0), 5000);
+  EXPECT_EQ(classify(t, 0), PatternClass::kPeriodic);
+}
+
+TEST(Classifier, SteadyPoissonFunction) {
+  const Trace t = generate(steady_poisson(0.4), 5000, 2);
+  EXPECT_EQ(classify(t, 0), PatternClass::kSteady);
+}
+
+TEST(Classifier, HeavyTailFunction) {
+  const Trace t = generate(heavy_tail(1.2, 1.15), 60000, 3);
+  const PatternClass c = classify(t, 0);
+  EXPECT_TRUE(c == PatternClass::kHeavyTail || c == PatternClass::kBursty)
+      << to_string(c);
+}
+
+TEST(Classifier, DiurnalFunction) {
+  // Pure day/night contrast, no invocations at night at all.
+  Trace t(1, 14 * kMinutesPerDay);
+  util::Pcg32 rng(4);
+  for (Minute m = 0; m < t.duration(); ++m) {
+    const Minute hour = (m % kMinutesPerDay) / 60;
+    if (hour >= 9 && hour < 17 && rng.bernoulli(0.5)) t.add_invocations(0, m, 1);
+  }
+  EXPECT_EQ(classify(t, 0), PatternClass::kDiurnal);
+}
+
+TEST(Classifier, BurstyFunction) {
+  // Quiet floor with huge rare clusters.
+  Trace t(1, 20000);
+  util::Pcg32 rng(5);
+  for (Minute m = 0; m < t.duration(); m += 17) t.add_invocations(0, m, 1);
+  for (Minute burst = 500; burst < 20000; burst += 2500) {
+    for (Minute dm = 0; dm < 5; ++dm) t.add_invocations(0, burst + dm, 40);
+  }
+  EXPECT_EQ(classify(t, 0), PatternClass::kBursty);
+}
+
+TEST(Classifier, FeaturesAreFinite) {
+  const Trace t = generate(bursty(0.1, 0.01, 5, 4.0), 5000, 6);
+  const PatternFeatures f = extract_features(t, 0);
+  EXPECT_GT(f.invocations, 0u);
+  EXPECT_GE(f.gap_mean, 1.0);
+  EXPECT_GE(f.gap_cv, 0.0);
+  EXPECT_GE(f.dominant_gap_share, 0.0);
+  EXPECT_LE(f.dominant_gap_share, 1.0);
+  EXPECT_GE(f.diurnal_contrast, 0.0);
+  EXPECT_LE(f.diurnal_contrast, 1.0);
+  EXPECT_GE(f.burst_concentration, 0.0);
+  EXPECT_LE(f.burst_concentration, 1.0);
+}
+
+TEST(Classifier, EmptyFunctionFeatures) {
+  Trace t(1, 100);
+  const PatternFeatures f = extract_features(t, 0);
+  EXPECT_EQ(f.invocations, 0u);
+  EXPECT_EQ(classify(f), PatternClass::kIdle);
+}
+
+TEST(Classifier, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(PatternClass::kIdle), "idle");
+  EXPECT_EQ(to_string(PatternClass::kPeriodic), "periodic");
+  EXPECT_EQ(to_string(PatternClass::kSteady), "steady");
+  EXPECT_EQ(to_string(PatternClass::kDiurnal), "diurnal");
+  EXPECT_EQ(to_string(PatternClass::kBursty), "bursty");
+  EXPECT_EQ(to_string(PatternClass::kHeavyTail), "heavy-tail");
+}
+
+}  // namespace
+}  // namespace pulse::trace

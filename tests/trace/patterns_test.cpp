@@ -1,0 +1,158 @@
+#include "trace/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::trace {
+namespace {
+
+Trace generate(const PatternPtr& p, Minute duration, std::uint64_t seed = 1) {
+  Trace t(1, duration);
+  util::Pcg32 rng(seed);
+  p->generate(t, 0, rng);
+  return t;
+}
+
+TEST(Patterns, SteadyPoissonRateMatches) {
+  const auto t = generate(steady_poisson(0.5), 20000);
+  const double rate = static_cast<double>(t.total_invocations()) / 20000.0;
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(Patterns, SteadyPoissonZeroRateIsSilent) {
+  const auto t = generate(steady_poisson(0.0), 1000);
+  EXPECT_EQ(t.total_invocations(), 0u);
+}
+
+TEST(Patterns, PeriodicExactWithoutJitter) {
+  const auto t = generate(periodic(5, 0, 0, 0.0), 50);
+  EXPECT_EQ(t.total_invocations(), 10u);
+  for (Minute m : t.invocation_minutes(0)) EXPECT_EQ(m % 5, 0);
+}
+
+TEST(Patterns, PeriodicPhaseOffset) {
+  const auto t = generate(periodic(10, 3, 0, 0.0), 40);
+  EXPECT_EQ(t.invocation_minutes(0), (std::vector<Minute>{3, 13, 23, 33}));
+}
+
+TEST(Patterns, PeriodicMissProbabilityDropsFirings) {
+  const auto all = generate(periodic(2, 0, 0, 0.0), 10000);
+  const auto half = generate(periodic(2, 0, 0, 0.5), 10000);
+  EXPECT_LT(half.total_invocations(), all.total_invocations() * 3 / 4);
+  EXPECT_GT(half.total_invocations(), all.total_invocations() / 4);
+}
+
+TEST(Patterns, PeriodicJitterStaysNearGrid) {
+  const auto t = generate(periodic(10, 0, 2, 0.0), 1000);
+  for (Minute m : t.invocation_minutes(0)) {
+    const Minute nearest = ((m + 5) / 10) * 10;
+    EXPECT_LE(std::abs(m - nearest), 2);
+  }
+}
+
+TEST(Patterns, DiurnalPeaksAtConfiguredMinute) {
+  // Rate at the configured peak minute should greatly exceed the trough.
+  const Minute peak_at = 12 * 60;
+  const auto t = generate(diurnal(0.0, 2.0, peak_at), 14 * kMinutesPerDay, 3);
+  std::uint64_t near_peak = 0;
+  std::uint64_t near_trough = 0;
+  for (Minute day = 0; day < 14; ++day) {
+    for (Minute dm = -30; dm < 30; ++dm) {
+      near_peak += t.count(0, day * kMinutesPerDay + peak_at + dm);
+      const Minute trough = day * kMinutesPerDay + ((peak_at + 12 * 60) % kMinutesPerDay);
+      near_trough += t.count(0, trough + dm);
+    }
+  }
+  EXPECT_GT(near_peak, near_trough * 5);
+}
+
+TEST(Patterns, NocturnalIsPhaseFlipped) {
+  const Minute peak_at = 14 * 60;
+  const auto day_fn = generate(diurnal(0.0, 1.0, peak_at, false), 7 * kMinutesPerDay, 4);
+  const auto night_fn = generate(diurnal(0.0, 1.0, peak_at, true), 7 * kMinutesPerDay, 4);
+  // Count invocations in the diurnal peak hour for both.
+  std::uint64_t day_hits = 0;
+  std::uint64_t night_hits = 0;
+  for (Minute day = 0; day < 7; ++day) {
+    for (Minute dm = 0; dm < 60; ++dm) {
+      day_hits += day_fn.count(0, day * kMinutesPerDay + peak_at + dm);
+      night_hits += night_fn.count(0, day * kMinutesPerDay + peak_at + dm);
+    }
+  }
+  EXPECT_GT(day_hits, night_hits * 3);
+}
+
+TEST(Patterns, BurstyHasQuietAndLoudMinutes) {
+  const auto t = generate(bursty(0.0, 0.01, 5, 5.0), 20000, 5);
+  const auto agg = t.aggregate_series();
+  std::size_t quiet = 0;
+  std::size_t loud = 0;
+  for (auto c : agg) {
+    if (c == 0) ++quiet;
+    if (c >= 3) ++loud;
+  }
+  EXPECT_GT(quiet, agg.size() / 2);  // mostly idle
+  EXPECT_GT(loud, 10u);             // but real bursts exist
+}
+
+TEST(Patterns, HeavyTailProducesLongGaps) {
+  const auto t = generate(heavy_tail(1.2, 1.2), 50000, 6);
+  const auto minutes = t.invocation_minutes(0);
+  ASSERT_GT(minutes.size(), 100u);
+  Minute max_gap = 0;
+  for (std::size_t i = 1; i < minutes.size(); ++i) {
+    max_gap = std::max(max_gap, minutes[i] - minutes[i - 1]);
+  }
+  EXPECT_GT(max_gap, 60);  // heavy tail -> occasional very long silences
+}
+
+TEST(Patterns, IntermittentRespectsOffPhase) {
+  const auto t = generate(intermittent(10, 20, 1.0), 3000, 7);
+  for (Minute m = 0; m < 3000; ++m) {
+    if (m % 30 >= 10) EXPECT_EQ(t.count(0, m), 0u) << "minute " << m;
+  }
+  EXPECT_GT(t.total_invocations(), 0u);
+}
+
+TEST(Patterns, DriftingUsesDifferentThirds) {
+  // First third periodic(5), middle silent, last periodic(10).
+  auto p = drifting(periodic(5, 0, 0, 0.0), steady_poisson(0.0), periodic(10, 0, 0, 0.0));
+  const auto t = generate(p, 300, 8);
+  std::uint64_t first = 0;
+  std::uint64_t middle = 0;
+  std::uint64_t last = 0;
+  for (Minute m = 0; m < 100; ++m) first += t.count(0, m);
+  for (Minute m = 100; m < 200; ++m) middle += t.count(0, m);
+  for (Minute m = 200; m < 300; ++m) last += t.count(0, m);
+  EXPECT_EQ(first, 20u);
+  EXPECT_EQ(middle, 0u);
+  EXPECT_EQ(last, 10u);
+}
+
+TEST(Patterns, LabelsAreDescriptive) {
+  EXPECT_NE(steady_poisson(0.1)->label().find("poisson"), std::string::npos);
+  EXPECT_NE(periodic(7)->label().find("periodic(7"), std::string::npos);
+  EXPECT_EQ(diurnal(0.1, 1.0)->label(), "diurnal");
+  EXPECT_EQ(diurnal(0.1, 1.0, 14 * 60, true)->label(), "nocturnal");
+  EXPECT_EQ(bursty(0.1, 0.01, 5, 2.0)->label(), "bursty");
+  EXPECT_NE(heavy_tail(1.0, 1.3)->label().find("heavy_tail"), std::string::npos);
+  EXPECT_EQ(intermittent(10, 10, 1.0)->label(), "intermittent");
+  EXPECT_NE(drifting(periodic(3), periodic(4), periodic(5))->label().find("drifting"),
+            std::string::npos);
+}
+
+TEST(Patterns, GenerationIsDeterministicInSeed) {
+  const auto a = generate(bursty(0.02, 0.01, 5, 3.0), 5000, 42);
+  const auto b = generate(bursty(0.02, 0.01, 5, 3.0), 5000, 42);
+  for (Minute m = 0; m < 5000; ++m) EXPECT_EQ(a.count(0, m), b.count(0, m));
+}
+
+TEST(Patterns, PatternsCompose) {
+  Trace t(1, 100);
+  util::Pcg32 rng(9);
+  periodic(10, 0, 0, 0.0)->generate(t, 0, rng);
+  periodic(10, 0, 0, 0.0)->generate(t, 0, rng);
+  EXPECT_EQ(t.count(0, 0), 2u);  // additive generation
+}
+
+}  // namespace
+}  // namespace pulse::trace

@@ -1,0 +1,88 @@
+// Additional peak-finding and peak-window behaviours used by the
+// Tables II/III bench: tie handling, separation at the horizon edges, and
+// slicing around a found peak.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/workload.hpp"
+
+namespace pulse::trace {
+namespace {
+
+TEST(PeakFinding, TiesResolveDeterministically) {
+  Trace t(1, 100);
+  t.set_count(0, 20, 10);
+  t.set_count(0, 80, 10);  // same volume
+  const auto a = find_peak_minutes(t, 2);
+  const auto b = find_peak_minutes(t, 2);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 20);
+  EXPECT_EQ(a[1], 80);
+}
+
+TEST(PeakFinding, FewerPeaksThanRequested) {
+  Trace t(1, 50);
+  t.set_count(0, 10, 5);
+  const auto peaks = find_peak_minutes(t, 3);
+  // Every minute qualifies as a candidate, but separation filters most;
+  // the top pick must be the true maximum.
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_EQ(t.invocations_at(peaks[0] == 10 ? peaks[0] : 10), 5u);
+  EXPECT_TRUE(std::find(peaks.begin(), peaks.end(), 10) != peaks.end());
+}
+
+TEST(PeakFinding, SeparationAppliesAcrossRanks) {
+  Trace t(1, 300);
+  t.set_count(0, 100, 50);
+  t.set_count(0, 120, 49);  // suppressed: within 60 of the max
+  t.set_count(0, 200, 10);
+  const auto peaks = find_peak_minutes(t, 2, 60);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 100);
+  EXPECT_EQ(peaks[1], 200);
+}
+
+TEST(PeakFinding, EmptyTraceStillReturnsMinutes) {
+  // With an all-zero aggregate, "peaks" are arbitrary but must respect the
+  // separation constraint and be in range.
+  Trace t(2, 200);
+  const auto peaks = find_peak_minutes(t, 2, 60);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_GE(peaks[0], 0);
+  EXPECT_LT(peaks[1], 200);
+  EXPECT_GE(peaks[1] - peaks[0], 60);
+}
+
+TEST(PeakWindow, SliceAroundPeakPreservesCounts) {
+  // The Tables II/III flow: find the peak, slice a window around it, and
+  // verify the window holds exactly the original counts.
+  trace::WorkloadConfig config;
+  config.function_count = 4;
+  config.duration = 1000;
+  config.peak_intensity = 10.0;
+  const Workload w = build_azure_like_workload(config);
+  const auto peaks = find_peak_minutes(w.trace, 1);
+  ASSERT_FALSE(peaks.empty());
+  const Minute p = peaks[0];
+
+  const Minute begin = std::max<Minute>(0, p - 2);
+  const Minute end = std::min<Minute>(w.trace.duration(), p + 13);
+  const Trace window = w.trace.slice(begin, end);
+  for (FunctionId f = 0; f < window.function_count(); ++f) {
+    for (Minute m = 0; m < window.duration(); ++m) {
+      ASSERT_EQ(window.count(f, m), w.trace.count(f, begin + m));
+    }
+  }
+  // The peak minute is the window's aggregate maximum.
+  const auto agg = window.aggregate_series();
+  const Minute local_peak = p - begin;
+  for (std::size_t m = 0; m < agg.size(); ++m) {
+    EXPECT_LE(agg[m], agg[static_cast<std::size_t>(local_peak)]);
+  }
+}
+
+}  // namespace
+}  // namespace pulse::trace

@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  CliParser cli("test");
+  cli.add_flag("runs", "100", "number of runs");
+  const auto args = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(cli.get_int("runs"), 100);
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli("test");
+  cli.add_flag("seed", "1", "seed");
+  const auto args = argv_of({"prog", "--seed=42"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(cli.get_int("seed"), 42);
+}
+
+TEST(Cli, SpaceSyntax) {
+  CliParser cli("test");
+  cli.add_flag("policy", "pulse", "policy name");
+  const auto args = argv_of({"prog", "--policy", "wild"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(cli.get_string("policy"), "wild");
+}
+
+TEST(Cli, SwitchDefaultsFalse) {
+  CliParser cli("test");
+  cli.add_switch("verbose", "log more");
+  const auto args = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SwitchSetsTrue) {
+  CliParser cli("test");
+  cli.add_switch("verbose", "log more");
+  const auto args = argv_of({"prog", "--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("test");
+  const auto args = argv_of({"prog", "--bogus=1"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("test");
+  cli.add_flag("n", "1", "count");
+  const auto args = argv_of({"prog", "--n"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser cli("test");
+  const auto args = argv_of({"prog", "--help"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(Cli, PositionalArgsCollected) {
+  CliParser cli("test");
+  cli.add_flag("x", "0", "x");
+  const auto args = argv_of({"prog", "input.csv", "--x=1", "more"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+}
+
+TEST(Cli, DoubleParsing) {
+  CliParser cli("test");
+  cli.add_flag("threshold", "0.1", "KM_T");
+  const auto args = argv_of({"prog", "--threshold=0.15"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("threshold"), 0.15);
+}
+
+TEST(Cli, UnregisteredGetterThrows) {
+  CliParser cli("test");
+  EXPECT_THROW(cli.get_string("nope"), std::invalid_argument);
+}
+
+TEST(Cli, UsageListsFlags) {
+  CliParser cli("my program");
+  cli.add_flag("runs", "100", "ensemble size");
+  cli.add_switch("fast", "fewer runs");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--runs"), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("ensemble size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pulse::util

@@ -1,0 +1,92 @@
+// Model-based fuzzing of IntHistogram against a plain multiset reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pulse::util {
+namespace {
+
+class HistogramFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramFuzz, AgreesWithMultisetReference) {
+  constexpr std::size_t kCapacity = 32;
+  IntHistogram hist(kCapacity);
+  std::vector<std::size_t> samples;  // in-range and overflow values
+  util::Pcg32 rng(GetParam());
+
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.bernoulli(0.02)) {
+      hist.clear();
+      samples.clear();
+    } else {
+      const std::size_t value = rng.bounded(48);  // ~1/3 overflow
+      const std::uint64_t weight = 1 + rng.bounded(3);
+      hist.add(value, weight);
+      for (std::uint64_t w = 0; w < weight; ++w) samples.push_back(value);
+    }
+
+    // Totals and overflow.
+    const auto overflow = static_cast<std::uint64_t>(
+        std::count_if(samples.begin(), samples.end(),
+                      [](std::size_t v) { return v > kCapacity; }));
+    ASSERT_EQ(hist.total(), samples.size());
+    ASSERT_EQ(hist.overflow(), overflow);
+
+    // Probability of a random value.
+    const std::size_t probe = rng.bounded(48);
+    const auto count = static_cast<std::uint64_t>(
+        std::count(samples.begin(), samples.end(), probe));
+    if (probe <= kCapacity) {
+      if (samples.empty()) {
+        ASSERT_EQ(hist.probability(probe), 0.0);
+      } else {
+        ASSERT_DOUBLE_EQ(hist.probability(probe),
+                         static_cast<double>(count) / static_cast<double>(samples.size()));
+      }
+    }
+
+    // Percentile against a sorted in-range reference.
+    std::vector<std::size_t> in_range;
+    for (std::size_t v : samples) {
+      if (v <= kCapacity) in_range.push_back(v);
+    }
+    std::sort(in_range.begin(), in_range.end());
+    const double p = rng.uniform();
+    const auto hist_pct = hist.percentile_value(p);
+    if (in_range.empty()) {
+      ASSERT_FALSE(hist_pct.has_value());
+    } else {
+      // Reference: smallest v with CDF(v) >= p.
+      const double target = p * static_cast<double>(in_range.size());
+      std::size_t cum = 0;
+      std::size_t expected = in_range.back();
+      for (std::size_t v = 0; v <= kCapacity; ++v) {
+        cum += static_cast<std::size_t>(
+            std::count(in_range.begin(), in_range.end(), v));
+        if (static_cast<double>(cum) >= target && cum > 0) {
+          expected = v;
+          break;
+        }
+      }
+      ASSERT_TRUE(hist_pct.has_value());
+      ASSERT_EQ(*hist_pct, expected) << "p=" << p;
+    }
+
+    // In-range mean.
+    if (!in_range.empty()) {
+      std::vector<double> as_double(in_range.begin(), in_range.end());
+      ASSERT_NEAR(hist.in_range_mean(), mean(as_double), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramFuzz, ::testing::Values(21u, 34u, 55u));
+
+}  // namespace
+}  // namespace pulse::util

@@ -1,0 +1,62 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ToStringNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LoggingTest, BelowThresholdDoesNotEvaluateStream) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  PULSE_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, AtThresholdEvaluatesStream) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  testing::internal::CaptureStderr();
+  PULSE_LOG_ERROR << expensive();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("payload"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kError, "should not appear");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace pulse::util

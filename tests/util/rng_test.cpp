@@ -1,0 +1,173 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pulse::util {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Pcg32, DeterministicStream) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRange) {
+  Pcg32 rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Pcg32, UniformMeanIsCentered) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 rng(12);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Pcg32, BoundedOneAlwaysZero) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Pcg32, BoundedCoversAllValues) {
+  Pcg32 rng(14);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32, BernoulliExtremes) {
+  Pcg32 rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Distributions, NormalMoments) {
+  Pcg32 rng(20);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = normal(rng, 10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / kN;
+  const double var = sq / kN - m * m;
+  EXPECT_NEAR(m, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Distributions, LognormalMeanCvMatchesTarget) {
+  Pcg32 rng(21);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += lognormal_mean_cv(rng, 3.0, 0.2);
+  EXPECT_NEAR(sum / kN, 3.0, 0.02);
+}
+
+TEST(Distributions, LognormalZeroCvIsDeterministic) {
+  Pcg32 rng(22);
+  EXPECT_DOUBLE_EQ(lognormal_mean_cv(rng, 5.0, 0.0), 5.0);
+}
+
+TEST(Distributions, LognormalNonPositiveMeanIsZero) {
+  Pcg32 rng(23);
+  EXPECT_DOUBLE_EQ(lognormal_mean_cv(rng, 0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(lognormal_mean_cv(rng, -1.0, 0.5), 0.0);
+}
+
+TEST(Distributions, PoissonMeanMatchesLambda) {
+  Pcg32 rng(24);
+  for (double lambda : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += poisson(rng, lambda);
+    EXPECT_NEAR(sum / kN, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Distributions, PoissonZeroLambdaIsZero) {
+  Pcg32 rng(25);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(poisson(rng, 0.0), 0);
+}
+
+TEST(Distributions, PoissonNeverNegative) {
+  Pcg32 rng(26);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(poisson(rng, 2.5), 0);
+}
+
+TEST(Distributions, ParetoAtLeastScale) {
+  Pcg32 rng(27);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(pareto(rng, 2.0, 1.5), 2.0);
+}
+
+TEST(Distributions, ParetoHeavyTail) {
+  // With alpha = 1.1 the sample max should dwarf the median.
+  Pcg32 rng(28);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(pareto(rng, 1.0, 1.1));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_GT(xs.back() / xs[xs.size() / 2], 50.0);
+}
+
+TEST(Distributions, ExponentialPositiveAndMeanMatches) {
+  Pcg32 rng(29);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = exponential(rng, 0.5);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace pulse::util

@@ -1,0 +1,205 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pulse::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, VarianceMatchesHandComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfSingleElementIsZero) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 2.0 / 5.0);
+}
+
+TEST(Stats, CoefficientOfVariationZeroMean) {
+  const std::vector<double> xs{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(Stats, PercentileBounds) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(Stats, PercentileEmptyIsZero) { EXPECT_EQ(percentile({}, 50), 0.0); }
+
+TEST(Stats, MinMaxSum) {
+  const std::vector<double> xs{4.0, -2.0, 7.5};
+  EXPECT_DOUBLE_EQ(min_of(xs), -2.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.5);
+  EXPECT_DOUBLE_EQ(sum(xs), 9.5);
+}
+
+// --- Equation 1 (min-max normalization) ---
+
+TEST(MinMaxNormalize, StandardBranch) {
+  const std::vector<double> xs{0.0, 5.0, 10.0};
+  const auto out = minmax_normalize(xs);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(MinMaxNormalize, DegenerateBranchAllEqual) {
+  // Equation 1: when Xmax == Xmin, X_norm = X - Xmin, i.e. all zeros.
+  const std::vector<double> xs{7.0, 7.0, 7.0};
+  const auto out = minmax_normalize(xs);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MinMaxNormalize, EmptyInput) { EXPECT_TRUE(minmax_normalize({}).empty()); }
+
+TEST(MinMaxNormalize, OutputAlwaysInUnitInterval) {
+  const std::vector<double> xs{-3.0, 2.0, 100.0, 57.0, -3.0};
+  for (double v : minmax_normalize(xs)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+// --- IntHistogram ---
+
+TEST(IntHistogram, EmptyHistogram) {
+  IntHistogram h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.probability(3), 0.0);
+  EXPECT_FALSE(h.percentile_value(0.5).has_value());
+  EXPECT_EQ(h.in_range_mean(), 0.0);
+}
+
+TEST(IntHistogram, ProbabilityMatchesPaperExample) {
+  // "when the inter-arrival time of 2 appears 10 times, we compute the
+  // probability of 2 as 10 divided by the total number of inter-arrival
+  // times."
+  IntHistogram h(10);
+  h.add(2, 10);
+  h.add(5, 30);
+  EXPECT_DOUBLE_EQ(h.probability(2), 10.0 / 40.0);
+  EXPECT_DOUBLE_EQ(h.probability(5), 30.0 / 40.0);
+  EXPECT_DOUBLE_EQ(h.probability(7), 0.0);
+}
+
+TEST(IntHistogram, OverflowBucket) {
+  IntHistogram h(5);
+  h.add(3);
+  h.add(100);
+  h.add(7, 2);
+  EXPECT_EQ(h.overflow(), 3u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.overflow_fraction(), 0.75);
+}
+
+TEST(IntHistogram, PercentileValue) {
+  IntHistogram h(20);
+  for (std::size_t v = 1; v <= 10; ++v) h.add(v);
+  EXPECT_EQ(h.percentile_value(0.05).value(), 1u);
+  EXPECT_EQ(h.percentile_value(0.5).value(), 5u);
+  EXPECT_EQ(h.percentile_value(1.0).value(), 10u);
+}
+
+TEST(IntHistogram, PercentileIgnoresOverflow) {
+  IntHistogram h(5);
+  h.add(2, 10);
+  h.add(50, 1000);  // overflow mass must not shift percentiles
+  EXPECT_EQ(h.percentile_value(0.99).value(), 2u);
+}
+
+TEST(IntHistogram, InRangeMeanAndCv) {
+  IntHistogram h(10);
+  h.add(2, 2);
+  h.add(4, 2);
+  EXPECT_DOUBLE_EQ(h.in_range_mean(), 3.0);
+  EXPECT_NEAR(h.in_range_cv(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(IntHistogram, ClearResets) {
+  IntHistogram h(10);
+  h.add(1);
+  h.add(100);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+// --- RunningStats ---
+
+TEST(RunningStats, MatchesBatchStats) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), sum(xs));
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.count(), 0u);
+}
+
+// Property sweep: normalization invariants hold across many shapes.
+class NormalizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizeProperty, RangeAndEndpoints) {
+  const int seed = GetParam();
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(std::sin(seed * 12.9898 + i * 78.233) * 43758.5453);
+  }
+  const auto out = minmax_normalize(xs);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pulse::util

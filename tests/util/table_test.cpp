@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pulse::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Model", "Accuracy"});
+  t.add_row({"GPT-Small", "87.65"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("GPT-Small"), std::string::npos);
+  EXPECT_NE(out.find("87.65"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(TextTable, TruncatesLongRows) {
+  TextTable t({"a"});
+  t.add_row({"x", "overflow-cell"});
+  EXPECT_EQ(t.render().find("overflow-cell"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAddsRule) {
+  TextTable t({"col"});
+  t.add_row({"above"});
+  t.add_separator();
+  t.add_row({"below"});
+  const std::string out = t.render();
+  // header rule + top + separator + bottom = 4 horizontal rules minimum
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find('+'); pos != std::string::npos; pos = out.find('+', pos + 1)) {
+    if (pos == 0 || out[pos - 1] == '\n') ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.render();
+  // Every line should have the same length (aligned grid).
+  std::size_t expected = out.find('\n');
+  for (std::size_t start = 0; start < out.size();) {
+    const std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtPct, SignedPercent) {
+  EXPECT_EQ(fmt_pct(39.5), "+39.5%");
+  EXPECT_EQ(fmt_pct(-0.6), "-0.6%");
+  EXPECT_EQ(fmt_pct(0.0), "+0.0%");
+}
+
+TEST(Bar, ProportionalFill) {
+  EXPECT_EQ(bar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(bar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(bar(0.0, 10.0, 4), "    ");
+}
+
+TEST(Bar, ClampsAboveMax) { EXPECT_EQ(bar(20.0, 10.0, 4), "####"); }
+
+TEST(Bar, ZeroMaxIsEmpty) { EXPECT_TRUE(bar(1.0, 0.0, 10).empty()); }
+
+}  // namespace
+}  // namespace pulse::util
