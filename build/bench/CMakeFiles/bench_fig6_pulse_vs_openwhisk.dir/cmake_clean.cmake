@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pulse_vs_openwhisk.dir/bench_fig6_pulse_vs_openwhisk.cpp.o"
+  "CMakeFiles/bench_fig6_pulse_vs_openwhisk.dir/bench_fig6_pulse_vs_openwhisk.cpp.o.d"
+  "bench_fig6_pulse_vs_openwhisk"
+  "bench_fig6_pulse_vs_openwhisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pulse_vs_openwhisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

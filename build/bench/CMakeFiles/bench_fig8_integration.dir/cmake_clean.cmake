@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_integration.dir/bench_fig8_integration.cpp.o"
+  "CMakeFiles/bench_fig8_integration.dir/bench_fig8_integration.cpp.o.d"
+  "bench_fig8_integration"
+  "bench_fig8_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

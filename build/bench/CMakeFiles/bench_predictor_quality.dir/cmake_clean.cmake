@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_quality.dir/bench_predictor_quality.cpp.o"
+  "CMakeFiles/bench_predictor_quality.dir/bench_predictor_quality.cpp.o.d"
+  "bench_predictor_quality"
+  "bench_predictor_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_models.dir/custom_models.cpp.o"
+  "CMakeFiles/custom_models.dir/custom_models.cpp.o.d"
+  "custom_models"
+  "custom_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

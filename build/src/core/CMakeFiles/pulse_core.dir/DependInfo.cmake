@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/global_optimizer.cpp" "src/core/CMakeFiles/pulse_core.dir/global_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/pulse_core.dir/global_optimizer.cpp.o.d"
+  "/root/repo/src/core/interarrival.cpp" "src/core/CMakeFiles/pulse_core.dir/interarrival.cpp.o" "gcc" "src/core/CMakeFiles/pulse_core.dir/interarrival.cpp.o.d"
+  "/root/repo/src/core/peak_detector.cpp" "src/core/CMakeFiles/pulse_core.dir/peak_detector.cpp.o" "gcc" "src/core/CMakeFiles/pulse_core.dir/peak_detector.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/pulse_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/pulse_core.dir/priority.cpp.o.d"
+  "/root/repo/src/core/pulse_policy.cpp" "src/core/CMakeFiles/pulse_core.dir/pulse_policy.cpp.o" "gcc" "src/core/CMakeFiles/pulse_core.dir/pulse_policy.cpp.o.d"
+  "/root/repo/src/core/variant_selector.cpp" "src/core/CMakeFiles/pulse_core.dir/variant_selector.cpp.o" "gcc" "src/core/CMakeFiles/pulse_core.dir/variant_selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pulse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pulse_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pulse_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

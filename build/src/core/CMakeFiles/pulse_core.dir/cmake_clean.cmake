@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_core.dir/global_optimizer.cpp.o"
+  "CMakeFiles/pulse_core.dir/global_optimizer.cpp.o.d"
+  "CMakeFiles/pulse_core.dir/interarrival.cpp.o"
+  "CMakeFiles/pulse_core.dir/interarrival.cpp.o.d"
+  "CMakeFiles/pulse_core.dir/peak_detector.cpp.o"
+  "CMakeFiles/pulse_core.dir/peak_detector.cpp.o.d"
+  "CMakeFiles/pulse_core.dir/priority.cpp.o"
+  "CMakeFiles/pulse_core.dir/priority.cpp.o.d"
+  "CMakeFiles/pulse_core.dir/pulse_policy.cpp.o"
+  "CMakeFiles/pulse_core.dir/pulse_policy.cpp.o.d"
+  "CMakeFiles/pulse_core.dir/variant_selector.cpp.o"
+  "CMakeFiles/pulse_core.dir/variant_selector.cpp.o.d"
+  "libpulse_core.a"
+  "libpulse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

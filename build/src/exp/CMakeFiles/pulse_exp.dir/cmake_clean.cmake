@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_exp.dir/artifact.cpp.o"
+  "CMakeFiles/pulse_exp.dir/artifact.cpp.o.d"
+  "CMakeFiles/pulse_exp.dir/catalog.cpp.o"
+  "CMakeFiles/pulse_exp.dir/catalog.cpp.o.d"
+  "CMakeFiles/pulse_exp.dir/scenario.cpp.o"
+  "CMakeFiles/pulse_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/pulse_exp.dir/summary.cpp.o"
+  "CMakeFiles/pulse_exp.dir/summary.cpp.o.d"
+  "libpulse_exp.a"
+  "libpulse_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_models.dir/model.cpp.o"
+  "CMakeFiles/pulse_models.dir/model.cpp.o.d"
+  "CMakeFiles/pulse_models.dir/zoo.cpp.o"
+  "CMakeFiles/pulse_models.dir/zoo.cpp.o.d"
+  "libpulse_models.a"
+  "libpulse_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

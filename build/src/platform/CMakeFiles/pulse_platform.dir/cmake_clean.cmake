@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_platform.dir/platform.cpp.o"
+  "CMakeFiles/pulse_platform.dir/platform.cpp.o.d"
+  "libpulse_platform.a"
+  "libpulse_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

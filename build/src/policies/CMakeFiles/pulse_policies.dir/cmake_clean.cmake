@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_policies.dir/factory.cpp.o"
+  "CMakeFiles/pulse_policies.dir/factory.cpp.o.d"
+  "CMakeFiles/pulse_policies.dir/icebreaker.cpp.o"
+  "CMakeFiles/pulse_policies.dir/icebreaker.cpp.o.d"
+  "CMakeFiles/pulse_policies.dir/milp.cpp.o"
+  "CMakeFiles/pulse_policies.dir/milp.cpp.o.d"
+  "CMakeFiles/pulse_policies.dir/milp_policy.cpp.o"
+  "CMakeFiles/pulse_policies.dir/milp_policy.cpp.o.d"
+  "CMakeFiles/pulse_policies.dir/wild.cpp.o"
+  "CMakeFiles/pulse_policies.dir/wild.cpp.o.d"
+  "libpulse_policies.a"
+  "libpulse_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/arima.cpp" "src/predict/CMakeFiles/pulse_predict.dir/arima.cpp.o" "gcc" "src/predict/CMakeFiles/pulse_predict.dir/arima.cpp.o.d"
+  "/root/repo/src/predict/evaluation.cpp" "src/predict/CMakeFiles/pulse_predict.dir/evaluation.cpp.o" "gcc" "src/predict/CMakeFiles/pulse_predict.dir/evaluation.cpp.o.d"
+  "/root/repo/src/predict/fft.cpp" "src/predict/CMakeFiles/pulse_predict.dir/fft.cpp.o" "gcc" "src/predict/CMakeFiles/pulse_predict.dir/fft.cpp.o.d"
+  "/root/repo/src/predict/hybrid_histogram.cpp" "src/predict/CMakeFiles/pulse_predict.dir/hybrid_histogram.cpp.o" "gcc" "src/predict/CMakeFiles/pulse_predict.dir/hybrid_histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pulse_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

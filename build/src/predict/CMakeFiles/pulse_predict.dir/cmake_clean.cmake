@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_predict.dir/arima.cpp.o"
+  "CMakeFiles/pulse_predict.dir/arima.cpp.o.d"
+  "CMakeFiles/pulse_predict.dir/evaluation.cpp.o"
+  "CMakeFiles/pulse_predict.dir/evaluation.cpp.o.d"
+  "CMakeFiles/pulse_predict.dir/fft.cpp.o"
+  "CMakeFiles/pulse_predict.dir/fft.cpp.o.d"
+  "CMakeFiles/pulse_predict.dir/hybrid_histogram.cpp.o"
+  "CMakeFiles/pulse_predict.dir/hybrid_histogram.cpp.o.d"
+  "libpulse_predict.a"
+  "libpulse_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

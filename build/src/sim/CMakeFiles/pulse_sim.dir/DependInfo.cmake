@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/deployment.cpp" "src/sim/CMakeFiles/pulse_sim.dir/deployment.cpp.o" "gcc" "src/sim/CMakeFiles/pulse_sim.dir/deployment.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/pulse_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/pulse_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/ensemble.cpp" "src/sim/CMakeFiles/pulse_sim.dir/ensemble.cpp.o" "gcc" "src/sim/CMakeFiles/pulse_sim.dir/ensemble.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/pulse_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/pulse_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/pulse_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/pulse_sim.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pulse_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pulse_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

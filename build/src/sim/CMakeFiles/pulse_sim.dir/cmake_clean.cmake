@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_sim.dir/deployment.cpp.o"
+  "CMakeFiles/pulse_sim.dir/deployment.cpp.o.d"
+  "CMakeFiles/pulse_sim.dir/engine.cpp.o"
+  "CMakeFiles/pulse_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pulse_sim.dir/ensemble.cpp.o"
+  "CMakeFiles/pulse_sim.dir/ensemble.cpp.o.d"
+  "CMakeFiles/pulse_sim.dir/metrics.cpp.o"
+  "CMakeFiles/pulse_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/pulse_sim.dir/schedule.cpp.o"
+  "CMakeFiles/pulse_sim.dir/schedule.cpp.o.d"
+  "libpulse_sim.a"
+  "libpulse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

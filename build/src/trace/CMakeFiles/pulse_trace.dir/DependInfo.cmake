@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/pulse_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/pulse_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/azure_format.cpp" "src/trace/CMakeFiles/pulse_trace.dir/azure_format.cpp.o" "gcc" "src/trace/CMakeFiles/pulse_trace.dir/azure_format.cpp.o.d"
+  "/root/repo/src/trace/classifier.cpp" "src/trace/CMakeFiles/pulse_trace.dir/classifier.cpp.o" "gcc" "src/trace/CMakeFiles/pulse_trace.dir/classifier.cpp.o.d"
+  "/root/repo/src/trace/patterns.cpp" "src/trace/CMakeFiles/pulse_trace.dir/patterns.cpp.o" "gcc" "src/trace/CMakeFiles/pulse_trace.dir/patterns.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/pulse_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/pulse_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/pulse_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/pulse_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_trace.dir/analysis.cpp.o"
+  "CMakeFiles/pulse_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/pulse_trace.dir/azure_format.cpp.o"
+  "CMakeFiles/pulse_trace.dir/azure_format.cpp.o.d"
+  "CMakeFiles/pulse_trace.dir/classifier.cpp.o"
+  "CMakeFiles/pulse_trace.dir/classifier.cpp.o.d"
+  "CMakeFiles/pulse_trace.dir/patterns.cpp.o"
+  "CMakeFiles/pulse_trace.dir/patterns.cpp.o.d"
+  "CMakeFiles/pulse_trace.dir/trace.cpp.o"
+  "CMakeFiles/pulse_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/pulse_trace.dir/workload.cpp.o"
+  "CMakeFiles/pulse_trace.dir/workload.cpp.o.d"
+  "libpulse_trace.a"
+  "libpulse_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_util.dir/cli.cpp.o"
+  "CMakeFiles/pulse_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pulse_util.dir/csv.cpp.o"
+  "CMakeFiles/pulse_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pulse_util.dir/linalg.cpp.o"
+  "CMakeFiles/pulse_util.dir/linalg.cpp.o.d"
+  "CMakeFiles/pulse_util.dir/logging.cpp.o"
+  "CMakeFiles/pulse_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pulse_util.dir/stats.cpp.o"
+  "CMakeFiles/pulse_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pulse_util.dir/table.cpp.o"
+  "CMakeFiles/pulse_util.dir/table.cpp.o.d"
+  "CMakeFiles/pulse_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/pulse_util.dir/thread_pool.cpp.o.d"
+  "libpulse_util.a"
+  "libpulse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

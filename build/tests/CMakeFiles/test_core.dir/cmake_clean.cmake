@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_window_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/adaptive_window_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/global_optimizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/global_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/interarrival_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/interarrival_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/peak_detector_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/peak_detector_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/priority_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/priority_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pulse_policy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pulse_policy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/utility_weights_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/utility_weights_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/variant_selector_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/variant_selector_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policies.dir/policies/factory_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/factory_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/fixed_keepalive_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/fixed_keepalive_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/icebreaker_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/icebreaker_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/ideal_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/ideal_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/milp_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/milp_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/oracle_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/oracle_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/random_mix_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/random_mix_test.cpp.o.d"
+  "CMakeFiles/test_policies.dir/policies/wild_test.cpp.o"
+  "CMakeFiles/test_policies.dir/policies/wild_test.cpp.o.d"
+  "test_policies"
+  "test_policies.pdb"
+  "test_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

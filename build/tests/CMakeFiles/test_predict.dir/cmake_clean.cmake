@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict.dir/predict/arima_test.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/arima_test.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/evaluation_test.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/evaluation_test.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/fft_test.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/fft_test.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/hybrid_histogram_test.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/hybrid_histogram_test.cpp.o.d"
+  "test_predict"
+  "test_predict.pdb"
+  "test_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

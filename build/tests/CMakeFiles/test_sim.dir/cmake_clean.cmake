@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/bernoulli_accuracy_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/bernoulli_accuracy_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/capacity_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/capacity_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/cost_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/deployment_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/deployment_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/engine_edge_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/engine_edge_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/ensemble_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/ensemble_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/schedule_fuzz_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/schedule_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/schedule_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/schedule_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/analysis_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o.d"
+  "/root/repo/tests/trace/azure_format_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/azure_format_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/azure_format_test.cpp.o.d"
+  "/root/repo/tests/trace/classifier_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/classifier_test.cpp.o.d"
+  "/root/repo/tests/trace/patterns_sweep_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/patterns_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/patterns_sweep_test.cpp.o.d"
+  "/root/repo/tests/trace/patterns_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/patterns_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_test.cpp.o.d"
+  "/root/repo/tests/trace/workload_peaks_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/workload_peaks_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/workload_peaks_test.cpp.o.d"
+  "/root/repo/tests/trace/workload_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pulse_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/pulse_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pulse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/pulse_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/pulse_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pulse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pulse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pulse_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/azure_format_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/azure_format_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/classifier_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/classifier_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/patterns_sweep_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/patterns_sweep_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/patterns_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/patterns_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/trace_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/workload_peaks_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/workload_peaks_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/workload_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/workload_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
