@@ -5,11 +5,13 @@
 // invocation peaks. Can export the trace to CSV for external tooling.
 //
 //   ./trace_explorer [--days=3] [--seed=42] [--load=trace.csv] [--save=trace.csv]
+//                    [--validate]
 
 #include <cstdio>
 
 #include "trace/analysis.hpp"
 #include "trace/classifier.hpp"
+#include "trace/validation.hpp"
 #include "trace/workload.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   cli.add_flag("load", "", "load a trace CSV instead of generating one");
   cli.add_flag("save", "", "save the trace to this CSV path");
   cli.add_flag("peaks", "2", "number of aggregate peaks to report");
+  cli.add_switch("validate", "run the ingestion validation pass and report issues");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -37,7 +40,13 @@ int main(int argc, char** argv) {
   trace::Trace tr;
   std::vector<std::string> labels;
   if (const std::string path = cli.get_string("load"); !path.empty()) {
-    tr = trace::Trace::load_csv(path);
+    // Hardened loader: a malformed file is a diagnosed error, not a crash.
+    auto loaded = trace::Trace::try_load_csv(path);
+    if (!loaded) {
+      std::fprintf(stderr, "error: %s\n", loaded.error().to_string().c_str());
+      return 1;
+    }
+    tr = std::move(loaded.value());
     std::printf("loaded %s\n", path.c_str());
   } else {
     trace::WorkloadConfig config;
@@ -46,6 +55,23 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     trace::Workload workload = trace::build_azure_like_workload(config);
     tr = std::move(workload.trace);
+  }
+
+  if (cli.get_bool("validate")) {
+    const trace::ValidationReport report = trace::validate_trace(tr);
+    std::printf("\nvalidation: %zu error(s), %zu warning(s)\n", report.error_count(),
+                report.warning_count());
+    for (const auto& issue : report.issues) {
+      const char* severity =
+          issue.severity == trace::ValidationSeverity::kError ? "ERROR" : "warn";
+      if (issue.function < tr.function_count()) {
+        std::printf("  [%s] %s: %s\n", severity, tr.function_name(issue.function).c_str(),
+                    issue.message.c_str());
+      } else {
+        std::printf("  [%s] %s\n", severity, issue.message.c_str());
+      }
+    }
+    if (!report.ok()) return 2;
   }
 
   // Per-function summary with pattern classification (Figure 1 triage).

@@ -1,0 +1,55 @@
+#include "fault/diverging_policy.hpp"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "predict/arima.hpp"
+#include "predict/divergence.hpp"
+
+namespace pulse::fault {
+
+DivergingPolicy::DivergingPolicy(std::unique_ptr<sim::KeepAlivePolicy> inner)
+    : DivergingPolicy(std::move(inner), Config{}) {}
+
+DivergingPolicy::DivergingPolicy(std::unique_ptr<sim::KeepAlivePolicy> inner, Config config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) throw std::invalid_argument("DivergingPolicy: inner policy is null");
+}
+
+std::string DivergingPolicy::name() const { return "Diverging(" + inner_->name() + ")"; }
+
+void DivergingPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
+                                 sim::KeepAliveSchedule& schedule) {
+  inner_->initialize(deployment, trace, schedule);
+}
+
+void DivergingPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
+                                    sim::KeepAliveSchedule& schedule) {
+  if (t >= config_.diverge_at) {
+    // The real divergence path: an AR fit on a NaN-poisoned idle-time
+    // series. fit() rejects it, the fallback mean is NaN, and the forecast
+    // propagates it — ensure_finite() is what stands between this and a
+    // garbage keep-alive schedule.
+    const std::array<double, 6> poisoned = {
+        3.0, 5.0, std::numeric_limits<double>::quiet_NaN(), 4.0, 6.0, 2.0};
+    predict::ArModel model(2);
+    model.fit(poisoned);
+    predict::ensure_finite(model.forecast(4), "diverging/ar");
+  }
+  inner_->on_invocation(f, t, schedule);
+}
+
+void DivergingPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
+                                    const sim::MemoryHistory& history) {
+  inner_->end_of_minute(t, schedule, history);
+}
+
+std::size_t DivergingPolicy::cold_start_variant(trace::FunctionId f, trace::Minute t,
+                                                const sim::Deployment& deployment) const {
+  return inner_->cold_start_variant(f, t, deployment);
+}
+
+std::uint64_t DivergingPolicy::downgrade_count() const { return inner_->downgrade_count(); }
+
+}  // namespace pulse::fault

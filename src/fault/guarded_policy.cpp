@@ -1,0 +1,89 @@
+#include "fault/guarded_policy.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+namespace pulse::fault {
+
+GuardedPolicy::GuardedPolicy(std::unique_ptr<sim::KeepAlivePolicy> inner)
+    : GuardedPolicy(std::move(inner), Config{}) {}
+
+GuardedPolicy::GuardedPolicy(std::unique_ptr<sim::KeepAlivePolicy> inner, Config config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) throw std::invalid_argument("GuardedPolicy: inner policy is null");
+}
+
+std::string GuardedPolicy::name() const {
+  try {
+    return "Guarded(" + inner_->name() + ")";
+  } catch (const std::exception&) {
+    return "Guarded(?)";
+  }
+}
+
+void GuardedPolicy::record_incident(trace::Minute t, const char* what) const {
+  ++incidents_;
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_since_ = t;
+    first_incident_ = what;
+  }
+}
+
+void GuardedPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
+                               sim::KeepAliveSchedule& schedule) {
+  try {
+    inner_->initialize(deployment, trace, schedule);
+  } catch (const std::exception& e) {
+    record_incident(0, e.what());
+  }
+}
+
+void GuardedPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
+                                  sim::KeepAliveSchedule& schedule) {
+  if (!degraded_) {
+    try {
+      inner_->on_invocation(f, t, schedule);
+      return;
+    } catch (const std::exception& e) {
+      record_incident(t, e.what());
+      // The inner policy may have left a partial window; the fallback fill
+      // below overwrites the minutes that matter.
+    }
+  }
+  const auto& family = schedule.deployment().family_of(f);
+  schedule.fill(f, t + 1, t + 1 + config_.fallback_window,
+                static_cast<int>(family.highest_index()));
+}
+
+void GuardedPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
+                                  const sim::MemoryHistory& history) {
+  if (degraded_) return;  // the fixed fallback needs no end-of-minute work
+  try {
+    inner_->end_of_minute(t, schedule, history);
+  } catch (const std::exception& e) {
+    record_incident(t, e.what());
+  }
+}
+
+std::size_t GuardedPolicy::cold_start_variant(trace::FunctionId f, trace::Minute t,
+                                              const sim::Deployment& deployment) const {
+  if (!degraded_) {
+    try {
+      return inner_->cold_start_variant(f, t, deployment);
+    } catch (const std::exception& e) {
+      record_incident(t, e.what());
+    }
+  }
+  return deployment.family_of(f).highest_index();
+}
+
+std::uint64_t GuardedPolicy::downgrade_count() const {
+  try {
+    return inner_->downgrade_count();
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+}  // namespace pulse::fault

@@ -1,0 +1,151 @@
+#pragma once
+// Seeded, deterministic fault injection for the simulation engine.
+//
+// The paper's replay is idealized: containers never crash, cold starts
+// never fail, invocations never time out. Real platforms see all three
+// (plus memory pressure), and a keep-alive policy's value depends on how it
+// degrades under them. The FaultInjector models those disruptions as pure
+// functions of (seed, event coordinates): every decision is derived by
+// hashing the coordinates of the event it concerns, so
+//   - the same seed always produces the same fault pattern (bitwise
+//     reproducible runs, regardless of thread count or iteration order),
+//   - a zero-rate injector is observationally identical to no injector
+//     (it consumes no shared RNG state), and
+//   - fault streams are independent: raising the crash rate does not shift
+//     the cold-start failure pattern.
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace pulse::fault {
+
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedf417;
+
+  /// Probability that a kept-alive container crashes in any given minute
+  /// (checked once per kept container per minute; a crash evicts the
+  /// container's remaining contiguous keep-alive stretch).
+  double crash_rate = 0.0;
+
+  /// Probability that one cold-start attempt fails. Failed attempts are
+  /// retried with exponential-backoff latency penalties; after
+  /// max_cold_start_retries failed retries the minute's invocations fail.
+  double cold_start_failure_rate = 0.0;
+  std::uint32_t max_cold_start_retries = 3;
+  /// Latency penalty of the first retry, seconds; attempt k costs
+  /// retry_backoff_base_s * 2^(k-1) on top of the eventual cold start.
+  double retry_backoff_base_s = 0.5;
+
+  /// Invocation SLO as a multiple of the variant's expected (warm or cold)
+  /// service time; a sampled service time beyond it counts as a timeout and
+  /// the invocation is abandoned at the deadline. 0 disables SLO tracking.
+  double slo_multiplier = 0.0;
+
+  /// Probability that any given minute is a memory-pressure spike, during
+  /// which keep-alive capacity is capped at memory_pressure_capacity_mb
+  /// (tightening any configured engine capacity). Both must be nonzero for
+  /// pressure to fire.
+  double memory_pressure_rate = 0.0;
+  double memory_pressure_capacity_mb = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return crash_rate > 0.0 || cold_start_failure_rate > 0.0 || slo_multiplier > 0.0 ||
+           (memory_pressure_rate > 0.0 && memory_pressure_capacity_mb > 0.0);
+  }
+};
+
+/// Outcome of the cold-start retry loop for one (function, minute).
+struct ColdStartOutcome {
+  bool succeeded = true;
+  std::uint32_t retries = 0;     // failed attempts before success or abandonment
+  double retry_penalty_s = 0.0;  // summed exponential-backoff latency
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config) noexcept : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Does the container kept alive for f crash during minute t?
+  [[nodiscard]] bool container_crashes(trace::FunctionId f, trace::Minute t) const noexcept {
+    if (config_.crash_rate <= 0.0) return false;
+    return uniform(kCrashStream, static_cast<std::uint64_t>(f),
+                   static_cast<std::uint64_t>(t)) < config_.crash_rate;
+  }
+
+  /// Runs the bounded retry loop for a cold start of f at minute t.
+  [[nodiscard]] ColdStartOutcome cold_start(trace::FunctionId f,
+                                            trace::Minute t) const noexcept {
+    ColdStartOutcome out;
+    if (config_.cold_start_failure_rate <= 0.0) return out;
+    const std::uint32_t attempts = config_.max_cold_start_retries + 1;
+    for (std::uint32_t a = 0; a < attempts; ++a) {
+      const double u =
+          uniform(kColdStartStream, static_cast<std::uint64_t>(f),
+                  static_cast<std::uint64_t>(t) * attempts + a);
+      if (u >= config_.cold_start_failure_rate) return out;  // attempt succeeded
+      if (a + 1 < attempts) {
+        // A retry follows: count it and pay the backoff wait before it.
+        ++out.retries;
+        out.retry_penalty_s +=
+            config_.retry_backoff_base_s * static_cast<double>(std::uint64_t{1} << a);
+      }
+    }
+    out.succeeded = false;
+    return out;
+  }
+
+  /// SLO deadline for an invocation with the given expected service time;
+  /// 0 when SLO tracking is disabled.
+  [[nodiscard]] double timeout_slo_s(double expected_service_s) const noexcept {
+    return config_.slo_multiplier > 0.0 ? config_.slo_multiplier * expected_service_s : 0.0;
+  }
+
+  /// Is minute t under a memory-pressure spike?
+  [[nodiscard]] bool under_memory_pressure(trace::Minute t) const noexcept {
+    if (config_.memory_pressure_rate <= 0.0 || config_.memory_pressure_capacity_mb <= 0.0) {
+      return false;
+    }
+    return uniform(kPressureStream, static_cast<std::uint64_t>(t), 0) <
+           config_.memory_pressure_rate;
+  }
+
+  /// Keep-alive capacity in effect at minute t given the engine's configured
+  /// capacity (0 = unlimited): pressure spikes tighten it to the spike cap.
+  [[nodiscard]] double effective_capacity_mb(double configured_mb,
+                                             trace::Minute t) const noexcept {
+    if (!under_memory_pressure(t)) return configured_mb;
+    if (configured_mb <= 0.0) return config_.memory_pressure_capacity_mb;
+    return configured_mb < config_.memory_pressure_capacity_mb
+               ? configured_mb
+               : config_.memory_pressure_capacity_mb;
+  }
+
+ private:
+  static constexpr std::uint64_t kCrashStream = 0xc7a5'11ed;
+  static constexpr std::uint64_t kColdStartStream = 0xc01d'57a7;
+  static constexpr std::uint64_t kPressureStream = 0x9e55'043e;
+
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform [0, 1) derived purely from (seed, stream, a, b).
+  [[nodiscard]] double uniform(std::uint64_t stream, std::uint64_t a,
+                               std::uint64_t b) const noexcept {
+    std::uint64_t h = config_.seed + 0x9e3779b97f4a7c15ULL;
+    h = mix(h ^ stream);
+    h = mix(h ^ (a + 0x9e3779b97f4a7c15ULL));
+    h = mix(h ^ (b + 0x517cc1b727220a95ULL));
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  }
+
+  FaultConfig config_{};
+};
+
+}  // namespace pulse::fault

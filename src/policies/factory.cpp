@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/pulse_policy.hpp"
+#include "fault/guarded_policy.hpp"
 #include "policies/fixed_keepalive.hpp"
 #include "policies/icebreaker.hpp"
 #include "policies/ideal.hpp"
@@ -20,6 +21,10 @@ std::vector<std::string> policy_names() {
 }
 
 std::unique_ptr<sim::KeepAlivePolicy> make_policy(std::string_view name) {
+  // "guarded:<name>" wraps any factory policy in the fault barrier.
+  if (constexpr std::string_view prefix = "guarded:"; name.substr(0, prefix.size()) == prefix) {
+    return std::make_unique<fault::GuardedPolicy>(make_policy(name.substr(prefix.size())));
+  }
   if (name == "openwhisk") {
     return std::make_unique<FixedKeepAlivePolicy>();
   }

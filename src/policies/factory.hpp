@@ -29,6 +29,9 @@ namespace pulse::policies {
 ///   "icebreaker"       IceBreaker FFT predictor
 ///   "icebreaker+pulse" IceBreaker predictor + PULSE variants and flattening
 ///   "milp"             MILP-based cross-function optimization (Fig. 9)
+/// Any name may be prefixed with "guarded:" (e.g. "guarded:pulse") to wrap
+/// the policy in fault::GuardedPolicy, which absorbs policy exceptions and
+/// predictor divergence by degrading to a fixed keep-alive fallback.
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<sim::KeepAlivePolicy> make_policy(std::string_view name);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "predict/divergence.hpp"
 #include "predict/fft.hpp"
 
 namespace pulse::policies {
@@ -26,8 +27,10 @@ std::vector<double> IceBreakerPolicy::forecast(trace::FunctionId f) const {
   const auto& series = history_.at(f);
   const std::size_t window = std::min(config_.fft_window, series.size());
   const std::span<const double> recent(series.data() + (series.size() - window), window);
-  return predict::harmonic_extrapolate(recent, config_.harmonics,
-                                       static_cast<std::size_t>(config_.refresh_interval));
+  std::vector<double> predicted = predict::harmonic_extrapolate(
+      recent, config_.harmonics, static_cast<std::size_t>(config_.refresh_interval));
+  predict::ensure_finite(predicted, "icebreaker/fft");
+  return predicted;
 }
 
 void IceBreakerPolicy::apply_forecast(trace::FunctionId f, trace::Minute t,

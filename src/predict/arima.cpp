@@ -1,6 +1,7 @@
 #include "predict/arima.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/linalg.hpp"
@@ -54,6 +55,11 @@ bool ArModel::fit(std::span<const double> series) {
 
   const auto beta = util::solve_linear_system(std::move(xtx), std::move(xty));
   if (!beta) return false;
+  // Non-finite coefficients (NaN input, catastrophic cancellation) would
+  // poison every forecast; treat them like a singular system.
+  for (double b : *beta) {
+    if (!std::isfinite(b)) return false;
+  }
 
   intercept_ = (*beta)[0];
   coeffs_.assign(beta->begin() + 1, beta->end());

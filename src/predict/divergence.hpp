@@ -1,0 +1,40 @@
+#pragma once
+// Divergence fencing for the forecasting substrate. A least-squares AR fit
+// on pathological data, an FFT over a poisoned series, or an overflowing
+// histogram can all emit NaN/Inf — and a NaN forecast silently becomes a
+// garbage keep-alive schedule if it is allowed to propagate. Every policy
+// that consumes a forecast passes it through ensure_finite() first; the
+// thrown PredictorDivergence is what fault::GuardedPolicy catches to
+// degrade the policy to its safe fallback instead of corrupting the run.
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace pulse::predict {
+
+class PredictorDivergence : public std::runtime_error {
+ public:
+  explicit PredictorDivergence(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws PredictorDivergence when any value is NaN or infinite. `context`
+/// names the predictor for the incident report.
+inline void ensure_finite(std::span<const double> values, const char* context) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      throw PredictorDivergence(std::string(context) + ": non-finite forecast value at index " +
+                                std::to_string(i));
+    }
+  }
+}
+
+/// Single-value overload for scalar predictions (window lengths, rates).
+inline void ensure_finite(double value, const char* context) {
+  if (!std::isfinite(value)) {
+    throw PredictorDivergence(std::string(context) + ": non-finite prediction");
+  }
+}
+
+}  // namespace pulse::predict

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "predict/divergence.hpp"
+
 namespace pulse::predict {
 
 HybridHistogramPredictor::HybridHistogramPredictor()
@@ -55,6 +57,9 @@ WindowPrediction HybridHistogramPredictor::predict() const {
   ArModel model(config_.ar_order);
   model.fit(recent_gaps_);
   const std::vector<double> next = model.forecast(1);
+  // A non-finite forecast cast to trace::Minute below would be UB; fence it
+  // here so the policy layer sees a typed divergence instead.
+  ensure_finite(next, "hybrid-histogram/ar");
   const double predicted = next.empty() ? 10.0 : std::max(1.0, next[0]);
   const double margin = std::max(1.0, predicted * config_.margin);
   w.prewarm_offset =

@@ -63,10 +63,27 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
     result.per_function.assign(tr.function_count(), FunctionMetrics{});
   }
 
+  const fault::FaultInjector injector(config_.faults);
+  const bool faults_on = injector.config().enabled();
+
   policy.initialize(dep, tr, schedule);
 
   for (trace::Minute t = 0; t < duration; ++t) {
     double ideal_cost_t = 0.0;
+    bool minute_degraded = false;
+
+    // Injected container crashes fire at the minute boundary: the crashed
+    // container's remaining keep-alive stretch is evicted, so this minute's
+    // invocations (if any) go cold.
+    if (faults_on && injector.config().crash_rate > 0.0) {
+      for (const auto& kept : schedule.kept_alive_at(t)) {
+        if (injector.container_crashes(kept.first, t)) {
+          schedule.evict_from(kept.first, t);
+          ++result.crash_evictions;
+          minute_degraded = true;
+        }
+      }
+    }
 
     for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
       const std::uint32_t count = tr.count(f, t);
@@ -87,41 +104,76 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
         schedule.set(f, t, static_cast<int>(serving));
       }
 
-      const models::ModelVariant& variant = family.variant(serving);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        const bool cold = first_is_cold && i == 0;
-        const double service_s =
-            config_.deterministic_latency
-                ? models::LatencyModel::expected_service_time(variant, cold)
-                : config_.latency.sample_service_time(variant, cold, latency_rng);
-        const double accuracy_credit =
-            config_.bernoulli_accuracy
-                ? (accuracy_rng.bernoulli(variant.accuracy_fraction()) ? 100.0 : 0.0)
-                : variant.accuracy_pct;
-        result.total_service_time_s += service_s;
-        result.accuracy_pct_sum += accuracy_credit;
-        ++result.invocations;
-        if (cold) {
-          ++result.cold_starts;
-        } else {
-          ++result.warm_starts;
+      // Injected cold-start failures: bounded retry with exponential
+      // backoff; exhausting every retry fails the whole minute's
+      // invocations (no container exists to serve them).
+      bool served = true;
+      double cold_retry_penalty_s = 0.0;
+      if (first_is_cold && faults_on) {
+        const fault::ColdStartOutcome cs = injector.cold_start(f, t);
+        result.retries += cs.retries;
+        cold_retry_penalty_s = cs.retry_penalty_s;
+        if (cs.retries > 0 || !cs.succeeded) minute_degraded = true;
+        if (!cs.succeeded) {
+          served = false;
+          schedule.clear(f, t);  // the provisional container never started
+          result.failed_invocations += count;
         }
-        if (config_.record_service_samples) {
-          result.service_time_samples.push_back(service_s);
-        }
-        if (config_.record_per_function) {
-          FunctionMetrics& fm = result.per_function[f];
-          ++fm.invocations;
-          cold ? ++fm.cold_starts : ++fm.warm_starts;
-          fm.service_time_s += service_s;
-          fm.accuracy_pct_sum += accuracy_credit;
+      }
+
+      if (served) {
+        const models::ModelVariant& variant = family.variant(serving);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const bool cold = first_is_cold && i == 0;
+          double service_s =
+              config_.deterministic_latency
+                  ? models::LatencyModel::expected_service_time(variant, cold)
+                  : config_.latency.sample_service_time(variant, cold, latency_rng);
+          double accuracy_credit =
+              config_.bernoulli_accuracy
+                  ? (accuracy_rng.bernoulli(variant.accuracy_fraction()) ? 100.0 : 0.0)
+                  : variant.accuracy_pct;
+          if (cold) service_s += cold_retry_penalty_s;
+          if (faults_on) {
+            // Per-variant SLO: the client abandons at the deadline, so the
+            // time is clipped there and no accuracy is delivered.
+            const double slo = injector.timeout_slo_s(
+                models::LatencyModel::expected_service_time(variant, cold));
+            if (slo > 0.0 && service_s > slo) {
+              service_s = slo;
+              accuracy_credit = 0.0;
+              ++result.timeouts;
+              minute_degraded = true;
+            }
+          }
+          result.total_service_time_s += service_s;
+          result.accuracy_pct_sum += accuracy_credit;
+          ++result.invocations;
+          if (cold) {
+            ++result.cold_starts;
+          } else {
+            ++result.warm_starts;
+          }
+          if (config_.record_service_samples) {
+            result.service_time_samples.push_back(service_s);
+          }
+          if (config_.record_per_function) {
+            FunctionMetrics& fm = result.per_function[f];
+            ++fm.invocations;
+            cold ? ++fm.cold_starts : ++fm.warm_starts;
+            fm.service_time_s += service_s;
+            fm.accuracy_pct_sum += accuracy_credit;
+          }
         }
       }
 
       // The ideal reference keeps the highest-quality model alive exactly
-      // during invocation minutes (Figure 6b's ideal line).
+      // during invocation minutes (Figure 6b's ideal line). It is fault-free
+      // by definition, so failed minutes still accrue it.
       ideal_cost_t += config_.cost_model.keepalive_cost_usd(family.highest().memory_mb, 1.0);
 
+      // The policy observes the arrival even when the platform failed to
+      // serve it — predictors track demand, not fulfillment.
       if (config_.measure_overhead) {
         const auto start = Clock::now();
         policy.on_invocation(f, t, schedule);
@@ -142,9 +194,15 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
 
     // Capacity pressure: the platform evicts random kept containers until
     // keep-alive memory fits (the provider baseline behaviour under memory
-    // stress; PULSE-style policies flatten before this fires).
-    if (config_.memory_capacity_mb > 0.0) {
-      while (schedule.memory_at(t) > config_.memory_capacity_mb) {
+    // stress; PULSE-style policies flatten before this fires). Injected
+    // memory-pressure spikes temporarily tighten the capacity.
+    double capacity_mb = config_.memory_capacity_mb;
+    if (faults_on) {
+      capacity_mb = injector.effective_capacity_mb(capacity_mb, t);
+      if (injector.under_memory_pressure(t)) minute_degraded = true;
+    }
+    if (capacity_mb > 0.0) {
+      while (schedule.memory_at(t) > capacity_mb) {
         const auto kept = schedule.kept_alive_at(t);
         if (kept.empty()) break;
         const auto victim = kept[eviction_rng.bounded(static_cast<std::uint32_t>(kept.size()))];
@@ -152,6 +210,7 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
         ++result.capacity_evictions;
       }
     }
+    if (minute_degraded) ++result.degraded_minutes;
 
     const double memory_t = schedule.memory_at(t);
     const double cost_t = config_.cost_model.keepalive_cost_usd(memory_t, 1.0);
@@ -166,6 +225,7 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
   }
 
   result.downgrades = policy.downgrade_count();
+  result.guard_incidents = policy.incident_count();
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "fault/injector.hpp"
 #include "models/latency.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/deployment.hpp"
@@ -59,6 +60,12 @@ struct EngineConfig {
   /// memory stress). Policies that flatten peaks themselves (PULSE) rarely
   /// trigger it.
   double memory_capacity_mb = 0.0;
+
+  /// Fault injection (crashes, cold-start failures, SLO timeouts, memory
+  /// pressure). All rates default to zero, in which case the run is
+  /// bitwise-identical to one without any injector: fault decisions are
+  /// hash-derived from FaultConfig::seed and consume no engine RNG state.
+  fault::FaultConfig faults{};
 };
 
 class SimulationEngine {

@@ -53,6 +53,39 @@ struct RunResult {
   /// EngineConfig::memory_capacity_mb (0 when no capacity is set).
   std::uint64_t capacity_evictions = 0;
 
+  // --- Fault metrics (all zero unless EngineConfig::faults has nonzero
+  // --- rates; see fault/injector.hpp for the fault model).
+
+  /// Invocations that could not be served: their cold start exhausted every
+  /// retry. They contribute no service time or accuracy credit and are not
+  /// part of `invocations`.
+  std::uint64_t failed_invocations = 0;
+
+  /// Cold-start retry attempts performed (each pays exponential backoff).
+  std::uint64_t retries = 0;
+
+  /// Invocations whose service time exceeded the per-variant SLO; they are
+  /// abandoned at the deadline (service time clipped, zero accuracy credit)
+  /// but still counted in `invocations`.
+  std::uint64_t timeouts = 0;
+
+  /// Kept-alive containers evicted by injected crashes.
+  std::uint64_t crash_evictions = 0;
+
+  /// Minutes in which at least one fault event fired (crash, cold-start
+  /// failure/retry, timeout, or a memory-pressure spike).
+  std::uint64_t degraded_minutes = 0;
+
+  /// Incidents absorbed by a fault::GuardedPolicy wrapper (exceptions or
+  /// predictor divergence); 0 for unguarded policies.
+  std::uint64_t guard_incidents = 0;
+
+  [[nodiscard]] double failed_fraction() const noexcept {
+    const std::uint64_t attempted = invocations + failed_invocations;
+    return attempted ? static_cast<double>(failed_invocations) / static_cast<double>(attempted)
+                     : 0.0;
+  }
+
   /// Per-minute series (empty unless EngineConfig::record_series).
   std::vector<double> keepalive_memory_mb;
   std::vector<double> keepalive_cost_usd;

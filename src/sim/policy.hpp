@@ -72,6 +72,11 @@ class KeepAlivePolicy {
   /// Total variant downgrades performed so far (PULSE's global optimizer
   /// reports these; others return 0).
   [[nodiscard]] virtual std::uint64_t downgrade_count() const { return 0; }
+
+  /// Faults absorbed by a guarding wrapper (fault::GuardedPolicy reports
+  /// the incidents it caught; plain policies return 0). The engine copies
+  /// this into RunResult::guard_incidents.
+  [[nodiscard]] virtual std::uint64_t incident_count() const { return 0; }
 };
 
 }  // namespace pulse::sim

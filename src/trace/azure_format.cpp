@@ -18,9 +18,12 @@ struct DayRow {
   std::vector<std::uint32_t> counts;  // length kMinutesPerDay
 };
 
-std::vector<DayRow> parse_day_file(const std::filesystem::path& path) {
+TraceResult<std::vector<DayRow>> parse_day_file(const std::filesystem::path& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open Azure day CSV: " + path.string());
+  if (!is) {
+    return TraceError{TraceErrorKind::kIo, path.string(), 0,
+                      "cannot open Azure day CSV"};
+  }
 
   std::vector<DayRow> rows;
   std::string line;
@@ -37,23 +40,22 @@ std::vector<DayRow> parse_day_file(const std::filesystem::path& path) {
       if (!fields.empty() && fields[0] == "HashOwner") continue;
     }
     if (fields.size() != kMetaColumns + static_cast<std::size_t>(kMinutesPerDay)) {
-      throw std::runtime_error(path.string() + ":" + std::to_string(line_no) +
-                               ": expected " +
-                               std::to_string(kMetaColumns + kMinutesPerDay) +
-                               " columns, got " + std::to_string(fields.size()));
+      return TraceError{TraceErrorKind::kMalformedRow, path.string(), line_no,
+                        "expected " + std::to_string(kMetaColumns + kMinutesPerDay) +
+                            " columns, got " + std::to_string(fields.size())};
     }
     DayRow row;
     row.id = AzureFunctionId{fields[0], fields[1], fields[2], fields[3]};
     row.counts.resize(static_cast<std::size_t>(kMinutesPerDay));
     for (std::size_t m = 0; m < row.counts.size(); ++m) {
       const std::string& cell = fields[kMetaColumns + m];
-      try {
-        row.counts[m] = cell.empty() ? 0u : static_cast<std::uint32_t>(std::stoul(cell));
-      } catch (const std::exception&) {
-        throw std::runtime_error(path.string() + ":" + std::to_string(line_no) +
-                                 ": malformed count '" + cell + "' at minute " +
-                                 std::to_string(m + 1));
+      const auto count = parse_invocation_count(cell);
+      if (!count) {
+        return TraceError{TraceErrorKind::kBadCount, path.string(), line_no,
+                          "malformed count '" + cell + "' at minute " +
+                              std::to_string(m + 1)};
       }
+      row.counts[m] = *count;
     }
     rows.push_back(std::move(row));
   }
@@ -62,12 +64,15 @@ std::vector<DayRow> parse_day_file(const std::filesystem::path& path) {
 
 }  // namespace
 
-AzureTrace load_azure_day_csv(const std::filesystem::path& path) {
-  return load_azure_days({path});
+TraceResult<AzureTrace> try_load_azure_day_csv(const std::filesystem::path& path) {
+  return try_load_azure_days({path});
 }
 
-AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths) {
-  if (paths.empty()) throw std::invalid_argument("load_azure_days: no files given");
+TraceResult<AzureTrace> try_load_azure_days(
+    const std::vector<std::filesystem::path>& paths) {
+  if (paths.empty()) {
+    return TraceError{TraceErrorKind::kIo, "", 0, "load_azure_days: no files given"};
+  }
 
   // First pass: union of functions, ordered by first appearance.
   std::vector<std::vector<DayRow>> days;
@@ -75,7 +80,9 @@ AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths) {
   std::map<std::string, std::size_t> index_of;
   std::vector<AzureFunctionId> functions;
   for (const auto& path : paths) {
-    days.push_back(parse_day_file(path));
+    auto parsed = parse_day_file(path);
+    if (!parsed) return std::move(parsed.error());
+    days.push_back(std::move(parsed.value()));
     for (const auto& row : days.back()) {
       const std::string key = row.id.qualified_name();
       if (index_of.emplace(key, functions.size()).second) {
@@ -103,6 +110,19 @@ AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths) {
     out.trace.set_function_name(f, out.functions[f].qualified_name());
   }
   return out;
+}
+
+AzureTrace load_azure_day_csv(const std::filesystem::path& path) {
+  return load_azure_days({path});
+}
+
+AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths) {
+  // An empty path list is a caller bug, not a data problem — keep the
+  // historical invalid_argument contract for it.
+  if (paths.empty()) throw std::invalid_argument("load_azure_days: no files given");
+  auto result = try_load_azure_days(paths);
+  if (!result) throw std::runtime_error(result.error().to_string());
+  return std::move(result.value());
 }
 
 Trace select_top_functions(const AzureTrace& azure, std::size_t k) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/errors.hpp"
 #include "trace/trace.hpp"
 
 namespace pulse::trace {
@@ -37,13 +38,22 @@ struct AzureTrace {
 };
 
 /// Parses one day file (1440 minute columns). Functions are keyed by
-/// (owner, app, function); rows with malformed counts throw
-/// std::runtime_error with the offending line number.
-[[nodiscard]] AzureTrace load_azure_day_csv(const std::filesystem::path& path);
+/// (owner, app, function). Malformed input — unreadable file, wrong column
+/// count, count cells that are not plain non-negative integers (NaN,
+/// negative, fractional, overflowing) — is reported as a TraceError naming
+/// the file, line and offending cell; nothing throws on bad data.
+[[nodiscard]] TraceResult<AzureTrace> try_load_azure_day_csv(
+    const std::filesystem::path& path);
 
 /// Loads several day files and concatenates them along the time axis.
 /// Functions present in only some days contribute zero counts elsewhere;
 /// the function set is the union, ordered by first appearance.
+[[nodiscard]] TraceResult<AzureTrace> try_load_azure_days(
+    const std::vector<std::filesystem::path>& paths);
+
+/// Throwing convenience wrappers over the try_ loaders (std::runtime_error
+/// carrying TraceError::to_string()). Prefer the try_ forms in new code.
+[[nodiscard]] AzureTrace load_azure_day_csv(const std::filesystem::path& path);
 [[nodiscard]] AzureTrace load_azure_days(const std::vector<std::filesystem::path>& paths);
 
 /// Keeps only the `k` functions with the most total invocations — the

@@ -1,0 +1,77 @@
+#pragma once
+// Structured ingestion errors. Trace files come from outside the process
+// (the Azure dataset, exported CSVs, user tooling), so malformed input is an
+// expected condition: loaders report it as a TraceError carrying the file,
+// line, and offending cell instead of crashing or — worse — silently
+// wrapping a negative count into four billion invocations.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace pulse::trace {
+
+enum class TraceErrorKind {
+  kIo,            // file missing / unreadable
+  kBadHeader,     // header row absent or the wrong shape
+  kMalformedRow,  // wrong column count
+  kBadCount,      // count cell not a valid non-negative integer (NaN, -3, 1.5…)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceErrorKind kind) noexcept {
+  switch (kind) {
+    case TraceErrorKind::kIo: return "io";
+    case TraceErrorKind::kBadHeader: return "bad-header";
+    case TraceErrorKind::kMalformedRow: return "malformed-row";
+    case TraceErrorKind::kBadCount: return "bad-count";
+  }
+  return "unknown";
+}
+
+struct TraceError {
+  TraceErrorKind kind = TraceErrorKind::kIo;
+  std::string file;
+  std::size_t line = 0;  // 1-based; 0 when the error is not tied to a line
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = file;
+    if (line > 0) {
+      out += ':';
+      out += std::to_string(line);
+    }
+    if (!out.empty()) out += ": ";
+    out += '[';
+    out += trace::to_string(kind);
+    out += "] ";
+    out += message;
+    return out;
+  }
+};
+
+template <typename T>
+using TraceResult = util::Result<T, TraceError>;
+
+/// Strict per-minute invocation count parser. Accepts only an optional
+/// run of ASCII digits (empty ⇒ 0, matching the Azure dataset's sparse
+/// cells); rejects signs, decimals, exponents, "nan"/"inf", trailing
+/// garbage, and values that overflow uint32. std::stoul accepts all of
+/// those (e.g. "-1" wraps to 4294967295), which is how one bad row used to
+/// corrupt a whole run.
+[[nodiscard]] inline std::optional<std::uint32_t> parse_invocation_count(
+    std::string_view cell) noexcept {
+  if (cell.empty()) return 0u;
+  std::uint64_t value = 0;
+  for (char c : cell) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > std::numeric_limits<std::uint32_t>::max()) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace pulse::trace

@@ -82,7 +82,11 @@ Trace Trace::slice(Minute begin, Minute end) const {
 
 void Trace::save_csv(const std::filesystem::path& path) const {
   util::CsvRow header{"function", "name"};
-  for (Minute t = 0; t < duration_; ++t) header.push_back("m" + std::to_string(t));
+  for (Minute t = 0; t < duration_; ++t) {
+    std::string column = "m";
+    column += std::to_string(t);
+    header.push_back(std::move(column));
+  }
   util::CsvTable table(std::move(header));
   for (std::size_t f = 0; f < counts_.size(); ++f) {
     util::CsvRow row{std::to_string(f), names_[f]};
@@ -94,19 +98,42 @@ void Trace::save_csv(const std::filesystem::path& path) const {
 }
 
 Trace Trace::load_csv(const std::filesystem::path& path) {
-  const util::CsvTable table = util::CsvTable::read_file(path);
-  if (table.header().size() < 2) throw std::runtime_error("Trace CSV: malformed header");
+  auto result = try_load_csv(path);
+  if (!result) throw std::runtime_error(result.error().to_string());
+  return std::move(result.value());
+}
+
+TraceResult<Trace> Trace::try_load_csv(const std::filesystem::path& path) {
+  util::CsvTable table;
+  try {
+    table = util::CsvTable::read_file(path);
+  } catch (const std::exception& e) {
+    return TraceError{TraceErrorKind::kIo, path.string(), 0, e.what()};
+  }
+  if (table.header().size() < 2) {
+    return TraceError{TraceErrorKind::kBadHeader, path.string(), 1,
+                      "expected at least 'function,name' columns, got " +
+                          std::to_string(table.header().size())};
+  }
   const Minute duration = static_cast<Minute>(table.header().size()) - 2;
   Trace out(table.row_count(), duration);
   for (std::size_t f = 0; f < table.rows().size(); ++f) {
     const auto& row = table.rows()[f];
+    const std::size_t line_no = f + 2;  // 1-based, after the header
     if (row.size() != table.header().size()) {
-      throw std::runtime_error("Trace CSV: row width mismatch");
+      return TraceError{TraceErrorKind::kMalformedRow, path.string(), line_no,
+                        "expected " + std::to_string(table.header().size()) +
+                            " columns, got " + std::to_string(row.size())};
     }
     out.names_[f] = row[1];
     for (Minute t = 0; t < duration; ++t) {
-      out.counts_[f][static_cast<std::size_t>(t)] =
-          static_cast<std::uint32_t>(std::stoul(row[static_cast<std::size_t>(t) + 2]));
+      const std::string& cell = row[static_cast<std::size_t>(t) + 2];
+      const auto count = parse_invocation_count(cell);
+      if (!count) {
+        return TraceError{TraceErrorKind::kBadCount, path.string(), line_no,
+                          "malformed count '" + cell + "' at minute " + std::to_string(t)};
+      }
+      out.counts_[f][static_cast<std::size_t>(t)] = *count;
     }
   }
   return out;

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/errors.hpp"
+
 namespace pulse::trace {
 
 /// Simulation time in minutes since trace start.
@@ -70,6 +72,11 @@ class Trace {
   /// CSV round trip. Columns: function,name then one count per minute.
   void save_csv(const std::filesystem::path& path) const;
   [[nodiscard]] static Trace load_csv(const std::filesystem::path& path);
+
+  /// Non-throwing loader: malformed input (unreadable file, bad header,
+  /// ragged rows, count cells that are not plain non-negative integers)
+  /// comes back as a TraceError naming the file, row and cell.
+  [[nodiscard]] static TraceResult<Trace> try_load_csv(const std::filesystem::path& path);
 
  private:
   Minute duration_ = 0;

@@ -1,0 +1,56 @@
+#include "trace/validation.hpp"
+
+#include <unordered_map>
+
+namespace pulse::trace {
+
+namespace {
+
+void add(ValidationReport& report, ValidationSeverity severity, FunctionId f, Minute t,
+         std::string message) {
+  report.issues.push_back(ValidationIssue{severity, f, t, std::move(message)});
+}
+
+}  // namespace
+
+ValidationReport validate_trace(const Trace& trace, const ValidationOptions& options) {
+  ValidationReport report;
+  const FunctionId trace_wide = trace.function_count();
+
+  if (trace.duration() <= 0) {
+    add(report, ValidationSeverity::kError, trace_wide, -1, "trace has zero duration");
+  }
+  if (trace.function_count() == 0) {
+    add(report, ValidationSeverity::kError, trace_wide, -1, "trace has no functions");
+  }
+
+  std::unordered_map<std::string, FunctionId> seen_names;
+  for (FunctionId f = 0; f < trace.function_count(); ++f) {
+    const std::string& name = trace.function_name(f);
+    if (name.empty()) {
+      add(report, ValidationSeverity::kWarning, f, -1, "function has an empty name");
+    } else if (const auto [it, inserted] = seen_names.emplace(name, f); !inserted) {
+      add(report, ValidationSeverity::kWarning, f, -1,
+          "duplicate function name '" + name + "' (first at function " +
+              std::to_string(it->second) + ")");
+    }
+
+    bool any = false;
+    for (Minute t = 0; t < trace.duration(); ++t) {
+      const std::uint32_t c = trace.count(f, t);
+      if (c > 0) any = true;
+      if (c > options.max_count_per_minute) {
+        add(report, ValidationSeverity::kError, f, t,
+            "count " + std::to_string(c) + " exceeds plausibility bound " +
+                std::to_string(options.max_count_per_minute));
+      }
+    }
+    if (!any && options.flag_idle_functions && trace.duration() > 0) {
+      add(report, ValidationSeverity::kWarning, f, -1,
+          "function has no invocations over the whole horizon");
+    }
+  }
+  return report;
+}
+
+}  // namespace pulse::trace

@@ -1,0 +1,58 @@
+#pragma once
+// Semantic validation of a loaded trace — the second ingestion gate after
+// the parsers. Parsing guarantees well-formed numbers; validation flags
+// traces that are syntactically fine but would make a simulation
+// meaningless or pathological: zero horizon, dead functions, duplicate or
+// empty names, and per-minute counts far beyond anything the Azure dataset
+// contains (a common symptom of unit mix-ups or corrupted exports).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pulse::trace {
+
+enum class ValidationSeverity { kWarning, kError };
+
+struct ValidationIssue {
+  ValidationSeverity severity = ValidationSeverity::kWarning;
+  /// Function the issue concerns; function_count() for trace-wide issues.
+  FunctionId function = 0;
+  /// Minute the issue concerns; -1 when not minute-specific.
+  Minute minute = -1;
+  std::string message;
+};
+
+struct ValidationOptions {
+  /// Per-minute count above this is flagged (the busiest Azure functions
+  /// peak around 10^5/min; anything higher is almost certainly corrupt).
+  std::uint32_t max_count_per_minute = 1'000'000;
+  /// Flag functions with no invocations at all (harmless to the engine,
+  /// but usually a selection/ingestion mistake).
+  bool flag_idle_functions = true;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] std::size_t error_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& i : issues) {
+      if (i.severity == ValidationSeverity::kError) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::size_t warning_count() const noexcept {
+    return issues.size() - error_count();
+  }
+  /// true when the trace is safe to simulate (warnings allowed).
+  [[nodiscard]] bool ok() const noexcept { return error_count() == 0; }
+};
+
+/// Runs every check; issues are ordered by function then minute.
+[[nodiscard]] ValidationReport validate_trace(const Trace& trace,
+                                              const ValidationOptions& options = {});
+
+}  // namespace pulse::trace

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal Result<T, E>: structured error propagation for paths where a
+// failure is an expected outcome (trace ingestion of untrusted files), not a
+// programming error. std::expected is C++23; this repository targets C++20,
+// so we carry the small subset we need.
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace pulse::util {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & { return std::get<0>(data_); }
+  [[nodiscard]] const T& value() const& { return std::get<0>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<0>(std::move(data_)); }
+
+  [[nodiscard]] E& error() & { return std::get<1>(data_); }
+  [[nodiscard]] const E& error() const& { return std::get<1>(data_); }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+}  // namespace pulse::util

@@ -80,8 +80,8 @@ TEST(Priority, NormalizedPriorityMatchesVector) {
 TEST(Priority, OutOfRangeThrows) {
   PriorityStructure p(2);
   EXPECT_THROW(p.record_downgrade(2), std::out_of_range);
-  EXPECT_THROW(p.downgrade_count(5), std::out_of_range);
-  EXPECT_THROW(p.normalized_priority(9), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(p.downgrade_count(5)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(p.normalized_priority(9)), std::out_of_range);
 }
 
 }  // namespace

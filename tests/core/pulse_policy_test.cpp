@@ -39,7 +39,7 @@ TEST(PulsePolicy, InvalidWindowThrows) {
 
 TEST(PulsePolicy, OptimizerBeforeInitializeThrows) {
   PulsePolicy p;
-  EXPECT_THROW(p.optimizer(), std::logic_error);
+  EXPECT_THROW(static_cast<void>(p.optimizer()), std::logic_error);
 }
 
 TEST(PulsePolicy, FirstInvocationKeepsLowestAlive) {

@@ -1,0 +1,217 @@
+// Engine x FaultInjector integration: the determinism and zero-rate
+// invariants the tentpole promises, plus the semantics of each fault type
+// as observed through RunResult.
+
+#include <gtest/gtest.h>
+
+#include "policies/factory.hpp"
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+
+namespace pulse::fault {
+namespace {
+
+/// One family, two variants with round numbers (mirrors sim/engine_test).
+models::ModelZoo test_zoo() {
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Test", "task", "data",
+      {
+          models::ModelVariant{"low", 1.0, 4.0, 70.0, 100.0},
+          models::ModelVariant{"high", 2.0, 8.0, 90.0, 300.0},
+      }));
+  return zoo;
+}
+
+/// A small busy trace: 2 functions, invocations spread over 4 hours.
+trace::Trace busy_trace() {
+  trace::Trace t(2, 240);
+  for (trace::Minute m = 0; m < 240; m += 7) t.set_count(0, m, 1 + m % 3);
+  for (trace::Minute m = 3; m < 240; m += 11) t.set_count(1, m, 1);
+  return t;
+}
+
+sim::RunResult run_with(const FaultConfig& faults, bool record_series = false) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 2);
+  const trace::Trace t = busy_trace();
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  config.record_series = record_series;
+  config.faults = faults;
+  sim::SimulationEngine engine(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  return engine.run(policy);
+}
+
+void expect_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  EXPECT_EQ(a.invocations, b.invocations);
+  EXPECT_EQ(a.warm_starts, b.warm_starts);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.failed_invocations, b.failed_invocations);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.crash_evictions, b.crash_evictions);
+  EXPECT_EQ(a.capacity_evictions, b.capacity_evictions);
+  EXPECT_EQ(a.degraded_minutes, b.degraded_minutes);
+  EXPECT_EQ(a.guard_incidents, b.guard_incidents);
+  // Bitwise-identical doubles, not approximate: determinism means the same
+  // floating-point operations in the same order.
+  EXPECT_EQ(a.total_service_time_s, b.total_service_time_s);
+  EXPECT_EQ(a.total_keepalive_cost_usd, b.total_keepalive_cost_usd);
+  EXPECT_EQ(a.accuracy_pct_sum, b.accuracy_pct_sum);
+  EXPECT_EQ(a.keepalive_memory_mb, b.keepalive_memory_mb);
+  EXPECT_EQ(a.keepalive_cost_usd, b.keepalive_cost_usd);
+  EXPECT_EQ(a.ideal_cost_usd, b.ideal_cost_usd);
+}
+
+TEST(EngineFaults, SameSeedIsBitwiseIdentical) {
+  FaultConfig faults;
+  faults.seed = 7;
+  faults.crash_rate = 0.02;
+  faults.cold_start_failure_rate = 0.2;
+  faults.slo_multiplier = 1.5;
+  const sim::RunResult a = run_with(faults, /*record_series=*/true);
+  const sim::RunResult b = run_with(faults, /*record_series=*/true);
+  expect_identical(a, b);
+  // And the run actually exercised the fault paths.
+  EXPECT_GT(a.degraded_minutes, 0u);
+}
+
+TEST(EngineFaults, ZeroRateInjectorMatchesNoInjector) {
+  const sim::RunResult base = run_with(FaultConfig{}, /*record_series=*/true);
+  FaultConfig zero;
+  zero.seed = 0xdeadbeef;  // seed must be irrelevant at zero rates
+  const sim::RunResult zeroed = run_with(zero, /*record_series=*/true);
+  expect_identical(base, zeroed);
+  EXPECT_EQ(base.failed_invocations, 0u);
+  EXPECT_EQ(base.crash_evictions, 0u);
+  EXPECT_EQ(base.timeouts, 0u);
+  EXPECT_EQ(base.degraded_minutes, 0u);
+}
+
+TEST(EngineFaults, CrashesEvictAndForceColdStarts) {
+  const sim::RunResult base = run_with(FaultConfig{});
+  FaultConfig faults;
+  faults.crash_rate = 1.0;  // every kept container crashes at every minute
+  const sim::RunResult crashed = run_with(faults);
+
+  EXPECT_GT(crashed.crash_evictions, 0u);
+  EXPECT_GT(crashed.degraded_minutes, 0u);
+  // With every keep-alive window destroyed, every invocation minute is cold.
+  EXPECT_GT(crashed.cold_starts, base.cold_starts);
+  EXPECT_EQ(crashed.warm_starts + crashed.cold_starts, crashed.invocations);
+  // Cold starts are slower, so total service time rises.
+  EXPECT_GT(crashed.total_service_time_s, base.total_service_time_s);
+  // Crashed containers stop accruing keep-alive cost.
+  EXPECT_LT(crashed.total_keepalive_cost_usd, base.total_keepalive_cost_usd);
+}
+
+TEST(EngineFaults, CertainColdStartFailureFailsEveryInvocation) {
+  FaultConfig faults;
+  faults.cold_start_failure_rate = 1.0;
+  const sim::RunResult r = run_with(faults);
+
+  // Every cold start exhausts its retries and fails its minute. The policy
+  // still observes the arrival and fills (t, t+10], so follow-up minutes
+  // inside the window are served warm — only cold minutes fail.
+  EXPECT_GT(r.failed_invocations, 0u);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_EQ(r.cold_starts, 0u);  // no cold start ever succeeded
+  const sim::RunResult base = run_with(FaultConfig{});
+  EXPECT_EQ(r.invocations + r.failed_invocations, base.invocations);
+}
+
+TEST(EngineFaults, PartialColdStartFailuresAddRetryLatency) {
+  FaultConfig faults;
+  faults.cold_start_failure_rate = 0.4;
+  faults.max_cold_start_retries = 6;  // failures nearly always resolve by retry
+  const sim::RunResult r = run_with(faults);
+  const sim::RunResult base = run_with(FaultConfig{});
+
+  EXPECT_GT(r.retries, 0u);
+  // Retried-but-served cold starts pay exponential backoff on top of the
+  // baseline's service time.
+  EXPECT_GT(r.total_service_time_s, base.total_service_time_s);
+}
+
+TEST(EngineFaults, TightSloTimesOutEveryInvocation) {
+  FaultConfig faults;
+  faults.slo_multiplier = 0.5;  // deadline at half the expected service time
+  const sim::RunResult r = run_with(faults);
+  const sim::RunResult base = run_with(FaultConfig{});
+
+  EXPECT_EQ(r.timeouts, r.invocations);
+  // Abandoned at the deadline: exactly half the deterministic service time,
+  // and no accuracy is ever delivered.
+  EXPECT_DOUBLE_EQ(r.total_service_time_s, 0.5 * base.total_service_time_s);
+  EXPECT_DOUBLE_EQ(r.accuracy_pct_sum, 0.0);
+}
+
+TEST(EngineFaults, LooseSloNeverFires) {
+  FaultConfig faults;
+  faults.slo_multiplier = 2.0;  // deterministic latency == expected, never over
+  const sim::RunResult r = run_with(faults);
+  const sim::RunResult base = run_with(FaultConfig{});
+
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.total_service_time_s, base.total_service_time_s);
+  EXPECT_EQ(r.accuracy_pct_sum, base.accuracy_pct_sum);
+}
+
+TEST(EngineFaults, MemoryPressureCapsKeepAliveMemory) {
+  FaultConfig faults;
+  faults.memory_pressure_rate = 1.0;
+  faults.memory_pressure_capacity_mb = 100.0;  // fits "low" (100) but not "high" (300)
+  const sim::RunResult r = run_with(faults, /*record_series=*/true);
+
+  EXPECT_GT(r.capacity_evictions, 0u);
+  EXPECT_GT(r.degraded_minutes, 0u);
+  for (double mb : r.keepalive_memory_mb) EXPECT_LE(mb, 100.0);
+}
+
+TEST(EngineFaults, FaultCountersStayZeroForFaultFreeRun) {
+  const sim::RunResult r = run_with(FaultConfig{});
+  EXPECT_EQ(r.failed_invocations, 0u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.crash_evictions, 0u);
+  EXPECT_EQ(r.degraded_minutes, 0u);
+  EXPECT_EQ(r.guard_incidents, 0u);
+  EXPECT_DOUBLE_EQ(r.failed_fraction(), 0.0);
+}
+
+TEST(EngineFaults, FailedFractionAccountsForFailedInvocations) {
+  FaultConfig faults;
+  faults.cold_start_failure_rate = 1.0;
+  const sim::RunResult r = run_with(faults);
+  const double expected = static_cast<double>(r.failed_invocations) /
+                          static_cast<double>(r.invocations + r.failed_invocations);
+  EXPECT_DOUBLE_EQ(r.failed_fraction(), expected);
+  EXPECT_GT(r.failed_fraction(), 0.0);
+}
+
+TEST(EngineFaults, GuardedPulseSurvivesFaultsViaFactory) {
+  // End-to-end: a real policy from the factory, wrapped by the "guarded:"
+  // prefix, under combined faults — completes and reports sane metrics.
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 2);
+  const trace::Trace t = busy_trace();
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  FaultConfig faults;
+  faults.crash_rate = 0.05;
+  faults.cold_start_failure_rate = 0.1;
+  faults.slo_multiplier = 3.0;
+  config.faults = faults;
+  sim::SimulationEngine engine(d, t, config);
+  const auto policy = policies::make_policy("guarded:pulse");
+  const sim::RunResult r = engine.run(*policy);
+
+  EXPECT_GT(r.invocations, 0u);
+  EXPECT_EQ(r.guard_incidents, 0u);  // PULSE is healthy; guard stays idle
+  EXPECT_GT(r.degraded_minutes, 0u);
+}
+
+}  // namespace
+}  // namespace pulse::fault

@@ -1,0 +1,218 @@
+#include "fault/guarded_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "fault/diverging_policy.hpp"
+#include "policies/factory.hpp"
+#include "policies/fixed_keepalive.hpp"
+#include "predict/divergence.hpp"
+#include "sim/engine.hpp"
+
+namespace pulse::fault {
+namespace {
+
+/// One family, two variants with round numbers (mirrors sim/engine_test).
+models::ModelZoo test_zoo() {
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Test", "task", "data",
+      {
+          models::ModelVariant{"low", 1.0, 4.0, 70.0, 100.0},
+          models::ModelVariant{"high", 2.0, 8.0, 90.0, 300.0},
+      }));
+  return zoo;
+}
+
+sim::EngineConfig exact_config() {
+  sim::EngineConfig config;
+  config.deterministic_latency = true;
+  return config;
+}
+
+/// A policy whose decision path throws from a configured minute on — the
+/// MILP-solver-blew-up / predictor-diverged failure mode, distilled.
+class ThrowingPolicy : public sim::KeepAlivePolicy {
+ public:
+  explicit ThrowingPolicy(trace::Minute throw_at = 0) : throw_at_(throw_at) {}
+
+  [[nodiscard]] std::string name() const override { return "Throwing"; }
+
+  void on_invocation(trace::FunctionId f, trace::Minute t,
+                     sim::KeepAliveSchedule& schedule) override {
+    if (t >= throw_at_) throw std::runtime_error("synthetic policy failure");
+    inner_.on_invocation(f, t, schedule);
+  }
+
+ private:
+  trace::Minute throw_at_;
+  policies::FixedKeepAlivePolicy inner_;
+};
+
+TEST(GuardedPolicy, NullInnerThrows) {
+  EXPECT_THROW(GuardedPolicy(nullptr), std::invalid_argument);
+}
+
+TEST(GuardedPolicy, NameWrapsInner) {
+  GuardedPolicy guarded(std::make_unique<policies::FixedKeepAlivePolicy>());
+  EXPECT_EQ(guarded.name(), "Guarded(OpenWhisk(fixed-high))");
+}
+
+TEST(GuardedPolicy, HealthyInnerPassesThroughUntouched) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 2);
+  trace::Trace t(2, 120);
+  t.set_count(0, 5, 3);
+  t.set_count(0, 40, 1);
+  t.set_count(1, 7, 2);
+  t.set_count(1, 90, 4);
+
+  sim::SimulationEngine plain_engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy plain;
+  const sim::RunResult base = plain_engine.run(plain);
+
+  sim::SimulationEngine guarded_engine(d, t, exact_config());
+  GuardedPolicy guarded(std::make_unique<policies::FixedKeepAlivePolicy>());
+  const sim::RunResult wrapped = guarded_engine.run(guarded);
+
+  EXPECT_FALSE(guarded.degraded());
+  EXPECT_EQ(guarded.incident_count(), 0u);
+  EXPECT_EQ(wrapped.guard_incidents, 0u);
+  EXPECT_EQ(wrapped.invocations, base.invocations);
+  EXPECT_EQ(wrapped.cold_starts, base.cold_starts);
+  EXPECT_DOUBLE_EQ(wrapped.total_service_time_s, base.total_service_time_s);
+  EXPECT_DOUBLE_EQ(wrapped.total_keepalive_cost_usd, base.total_keepalive_cost_usd);
+  EXPECT_DOUBLE_EQ(wrapped.accuracy_pct_sum, base.accuracy_pct_sum);
+}
+
+TEST(GuardedPolicy, ThrowingInnerAbortsUnguardedRun) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 60);
+  t.set_count(0, 5, 1);
+
+  sim::SimulationEngine engine(d, t, exact_config());
+  ThrowingPolicy policy;
+  EXPECT_THROW(engine.run(policy), std::runtime_error);
+}
+
+TEST(GuardedPolicy, GuardAbsorbsIncidentAndCompletesRun) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 60);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 30, 2);
+
+  sim::SimulationEngine engine(d, t, exact_config());
+  GuardedPolicy guarded(std::make_unique<ThrowingPolicy>());
+  const sim::RunResult r = engine.run(guarded);
+
+  EXPECT_TRUE(guarded.degraded());
+  EXPECT_EQ(guarded.degraded_since(), 5);
+  EXPECT_EQ(guarded.first_incident(), "synthetic policy failure");
+  // Only the first invocation reaches the (throwing) inner; afterwards the
+  // fallback serves without consulting it.
+  EXPECT_EQ(guarded.incident_count(), 1u);
+  EXPECT_EQ(r.guard_incidents, 1u);
+  EXPECT_EQ(r.invocations, 3u);
+}
+
+TEST(GuardedPolicy, FallbackMatchesFixedKeepAlive) {
+  // Once degraded, the guard must behave exactly like the provider's fixed
+  // keep-alive baseline: same cost, service time and accuracy.
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 2);
+  trace::Trace t(2, 200);
+  t.set_count(0, 5, 3);
+  t.set_count(0, 12, 1);
+  t.set_count(0, 90, 2);
+  t.set_count(1, 8, 1);
+  t.set_count(1, 150, 5);
+
+  sim::SimulationEngine fixed_engine(d, t, exact_config());
+  policies::FixedKeepAlivePolicy fixed;
+  const sim::RunResult base = fixed_engine.run(fixed);
+
+  sim::SimulationEngine guarded_engine(d, t, exact_config());
+  GuardedPolicy guarded(std::make_unique<ThrowingPolicy>());  // degrades at once
+  const sim::RunResult degraded = guarded_engine.run(guarded);
+
+  EXPECT_EQ(degraded.invocations, base.invocations);
+  EXPECT_EQ(degraded.cold_starts, base.cold_starts);
+  EXPECT_EQ(degraded.warm_starts, base.warm_starts);
+  EXPECT_DOUBLE_EQ(degraded.total_service_time_s, base.total_service_time_s);
+  EXPECT_DOUBLE_EQ(degraded.total_keepalive_cost_usd, base.total_keepalive_cost_usd);
+  EXPECT_DOUBLE_EQ(degraded.accuracy_pct_sum, base.accuracy_pct_sum);
+}
+
+TEST(GuardedPolicy, LateTripOnlyDegradesFromThatMinute) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 120);
+  t.set_count(0, 10, 1);
+  t.set_count(0, 80, 1);  // first invocation at/after the trip minute
+
+  sim::SimulationEngine engine(d, t, exact_config());
+  GuardedPolicy guarded(std::make_unique<ThrowingPolicy>(/*throw_at=*/50));
+  const sim::RunResult r = engine.run(guarded);
+
+  EXPECT_TRUE(guarded.degraded());
+  EXPECT_EQ(guarded.degraded_since(), 80);
+  EXPECT_EQ(r.guard_incidents, 1u);
+  EXPECT_EQ(r.invocations, 2u);
+}
+
+TEST(GuardedPolicy, DivergingPredictorKillsUnguardedRun) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 60);
+  t.set_count(0, 5, 1);
+
+  sim::SimulationEngine engine(d, t, exact_config());
+  DivergingPolicy diverging(std::make_unique<policies::FixedKeepAlivePolicy>());
+  EXPECT_THROW(engine.run(diverging), predict::PredictorDivergence);
+}
+
+TEST(GuardedPolicy, GuardSurvivesDivergingPredictor) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 60);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 20, 1);
+
+  sim::SimulationEngine engine(d, t, exact_config());
+  GuardedPolicy guarded(
+      std::make_unique<DivergingPolicy>(std::make_unique<policies::FixedKeepAlivePolicy>()));
+  const sim::RunResult r = engine.run(guarded);
+
+  EXPECT_TRUE(guarded.degraded());
+  EXPECT_EQ(r.guard_incidents, 1u);
+  EXPECT_EQ(r.invocations, 2u);
+}
+
+TEST(GuardedPolicy, DivergingDelegatesBeforeTripMinute) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 60);
+  t.set_count(0, 5, 1);  // before diverge_at: behaves like the inner policy
+
+  DivergingPolicy::Config config;
+  config.diverge_at = 30;
+  sim::SimulationEngine engine(d, t, exact_config());
+  DivergingPolicy diverging(std::make_unique<policies::FixedKeepAlivePolicy>(), config);
+  const sim::RunResult r = engine.run(diverging);
+  EXPECT_EQ(r.invocations, 1u);
+}
+
+TEST(GuardedPolicy, FactoryBuildsGuardedVariants) {
+  const auto guarded = policies::make_policy("guarded:openwhisk");
+  EXPECT_EQ(guarded->name(), "Guarded(OpenWhisk(fixed-high))");
+  EXPECT_EQ(guarded->incident_count(), 0u);
+  EXPECT_THROW(policies::make_policy("guarded:nonsense"), std::invalid_argument);
+  EXPECT_THROW(policies::make_policy("guarded:"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulse::fault

@@ -1,0 +1,206 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pulse::fault {
+namespace {
+
+TEST(FaultConfig, EnabledOnlyWithNonzeroRates) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.seed = 12345;  // a seed alone enables nothing
+  EXPECT_FALSE(config.enabled());
+
+  FaultConfig crash;
+  crash.crash_rate = 0.01;
+  EXPECT_TRUE(crash.enabled());
+
+  FaultConfig cold;
+  cold.cold_start_failure_rate = 0.1;
+  EXPECT_TRUE(cold.enabled());
+
+  FaultConfig slo;
+  slo.slo_multiplier = 2.0;
+  EXPECT_TRUE(slo.enabled());
+
+  // Memory pressure needs both a rate and a cap to be meaningful.
+  FaultConfig pressure;
+  pressure.memory_pressure_rate = 0.5;
+  EXPECT_FALSE(pressure.enabled());
+  pressure.memory_pressure_capacity_mb = 100.0;
+  EXPECT_TRUE(pressure.enabled());
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire) {
+  const FaultInjector injector{FaultConfig{}};
+  for (trace::Minute t = 0; t < 500; ++t) {
+    for (trace::FunctionId f = 0; f < 4; ++f) {
+      EXPECT_FALSE(injector.container_crashes(f, t));
+      const ColdStartOutcome cs = injector.cold_start(f, t);
+      EXPECT_TRUE(cs.succeeded);
+      EXPECT_EQ(cs.retries, 0u);
+      EXPECT_DOUBLE_EQ(cs.retry_penalty_s, 0.0);
+    }
+    EXPECT_FALSE(injector.under_memory_pressure(t));
+    EXPECT_DOUBLE_EQ(injector.effective_capacity_mb(0.0, t), 0.0);
+    EXPECT_DOUBLE_EQ(injector.effective_capacity_mb(512.0, t), 512.0);
+  }
+  EXPECT_DOUBLE_EQ(injector.timeout_slo_s(3.0), 0.0);
+}
+
+TEST(FaultInjector, RateOneAlwaysFires) {
+  FaultConfig config;
+  config.crash_rate = 1.0;
+  config.cold_start_failure_rate = 1.0;
+  config.memory_pressure_rate = 1.0;
+  config.memory_pressure_capacity_mb = 100.0;
+  const FaultInjector injector(config);
+
+  for (trace::Minute t = 0; t < 200; ++t) {
+    EXPECT_TRUE(injector.container_crashes(0, t));
+    EXPECT_TRUE(injector.under_memory_pressure(t));
+    const ColdStartOutcome cs = injector.cold_start(0, t);
+    EXPECT_FALSE(cs.succeeded);
+    EXPECT_EQ(cs.retries, config.max_cold_start_retries);
+  }
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultConfig config;
+  config.seed = 42;
+  config.crash_rate = 0.1;
+  config.cold_start_failure_rate = 0.3;
+  config.memory_pressure_rate = 0.2;
+  config.memory_pressure_capacity_mb = 256.0;
+  const FaultInjector a(config);
+  const FaultInjector b(config);
+
+  for (trace::Minute t = 0; t < 1000; ++t) {
+    for (trace::FunctionId f = 0; f < 3; ++f) {
+      EXPECT_EQ(a.container_crashes(f, t), b.container_crashes(f, t));
+      const ColdStartOutcome ca = a.cold_start(f, t);
+      const ColdStartOutcome cb = b.cold_start(f, t);
+      EXPECT_EQ(ca.succeeded, cb.succeeded);
+      EXPECT_EQ(ca.retries, cb.retries);
+      EXPECT_DOUBLE_EQ(ca.retry_penalty_s, cb.retry_penalty_s);
+    }
+    EXPECT_EQ(a.under_memory_pressure(t), b.under_memory_pressure(t));
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentPatterns) {
+  FaultConfig config;
+  config.crash_rate = 0.5;
+  config.seed = 1;
+  const FaultInjector a(config);
+  config.seed = 2;
+  const FaultInjector b(config);
+
+  int disagreements = 0;
+  for (trace::Minute t = 0; t < 1000; ++t) {
+    if (a.container_crashes(0, t) != b.container_crashes(0, t)) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjector, EmpiricalRateMatchesConfiguredRate) {
+  FaultConfig config;
+  config.crash_rate = 0.25;
+  const FaultInjector injector(config);
+
+  int fired = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (injector.container_crashes(static_cast<trace::FunctionId>(i % 7),
+                                   static_cast<trace::Minute>(i))) {
+      ++fired;
+    }
+  }
+  const double empirical = static_cast<double>(fired) / trials;
+  EXPECT_NEAR(empirical, config.crash_rate, 0.02);
+}
+
+TEST(FaultInjector, StreamsAreIndependent) {
+  // Raising the crash rate must not change the cold-start failure pattern.
+  FaultConfig quiet;
+  quiet.cold_start_failure_rate = 0.3;
+  FaultConfig noisy = quiet;
+  noisy.crash_rate = 0.9;
+  const FaultInjector a(quiet);
+  const FaultInjector b(noisy);
+
+  for (trace::Minute t = 0; t < 1000; ++t) {
+    const ColdStartOutcome ca = a.cold_start(0, t);
+    const ColdStartOutcome cb = b.cold_start(0, t);
+    EXPECT_EQ(ca.succeeded, cb.succeeded) << "t=" << t;
+    EXPECT_EQ(ca.retries, cb.retries) << "t=" << t;
+  }
+}
+
+TEST(FaultInjector, RetriesAreBoundedWithExponentialBackoff) {
+  FaultConfig config;
+  config.cold_start_failure_rate = 1.0;  // every attempt fails
+  config.max_cold_start_retries = 3;
+  config.retry_backoff_base_s = 0.5;
+  const FaultInjector injector(config);
+
+  const ColdStartOutcome cs = injector.cold_start(0, 0);
+  EXPECT_FALSE(cs.succeeded);
+  EXPECT_EQ(cs.retries, 3u);
+  // Backoff before retries 1..3: 0.5 + 1.0 + 2.0.
+  EXPECT_DOUBLE_EQ(cs.retry_penalty_s, 3.5);
+}
+
+TEST(FaultInjector, NoRetriesConfiguredFailsImmediately) {
+  FaultConfig config;
+  config.cold_start_failure_rate = 1.0;
+  config.max_cold_start_retries = 0;
+  const FaultInjector injector(config);
+
+  const ColdStartOutcome cs = injector.cold_start(0, 0);
+  EXPECT_FALSE(cs.succeeded);
+  EXPECT_EQ(cs.retries, 0u);
+  EXPECT_DOUBLE_EQ(cs.retry_penalty_s, 0.0);
+}
+
+TEST(FaultInjector, PartialRetrySequencesAppear) {
+  // With a moderate failure rate, some cold starts should succeed after one
+  // or more retries — i.e. outcomes between "clean success" and "abandoned".
+  FaultConfig config;
+  config.cold_start_failure_rate = 0.5;
+  const FaultInjector injector(config);
+
+  bool saw_retry_success = false;
+  for (trace::Minute t = 0; t < 2000 && !saw_retry_success; ++t) {
+    const ColdStartOutcome cs = injector.cold_start(0, t);
+    if (cs.succeeded && cs.retries > 0) saw_retry_success = true;
+  }
+  EXPECT_TRUE(saw_retry_success);
+}
+
+TEST(FaultInjector, TimeoutSloScalesExpectedServiceTime) {
+  FaultConfig config;
+  config.slo_multiplier = 2.5;
+  const FaultInjector injector(config);
+  EXPECT_DOUBLE_EQ(injector.timeout_slo_s(4.0), 10.0);
+  EXPECT_DOUBLE_EQ(injector.timeout_slo_s(0.0), 0.0);
+}
+
+TEST(FaultInjector, MemoryPressureTightensCapacity) {
+  FaultConfig config;
+  config.memory_pressure_rate = 1.0;  // every minute is a spike
+  config.memory_pressure_capacity_mb = 100.0;
+  const FaultInjector injector(config);
+
+  // Unlimited engine capacity -> spike cap applies.
+  EXPECT_DOUBLE_EQ(injector.effective_capacity_mb(0.0, 0), 100.0);
+  // Looser engine capacity -> tightened to the spike cap.
+  EXPECT_DOUBLE_EQ(injector.effective_capacity_mb(500.0, 0), 100.0);
+  // Tighter engine capacity -> unchanged (pressure never loosens).
+  EXPECT_DOUBLE_EQ(injector.effective_capacity_mb(50.0, 0), 50.0);
+}
+
+}  // namespace
+}  // namespace pulse::fault

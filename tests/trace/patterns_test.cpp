@@ -108,7 +108,9 @@ TEST(Patterns, HeavyTailProducesLongGaps) {
 TEST(Patterns, IntermittentRespectsOffPhase) {
   const auto t = generate(intermittent(10, 20, 1.0), 3000, 7);
   for (Minute m = 0; m < 3000; ++m) {
-    if (m % 30 >= 10) EXPECT_EQ(t.count(0, m), 0u) << "minute " << m;
+    if (m % 30 >= 10) {
+      EXPECT_EQ(t.count(0, m), 0u) << "minute " << m;
+    }
   }
   EXPECT_GT(t.total_invocations(), 0u);
 }
