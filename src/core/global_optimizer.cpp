@@ -42,25 +42,42 @@ std::size_t GlobalOptimizer::flatten_peak(trace::Minute t, sim::KeepAliveSchedul
   demand_.push(schedule.memory_at(t));
   std::size_t downgrades = 0;
 
+  // The kept list is built once and maintained across rounds: a downgrade
+  // only changes the downgraded function's own entry (one variant lower, or
+  // gone entirely), so updating that entry in place is bit-identical to
+  // re-listing the schedule — without the per-round O(F) scan + allocation.
+  bool kept_built = false;
   while (detector_.is_peak(schedule.memory_at(t), prior)) {
-    const auto kept = schedule.kept_alive_at(t);
-    if (kept.empty()) break;  // nothing left to downgrade; peak cannot be flattened
+    if (!kept_built) {
+      schedule.kept_alive_at(t, kept_buffer_);
+      kept_built = true;
+    }
+    if (kept_buffer_.empty()) break;  // nothing left to downgrade; peak cannot be flattened
 
     // Algorithm 2, line 4: normalize the priority structure once per round.
-    const std::vector<double> pr = priority_.normalized();
+    priority_.normalized_into(priority_buffer_);
+    const std::vector<double>& pr = priority_buffer_;
 
-    trace::FunctionId worst_f = kept.front().first;
+    std::size_t worst_idx = 0;
     double worst_uv = std::numeric_limits<double>::infinity();
-    for (const auto& [f, variant] : kept) {
+    for (std::size_t i = 0; i < kept_buffer_.size(); ++i) {
+      const auto& [f, variant] = kept_buffer_[i];
       const double uv =
           score(f, variant, t, schedule.deployment(), pr, trackers).value(config_.weights);
       if (uv < worst_uv) {
         worst_uv = uv;
-        worst_f = f;
+        worst_idx = i;
       }
     }
 
-    if (!schedule.downgrade_from(worst_f, t)) break;  // defensive: should not happen
+    const trace::FunctionId worst_f = kept_buffer_[worst_idx].first;
+    const auto prev = schedule.downgrade_from(worst_f, t);
+    if (!prev) break;  // defensive: should not happen
+    if (*prev > 0) {
+      kept_buffer_[worst_idx].second = static_cast<std::size_t>(*prev - 1);
+    } else {
+      kept_buffer_.erase(kept_buffer_.begin() + static_cast<std::ptrdiff_t>(worst_idx));
+    }
     priority_.record_downgrade(worst_f);
     ++downgrades;
   }

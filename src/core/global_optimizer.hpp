@@ -85,6 +85,10 @@ class GlobalOptimizer {
   PeakDetector detector_;
   PriorityStructure priority_;
   DemandHistory demand_;
+
+  /// Reused across flatten_peak rounds (allocation-free hot path).
+  std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer_;
+  std::vector<double> priority_buffer_;
 };
 
 }  // namespace pulse::core

@@ -29,6 +29,10 @@ class PriorityStructure {
   /// model maps to 1, the least to 0; all-equal counts map to all zeros.
   [[nodiscard]] std::vector<double> normalized() const;
 
+  /// Allocation-free variant of normalized(): writes into `out` (resized).
+  /// Hot loops reuse one buffer across rounds.
+  void normalized_into(std::vector<double>& out) const;
+
   /// Normalized priority of a single model (computes the full
   /// normalization; use normalized() when scoring many models at once).
   [[nodiscard]] double normalized_priority(trace::FunctionId f) const;

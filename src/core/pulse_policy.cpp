@@ -52,7 +52,7 @@ void PulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
 
   // Function-centric optimization: pick the variant for each minute of the
   // upcoming keep-alive window from that offset's invocation probability.
-  const std::size_t variants = schedule.deployment().family_of(f).variant_count();
+  const std::size_t variants = schedule.variant_count_of(f);
   const trace::Minute window = window_for(f);
   // Clear any longer window a previous (adaptive) decision left behind.
   if (config_.adaptive_window) schedule.clear_from(f, t + 1);

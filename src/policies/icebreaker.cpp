@@ -36,11 +36,11 @@ std::vector<double> IceBreakerPolicy::forecast(trace::FunctionId f) const {
 void IceBreakerPolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
                                       const std::vector<double>& predicted,
                                       sim::KeepAliveSchedule& schedule) {
-  const auto& family = schedule.deployment().family_of(f);
+  const int highest = static_cast<int>(schedule.variant_count_of(f)) - 1;
   for (std::size_t d = 0; d < predicted.size(); ++d) {
     const trace::Minute m = t + 1 + static_cast<trace::Minute>(d);
     if (predicted[d] >= config_.activation_threshold) {
-      schedule.set(f, m, static_cast<int>(family.highest_index()));
+      schedule.set(f, m, highest);
     } else {
       schedule.set(f, m, sim::kNoVariant);
     }
@@ -95,7 +95,7 @@ void IceBreakerPulsePolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
                                            sim::KeepAliveSchedule& schedule) {
   // PULSE maps the predicted concurrency to an invocation likelihood and
   // selects the variant greedily instead of always warming the highest one.
-  const std::size_t variants = schedule.deployment().family_of(f).variant_count();
+  const std::size_t variants = schedule.variant_count_of(f);
   for (std::size_t d = 0; d < predicted.size(); ++d) {
     const trace::Minute m = t + 1 + static_cast<trace::Minute>(d);
     if (predicted[d] < config_.activation_threshold) {

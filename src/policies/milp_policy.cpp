@@ -27,7 +27,7 @@ void MilpPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
   // the cross-function step.
   core::InterArrivalTracker& tracker = trackers_.at(f);
   tracker.record(t);
-  const std::size_t variants = schedule.deployment().family_of(f).variant_count();
+  const std::size_t variants = schedule.variant_count_of(f);
   for (trace::Minute d = 1; d <= config_.keepalive_window; ++d) {
     const double p = tracker.probability(static_cast<std::size_t>(d), t);
     const std::size_t v = core::select_variant(p, variants, config_.technique);
@@ -53,7 +53,8 @@ void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule
   demand_.push(schedule.memory_at(t));
   if (!detector_->is_peak(schedule.memory_at(t), prior)) return;
 
-  const auto kept = schedule.kept_alive_at(t);
+  schedule.kept_alive_at(t, kept_buffer_);
+  const auto& kept = kept_buffer_;
   if (kept.empty()) return;
 
   // Memory budget: the highest keep-alive memory that is not a peak.
@@ -62,7 +63,8 @@ void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule
   // Build the multiple-choice knapsack: for every kept model, the options
   // are its current variant or any lower one (an upgrade would raise
   // memory, never flatten a peak).
-  const std::vector<double> pr = priority_->normalized();
+  priority_->normalized_into(priority_buffer_);
+  const std::vector<double>& pr = priority_buffer_;
   MilpProblem problem;
   problem.memory_budget_mb = budget;
   // Paper-scale instances (~12 models) solve exactly well inside this
@@ -101,7 +103,9 @@ void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule
     if (chosen == static_cast<int>(current)) continue;
     const int delta = static_cast<int>(current) - std::max(chosen, -1);
     // Lower (or clear) all scheduled minutes >= t by the same amount.
-    for (trace::Minute m = t; m < schedule.duration(); ++m) {
+    // scheduled_end(f) bounds the walk: every later slot is kNoVariant.
+    const trace::Minute end = std::min(schedule.duration(), schedule.scheduled_end(f));
+    for (trace::Minute m = t; m < end; ++m) {
       const int v = schedule.variant_at(f, m);
       if (v == sim::kNoVariant) continue;
       const int lowered = v - delta;

@@ -64,6 +64,10 @@ class MilpPolicy : public sim::KeepAlivePolicy {
   core::DemandHistory demand_;
   std::uint64_t downgrades_ = 0;
   std::uint64_t solver_nodes_ = 0;
+
+  /// Reused across peak minutes (allocation-free hot path).
+  std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer_;
+  std::vector<double> priority_buffer_;
 };
 
 inline MilpPolicy::MilpPolicy() : MilpPolicy(Config{}) {}

@@ -24,13 +24,14 @@ predict::WindowPrediction WildPolicy::predict_window(trace::FunctionId f, trace:
 void WildPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                sim::KeepAliveSchedule& schedule) {
   const predict::WindowPrediction w = predict_window(f, t);
-  const auto& family = schedule.deployment().family_of(f);
 
   // Release the container during the predicted idle head, keep the
   // high-quality variant alive from the pre-warm point to the horizon.
+  // clear_from is bounded by the function's scheduled horizon, so dropping
+  // the stale tail costs the old window's length, not the trace length.
   schedule.clear_from(f, t + 1);
   schedule.fill(f, t + 1 + w.prewarm_offset, t + 1 + w.keepalive_until,
-                static_cast<int>(family.highest_index()));
+                static_cast<int>(schedule.variant_count_of(f)) - 1);
 }
 
 WildPulsePolicy::WildPulsePolicy() : WildPulsePolicy(Config{}) {}
@@ -62,7 +63,7 @@ void WildPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
 
   // ... and PULSE decides "which model variant should be kept active and
   // for how long" inside it (§IV, integration description).
-  const std::size_t variants = schedule.deployment().family_of(f).variant_count();
+  const std::size_t variants = schedule.variant_count_of(f);
   schedule.clear_from(f, t + 1);
   for (trace::Minute d = w.prewarm_offset; d < w.keepalive_until; ++d) {
     const std::size_t offset = static_cast<std::size_t>(d) + 1;

@@ -46,6 +46,9 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
 
   RunResult result;
   KeepAliveSchedule schedule(dep, duration);
+  // Reused across minutes by the capacity-eviction loop (allocation-free
+  // hot path; see below).
+  std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer;
   std::vector<double> memory_record;
   memory_record.reserve(static_cast<std::size_t>(duration));
   RecordedHistory history(memory_record);
@@ -76,13 +79,13 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
     // container's remaining keep-alive stretch is evicted, so this minute's
     // invocations (if any) go cold.
     if (faults_on && injector.config().crash_rate > 0.0) {
-      for (const auto& kept : schedule.kept_alive_at(t)) {
-        if (injector.container_crashes(kept.first, t)) {
-          schedule.evict_from(kept.first, t);
+      schedule.for_each_alive(t, [&](trace::FunctionId f, std::size_t) {
+        if (injector.container_crashes(f, t)) {
+          schedule.evict_from(f, t);
           ++result.crash_evictions;
           minute_degraded = true;
         }
-      }
+      });
     }
 
     for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
@@ -201,13 +204,20 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
       capacity_mb = injector.effective_capacity_mb(capacity_mb, t);
       if (injector.under_memory_pressure(t)) minute_degraded = true;
     }
-    if (capacity_mb > 0.0) {
-      while (schedule.memory_at(t) > capacity_mb) {
-        const auto kept = schedule.kept_alive_at(t);
-        if (kept.empty()) break;
-        const auto victim = kept[eviction_rng.bounded(static_cast<std::uint32_t>(kept.size()))];
+    // memory_exceeds decides `memory_at(t) > capacity_mb` from the exact
+    // integer aggregate (no per-iteration O(F) rescan), and evicting a
+    // victim only changes that victim's row, so the alive list is built
+    // once and maintained by erasing the victim — bit-identical to
+    // rebuilding it, at O(evictions) instead of O(F * evictions).
+    if (capacity_mb > 0.0 && schedule.memory_exceeds(t, capacity_mb)) {
+      schedule.kept_alive_at(t, kept_buffer);
+      while (!kept_buffer.empty()) {
+        const auto idx = eviction_rng.bounded(static_cast<std::uint32_t>(kept_buffer.size()));
+        const auto victim = kept_buffer[static_cast<std::size_t>(idx)];
         schedule.evict_from(victim.first, t);
+        kept_buffer.erase(kept_buffer.begin() + idx);
         ++result.capacity_evictions;
+        if (!schedule.memory_exceeds(t, capacity_mb)) break;
       }
     }
     if (minute_degraded) ++result.degraded_minutes;

@@ -22,26 +22,22 @@ double EnsembleResult::mean_warm_fraction() const {
   return stats_of([](const RunResult& r) { return r.warm_start_fraction(); }).mean();
 }
 
-util::RunningStats EnsembleResult::stats_of(
-    const std::function<double(const RunResult&)>& metric) const {
-  util::RunningStats stats;
-  for (const auto& r : runs) stats.add(metric(r));
-  return stats;
-}
-
 EnsembleResult run_ensemble(const models::ModelZoo& zoo, const trace::Trace& trace,
                             const PolicyFactory& factory, const EnsembleConfig& config) {
   EnsembleResult result;
   result.runs.resize(config.runs);
 
   util::ThreadPool pool(config.threads);
-  pool.parallel_for(config.runs, [&](std::size_t i) {
+  // One EngineConfig copy per worker task, not per run: only the seed
+  // differs between runs, so each task slot mutates its own copy in place.
+  std::vector<EngineConfig> task_config(pool.task_slot_count(), config.engine);
+  pool.parallel_for_slotted(config.runs, [&](std::size_t slot, std::size_t i) {
     // Per-run RNG stream: the deployment depends only on (seed, i).
     util::Pcg32 assign_rng(config.seed + i, /*stream=*/i * 2 + 1);
     const Deployment deployment =
         Deployment::random(zoo, trace.function_count(), assign_rng);
 
-    EngineConfig engine_config = config.engine;
+    EngineConfig& engine_config = task_config[slot];
     engine_config.seed = config.seed * 1000003 + i;
 
     SimulationEngine engine(deployment, trace, engine_config);

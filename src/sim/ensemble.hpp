@@ -38,8 +38,15 @@ struct EnsembleResult {
   [[nodiscard]] double mean_accuracy_pct() const;
   [[nodiscard]] double mean_overhead_s() const;
   [[nodiscard]] double mean_warm_fraction() const;
-  [[nodiscard]] util::RunningStats stats_of(
-      const std::function<double(const RunResult&)>& metric) const;
+
+  /// Aggregates `metric(run)` over every run. Templated on the callable so
+  /// per-metric sweeps pay no std::function type-erasure dispatch.
+  template <typename Metric>
+  [[nodiscard]] util::RunningStats stats_of(Metric&& metric) const {
+    util::RunningStats stats;
+    for (const auto& r : runs) stats.add(metric(r));
+    return stats;
+  }
 };
 
 /// Runs `config.runs` simulations of `trace` with per-run random

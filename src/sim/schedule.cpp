@@ -1,92 +1,189 @@
 #include "sim/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace pulse::sim {
 
 KeepAliveSchedule::KeepAliveSchedule(const Deployment& deployment, trace::Minute duration)
-    : deployment_(&deployment), duration_(duration) {
+    : deployment_(&deployment), duration_(duration), functions_(deployment.function_count()) {
   if (duration < 0) throw std::invalid_argument("KeepAliveSchedule: negative duration");
-  slots_.assign(deployment.function_count(),
-                std::vector<std::int16_t>(static_cast<std::size_t>(duration), kNoVariant));
+  const auto minutes = static_cast<std::size_t>(duration);
+  grid_.assign(minutes * functions_, static_cast<std::int16_t>(kNoVariant));
+  count_.assign(minutes, 0);
+  exact_.assign(minutes, 0);
+  cache_.assign(minutes, 0.0);   // an empty minute sums to exactly 0.0
+  dirty_.assign(minutes, 0);
+  horizon_.assign(functions_, 0);
+  build_variant_tables();
 }
 
-int KeepAliveSchedule::variant_at(trace::FunctionId f, trace::Minute t) const {
-  if (t < 0 || t >= duration_) return kNoVariant;
-  return slots_.at(f)[static_cast<std::size_t>(t)];
+void KeepAliveSchedule::build_variant_tables() {
+  max_variants_ = 0;
+  variant_count_.assign(functions_, 0);
+  for (std::size_t f = 0; f < functions_; ++f) {
+    const std::size_t n = deployment_->family_of(f).variant_count();
+    variant_count_[f] = static_cast<std::uint32_t>(n);
+    max_variants_ = std::max(max_variants_, n);
+  }
+
+  var_mem_.assign(functions_ * max_variants_, 0.0);
+  var_units_.assign(functions_ * max_variants_, 0);
+
+  // The exact path needs every variant memory expressible as an integer
+  // count of 2^-kUnitShift MB units, with headroom for the full-fleet sum.
+  // Anything outside that envelope (no 128-bit integers, absurd sizes,
+  // sub-2^-8 MB values with full mantissas) disables it; correctness is
+  // unaffected because memory_exceeds then always uses the row scan.
+  exact_ok_ = sizeof(ExactUnits) >= 16 && functions_ < (std::size_t{1} << 24);
+  for (std::size_t f = 0; f < functions_; ++f) {
+    const auto& family = deployment_->family_of(f);
+    for (std::size_t v = 0; v < variant_count_[f]; ++v) {
+      const double mb = family.variant(v).memory_mb;
+      var_mem_[f * max_variants_ + v] = mb;
+      if (!(mb >= 0.0) || !std::isfinite(mb) || mb >= std::ldexp(1.0, 30)) {
+        exact_ok_ = false;
+        continue;
+      }
+      if (mb == 0.0) continue;
+      int exp2 = 0;
+      const double frac = std::frexp(mb, &exp2);
+      const auto mant = static_cast<std::int64_t>(std::llround(std::ldexp(frac, 53)));
+      const int shift = exp2 - 53 + kUnitShift;
+      if (shift >= 0) {
+        var_units_[f * max_variants_ + v] = static_cast<ExactUnits>(mant) << shift;
+      } else if (-shift < 63 && (mant & ((std::int64_t{1} << -shift) - 1)) == 0) {
+        var_units_[f * max_variants_ + v] = static_cast<ExactUnits>(mant >> -shift);
+      } else {
+        exact_ok_ = false;
+      }
+    }
+  }
+}
+
+void KeepAliveSchedule::check_function(trace::FunctionId f) const {
+  if (f >= functions_) {
+    throw std::out_of_range("KeepAliveSchedule: function index out of range");
+  }
 }
 
 void KeepAliveSchedule::set(trace::FunctionId f, trace::Minute t, int variant) {
-  auto& row = slots_.at(f);
-  if (t < 0 || t >= duration_) return;
+  if (t < 0 || t >= duration_) return;  // out-of-horizon writes are ignored
+  check_function(f);
   if (variant != kNoVariant) {
-    const auto count = deployment_->family_of(f).variant_count();
-    if (variant < 0 || static_cast<std::size_t>(variant) >= count) {
+    if (variant < 0 || static_cast<std::uint32_t>(variant) >= variant_count_[f]) {
       throw std::out_of_range("KeepAliveSchedule::set: variant index out of range");
     }
+    horizon_[f] = std::max(horizon_[f], t + 1);
   }
-  row[static_cast<std::size_t>(t)] = static_cast<std::int16_t>(variant);
+  write_slot(f, static_cast<std::size_t>(t), static_cast<std::int16_t>(variant));
 }
 
 void KeepAliveSchedule::fill(trace::FunctionId f, trace::Minute from, trace::Minute to,
                              int variant) {
   from = std::max<trace::Minute>(from, 0);
   to = std::min(to, duration_);
-  for (trace::Minute t = from; t < to; ++t) set(f, t, variant);
+  if (from >= to) return;
+  check_function(f);
+  if (variant != kNoVariant) {
+    if (variant < 0 || static_cast<std::uint32_t>(variant) >= variant_count_[f]) {
+      throw std::out_of_range("KeepAliveSchedule::set: variant index out of range");
+    }
+    horizon_[f] = std::max(horizon_[f], to);
+  }
+  const auto v = static_cast<std::int16_t>(variant);
+  for (trace::Minute t = from; t < to; ++t) write_slot(f, static_cast<std::size_t>(t), v);
 }
 
 void KeepAliveSchedule::clear_from(trace::FunctionId f, trace::Minute from) {
+  check_function(f);
   from = std::max<trace::Minute>(from, 0);
-  auto& row = slots_.at(f);
-  for (trace::Minute t = from; t < duration_; ++t) {
-    row[static_cast<std::size_t>(t)] = kNoVariant;
+  const trace::Minute end = std::min(horizon_[f], duration_);
+  for (trace::Minute t = from; t < end; ++t) {
+    write_slot(f, static_cast<std::size_t>(t), static_cast<std::int16_t>(kNoVariant));
   }
+  horizon_[f] = std::min(horizon_[f], from);
 }
 
 std::optional<int> KeepAliveSchedule::downgrade_from(trace::FunctionId f, trace::Minute t) {
   const int current = variant_at(f, t);
   if (current == kNoVariant) return std::nullopt;
-  auto& row = slots_.at(f);
   for (trace::Minute m = t; m < duration_; ++m) {
-    auto& slot = row[static_cast<std::size_t>(m)];
-    if (slot == kNoVariant) break;  // end of the current keep-alive window
-    slot = static_cast<std::int16_t>(slot > 0 ? slot - 1 : kNoVariant);
+    const std::int16_t v = grid_[static_cast<std::size_t>(m) * functions_ + f];
+    if (v == kNoVariant) break;  // end of the current keep-alive window
+    write_slot(f, static_cast<std::size_t>(m),
+               static_cast<std::int16_t>(v > 0 ? v - 1 : kNoVariant));
   }
   return current;
 }
 
 void KeepAliveSchedule::evict_from(trace::FunctionId f, trace::Minute t) {
   if (t < 0 || t >= duration_) return;
-  auto& row = slots_.at(f);
+  check_function(f);
   for (trace::Minute m = t; m < duration_; ++m) {
-    auto& slot = row[static_cast<std::size_t>(m)];
-    if (slot == kNoVariant) break;
-    slot = kNoVariant;
+    const std::int16_t v = grid_[static_cast<std::size_t>(m) * functions_ + f];
+    if (v == kNoVariant) break;
+    write_slot(f, static_cast<std::size_t>(m), static_cast<std::int16_t>(kNoVariant));
   }
 }
 
-double KeepAliveSchedule::memory_at(trace::Minute t) const {
-  if (t < 0 || t >= duration_) return 0.0;
+double KeepAliveSchedule::recompute(std::size_t ti) const {
+  // Bitwise-compatibility contract: identical addends in identical
+  // (ascending f) order as the historical O(F) scan, plain double adds.
   double total = 0.0;
-  for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
-    const int v = slots_[f][static_cast<std::size_t>(t)];
-    if (v != kNoVariant) {
-      total += deployment_->family_of(f).variant(static_cast<std::size_t>(v)).memory_mb;
+  if (count_[ti] != 0) {
+    const std::int16_t* row = grid_.data() + ti * functions_;
+    for (std::size_t f = 0; f < functions_; ++f) {
+      const std::int16_t v = row[f];
+      if (v != kNoVariant) {
+        total += var_mem_[f * max_variants_ + static_cast<std::size_t>(v)];
+      }
     }
   }
+  cache_[ti] = total;
+  dirty_[ti] = 0;
   return total;
+}
+
+bool KeepAliveSchedule::memory_exceeds(trace::Minute t, double capacity_mb) const {
+  if (t < 0 || t >= duration_) return 0.0 > capacity_mb;
+  const auto ti = static_cast<std::size_t>(t);
+  if (!dirty_[ti]) return cache_[ti] > capacity_mb;
+  if (count_[ti] == 0) {
+    cache_[ti] = 0.0;
+    dirty_[ti] = 0;
+    return 0.0 > capacity_mb;
+  }
+  if (exact_ok_) {
+    // The legacy double sum L differs from the exact total S by at most
+    // count * ulp(S)/2 (positive addends, monotone partial sums), and the
+    // int128 -> double conversion by at most another ulp. The margin below
+    // is over 4x that bound, so when capacity_mb falls outside
+    // [approx - margin, approx + margin] the comparison against L is
+    // already decided; only a capacity inside that sliver (~1e-12
+    // relative) needs the row scan.
+    const double approx = std::ldexp(static_cast<double>(exact_[ti]), -kUnitShift);
+    const double margin =
+        std::ldexp(approx * static_cast<double>(count_[ti] + 4), -50);
+    if (approx - margin > capacity_mb) return true;
+    if (approx + margin < capacity_mb) return false;
+  }
+  return recompute(ti) > capacity_mb;
 }
 
 std::vector<std::pair<trace::FunctionId, std::size_t>> KeepAliveSchedule::kept_alive_at(
     trace::Minute t) const {
   std::vector<std::pair<trace::FunctionId, std::size_t>> out;
-  if (t < 0 || t >= duration_) return out;
-  for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
-    const int v = slots_[f][static_cast<std::size_t>(t)];
-    if (v != kNoVariant) out.emplace_back(f, static_cast<std::size_t>(v));
-  }
+  kept_alive_at(t, out);
   return out;
+}
+
+void KeepAliveSchedule::kept_alive_at(
+    trace::Minute t, std::vector<std::pair<trace::FunctionId, std::size_t>>& out) const {
+  out.clear();
+  out.reserve(alive_count_at(t));
+  for_each_alive(t, [&out](trace::FunctionId f, std::size_t v) { out.emplace_back(f, v); });
 }
 
 }  // namespace pulse::sim

@@ -2,6 +2,23 @@
 // The keep-alive schedule: for every function and minute, which model
 // variant (if any) is kept alive. Policies write it; the engine reads it to
 // resolve warm/cold starts and to account keep-alive memory and cost.
+//
+// Storage is minute-major (one contiguous row of variant slots per minute),
+// so the engine's per-minute scans are cache-linear, and every mutation
+// keeps per-minute aggregates incrementally up to date:
+//   - alive_count_at(t) is O(1),
+//   - memory_at(t) is O(1) while the minute is clean and one row scan after
+//     a mutation (it is memoized in legacy ascending-function summation
+//     order, so the returned double is bit-identical to the historical
+//     O(F) implementation — the golden-fixture tests rely on this),
+//   - memory_exceeds(t, cap) is O(1) in almost all cases: an exact
+//     fixed-point integer total decides the comparison without touching
+//     floating-point rounding, falling back to the row scan only when the
+//     capacity lies inside the (sub-ULP-scale) rounding margin.
+// See docs/PERFORMANCE.md for the full complexity contract.
+//
+// The schedule is not thread-safe: each simulation run owns its own
+// instance (memory_at memoizes through mutable members).
 
 #include <cstdint>
 #include <optional>
@@ -22,21 +39,33 @@ class KeepAliveSchedule {
   KeepAliveSchedule(const Deployment& deployment, trace::Minute duration);
 
   [[nodiscard]] trace::Minute duration() const noexcept { return duration_; }
-  [[nodiscard]] std::size_t function_count() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t function_count() const noexcept { return functions_; }
   [[nodiscard]] const Deployment& deployment() const noexcept { return *deployment_; }
 
   /// Variant kept alive for f at minute t; kNoVariant when none (or t is
   /// outside the horizon).
-  [[nodiscard]] int variant_at(trace::FunctionId f, trace::Minute t) const;
+  [[nodiscard]] int variant_at(trace::FunctionId f, trace::Minute t) const {
+    if (t < 0 || t >= duration_) return kNoVariant;
+    check_function(f);
+    return grid_[static_cast<std::size_t>(t) * functions_ + f];
+  }
 
   /// true when any container of f is alive at t.
   [[nodiscard]] bool is_alive(trace::FunctionId f, trace::Minute t) const {
     return variant_at(f, t) != kNoVariant;
   }
 
+  /// Number of variants in f's model family (cached; O(1), no pointer
+  /// chase through the deployment).
+  [[nodiscard]] std::size_t variant_count_of(trace::FunctionId f) const {
+    check_function(f);
+    return variant_count_[f];
+  }
+
   /// Sets the kept-alive variant for one minute. Out-of-horizon minutes are
-  /// ignored (policies schedule t+1..t+10 near the trace end). Throws on a
-  /// variant index outside the function's family.
+  /// ignored (policies schedule t+1..t+10 near the trace end) — checked
+  /// before anything else, so an out-of-horizon write never throws. Throws
+  /// on a function or variant index outside the deployment.
   void set(trace::FunctionId f, trace::Minute t, int variant);
 
   void clear(trace::FunctionId f, trace::Minute t) { set(f, t, kNoVariant); }
@@ -44,7 +73,9 @@ class KeepAliveSchedule {
   /// Fills [from, to) with `variant` (clipped to the horizon).
   void fill(trace::FunctionId f, trace::Minute from, trace::Minute to, int variant);
 
-  /// Clears every scheduled minute of f at or after `from`.
+  /// Clears every scheduled minute of f at or after `from`. Bounded by f's
+  /// scheduled horizon, not the trace duration: clearing an idle tail is
+  /// O(1).
   void clear_from(trace::FunctionId f, trace::Minute from);
 
   /// Downgrades f by one variant for the contiguous scheduled stretch
@@ -61,17 +92,123 @@ class KeepAliveSchedule {
   /// container regardless of variant). No-op when nothing is scheduled at t.
   void evict_from(trace::FunctionId f, trace::Minute t);
 
-  /// Total keep-alive memory (MB) across functions at minute t.
-  [[nodiscard]] double memory_at(trace::Minute t) const;
+  /// Total keep-alive memory (MB) across functions at minute t. O(1) while
+  /// minute t is unchanged since the last query; one row scan otherwise.
+  /// The value is always the ascending-function-order double sum the
+  /// historical implementation produced (bitwise).
+  [[nodiscard]] double memory_at(trace::Minute t) const {
+    if (t < 0 || t >= duration_) return 0.0;
+    const auto ti = static_cast<std::size_t>(t);
+    if (!dirty_[ti]) return cache_[ti];
+    return recompute(ti);
+  }
+
+  /// Containers alive at minute t. O(1) (incrementally maintained).
+  [[nodiscard]] std::size_t alive_count_at(trace::Minute t) const noexcept {
+    if (t < 0 || t >= duration_) return 0;
+    return static_cast<std::size_t>(count_[static_cast<std::size_t>(t)]);
+  }
+
+  /// Exactly `memory_at(t) > capacity_mb`, but usually without recomputing
+  /// the floating-point sum: an exact integer fixed-point total brackets
+  /// the legacy double sum tightly enough to decide almost every
+  /// comparison in O(1). The engine's capacity-eviction loop runs on this.
+  [[nodiscard]] bool memory_exceeds(trace::Minute t, double capacity_mb) const;
+
+  /// One past the last minute at which f might be scheduled (an upper
+  /// bound, maintained incrementally). Slots at or beyond it are all
+  /// kNoVariant; callers walking a function's tail can stop here.
+  [[nodiscard]] trace::Minute scheduled_end(trace::FunctionId f) const {
+    check_function(f);
+    return horizon_[f];
+  }
+
+  /// Visits (function, variant) for every container alive at minute t, in
+  /// ascending function order, without allocating. The visitor may evict or
+  /// downgrade the function currently being visited (the engine's crash
+  /// loop does), but must not otherwise mutate minute t mid-iteration.
+  template <typename Visitor>
+  void for_each_alive(trace::Minute t, Visitor&& visit) const {
+    if (t < 0 || t >= duration_) return;
+    const auto ti = static_cast<std::size_t>(t);
+    if (count_[ti] == 0) return;
+    const std::int16_t* row = grid_.data() + ti * functions_;
+    for (std::size_t f = 0; f < functions_; ++f) {
+      if (row[f] != kNoVariant) {
+        visit(static_cast<trace::FunctionId>(f), static_cast<std::size_t>(row[f]));
+      }
+    }
+  }
 
   /// (function, variant) pairs kept alive at minute t.
   [[nodiscard]] std::vector<std::pair<trace::FunctionId, std::size_t>> kept_alive_at(
       trace::Minute t) const;
 
+  /// Allocation-free variant: fills `out` (cleared first) with the pairs
+  /// kept alive at t. Reuse one buffer across minutes in hot loops.
+  void kept_alive_at(trace::Minute t,
+                     std::vector<std::pair<trace::FunctionId, std::size_t>>& out) const;
+
  private:
+#if defined(__SIZEOF_INT128__)
+  using ExactUnits = unsigned __int128;
+#else
+  using ExactUnits = std::uint64_t;  // exact fast path stays disabled
+#endif
+
+  /// Fixed-point scale for the exact per-minute totals: one unit is
+  /// 2^-kUnitShift MB. Every variant memory >= 2^-8 MB (and any dyadic
+  /// below) is represented exactly; deployments outside that envelope fall
+  /// back to the always-correct row scan (exact_ok_ == false).
+  static constexpr int kUnitShift = 60;
+
+  void check_function(trace::FunctionId f) const;
+  double recompute(std::size_t ti) const;
+  void build_variant_tables();
+
+  /// The single mutation point: keeps count/exact aggregates and the dirty
+  /// bit coherent with the grid.
+  void write_slot(std::size_t f, std::size_t t, std::int16_t next) {
+    std::int16_t& slot = grid_[t * functions_ + f];
+    const std::int16_t prev = slot;
+    if (prev == next) return;
+    if (prev != kNoVariant) {
+      --count_[t];
+      exact_[t] -= var_units_[f * max_variants_ + static_cast<std::size_t>(prev)];
+    }
+    if (next != kNoVariant) {
+      ++count_[t];
+      exact_[t] += var_units_[f * max_variants_ + static_cast<std::size_t>(next)];
+    }
+    slot = next;
+    dirty_[t] = 1;
+  }
+
   const Deployment* deployment_ = nullptr;
   trace::Minute duration_ = 0;
-  std::vector<std::vector<std::int16_t>> slots_;
+  std::size_t functions_ = 0;
+  std::size_t max_variants_ = 0;
+  bool exact_ok_ = false;
+
+  /// Minute-major slots: grid_[t * functions_ + f].
+  std::vector<std::int16_t> grid_;
+
+  /// Per-(function, variant) memory, flattened: the same doubles the
+  /// deployment's families hold, cached for linear access.
+  std::vector<double> var_mem_;
+  std::vector<ExactUnits> var_units_;
+  std::vector<std::uint32_t> variant_count_;
+
+  /// Per-minute aggregates, updated by write_slot.
+  std::vector<std::int32_t> count_;
+  std::vector<ExactUnits> exact_;
+
+  /// Per-function scheduling horizon (upper bound; see scheduled_end).
+  std::vector<trace::Minute> horizon_;
+
+  /// Legacy-order memoized sums (logical const: memory_at fills them).
+  mutable std::vector<double> cache_;
+  mutable std::vector<std::uint8_t> dirty_;
 };
 
 }  // namespace pulse::sim

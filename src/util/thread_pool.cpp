@@ -45,17 +45,22 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_slotted(n, [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto body = [&] {
+  auto body = [&](std::size_t slot) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        fn(i);
+        fn(slot, i);
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -67,9 +72,9 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   std::vector<std::future<void>> futures;
   futures.reserve(workers_.size());
   for (std::size_t t = 0; t + 1 < workers_.size(); ++t) {
-    futures.push_back(submit(body));
+    futures.push_back(submit([&body, t] { body(t); }));
   }
-  body();  // the calling thread participates too
+  body(workers_.size() - 1);  // the calling thread participates too
   for (auto& f : futures) f.get();
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -48,6 +48,17 @@ class ThreadPool {
   /// complete. Exceptions from tasks are rethrown (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but fn also receives the worker-task slot index
+  /// (< task_slot_count()). Each slot is driven by exactly one thread at a
+  /// time, so callers can keep mutable per-task scratch state (one entry
+  /// per slot) without synchronization.
+  void parallel_for_slotted(std::size_t n,
+                            const std::function<void(std::size_t slot, std::size_t i)>& fn);
+
+  /// Number of task slots parallel_for_slotted uses (one per concurrent
+  /// task body: workers - 1 pool tasks plus the calling thread).
+  [[nodiscard]] std::size_t task_slot_count() const noexcept { return workers_.size(); }
+
  private:
   void worker_loop();
 

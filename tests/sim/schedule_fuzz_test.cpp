@@ -76,6 +76,26 @@ class ReferenceSchedule {
     return mem;
   }
 
+  [[nodiscard]] std::size_t alive_count_at(trace::Minute t) const {
+    if (t < 0 || t >= duration_) return 0;
+    std::size_t n = 0;
+    for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
+      if (slots_[f][static_cast<std::size_t>(t)] != kNoVariant) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::vector<std::pair<trace::FunctionId, std::size_t>> kept_alive_at(
+      trace::Minute t) const {
+    std::vector<std::pair<trace::FunctionId, std::size_t>> out;
+    if (t < 0 || t >= duration_) return out;
+    for (trace::FunctionId f = 0; f < slots_.size(); ++f) {
+      const int v = slots_[f][static_cast<std::size_t>(t)];
+      if (v != kNoVariant) out.emplace_back(f, static_cast<std::size_t>(v));
+    }
+    return out;
+  }
+
  private:
   const Deployment* deployment_;
   trace::Minute duration_;
@@ -135,6 +155,21 @@ TEST_P(ScheduleFuzz, AgreesWithReferenceModel) {
     const auto probe = static_cast<trace::Minute>(rng.bounded(kDuration));
     ASSERT_EQ(real.variant_at(f, probe), ref.variant_at(f, probe)) << "step " << step;
     ASSERT_DOUBLE_EQ(real.memory_at(probe), ref.memory_at(probe)) << "step " << step;
+    ASSERT_EQ(real.alive_count_at(probe), ref.alive_count_at(probe)) << "step " << step;
+    // memory_exceeds must decide exactly like memory_at(t) > cap, including
+    // for caps razor-close to the true total.
+    const double ref_mem = ref.memory_at(probe);
+    ASSERT_EQ(real.memory_exceeds(probe, ref_mem), false) << "step " << step;
+    ASSERT_EQ(real.memory_exceeds(probe, ref_mem - 1e-9), ref_mem > ref_mem - 1e-9)
+        << "step " << step;
+    ASSERT_EQ(real.memory_exceeds(probe, ref_mem * 0.5), ref_mem > ref_mem * 0.5)
+        << "step " << step;
+    if (step % 100 == 0) {
+      ASSERT_EQ(real.kept_alive_at(probe), ref.kept_alive_at(probe)) << "step " << step;
+      std::vector<std::pair<trace::FunctionId, std::size_t>> buffer;
+      real.kept_alive_at(probe, buffer);
+      ASSERT_EQ(buffer, ref.kept_alive_at(probe)) << "step " << step;
+    }
     if (step % 200 == 0) {
       for (trace::Minute m = 0; m < kDuration; ++m) {
         for (trace::FunctionId g = 0; g < kFunctions; ++g) {

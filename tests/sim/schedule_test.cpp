@@ -40,6 +40,15 @@ TEST_F(ScheduleTest, OutOfHorizonSetIsIgnored) {
   EXPECT_EQ(schedule_.variant_at(0, 100), kNoVariant);
 }
 
+// Regression: the horizon check must run before the function-index lookup,
+// so an out-of-range function with an out-of-horizon minute is ignored like
+// any other out-of-horizon write instead of throwing.
+TEST_F(ScheduleTest, OutOfHorizonSetIgnoredEvenForBadFunction) {
+  EXPECT_NO_THROW(schedule_.set(999, 100, 1));
+  EXPECT_NO_THROW(schedule_.set(999, -3, 0));
+  EXPECT_THROW(schedule_.set(999, 5, 0), std::out_of_range);  // in-horizon still throws
+}
+
 TEST_F(ScheduleTest, InvalidVariantThrows) {
   const int too_big = static_cast<int>(deployment_.family_of(0).variant_count());
   EXPECT_THROW(schedule_.set(0, 5, too_big), std::out_of_range);
@@ -122,6 +131,63 @@ TEST_F(ScheduleTest, DowngradeReducesMemory) {
 
 TEST_F(ScheduleTest, NegativeDurationThrows) {
   EXPECT_THROW(KeepAliveSchedule(deployment_, -1), std::invalid_argument);
+}
+
+TEST_F(ScheduleTest, AliveCountTracksMutations) {
+  EXPECT_EQ(schedule_.alive_count_at(7), 0u);
+  schedule_.set(0, 7, 0);
+  schedule_.set(2, 7, 1);
+  EXPECT_EQ(schedule_.alive_count_at(7), 2u);
+  schedule_.set(0, 7, 1);  // changing the variant keeps the count
+  EXPECT_EQ(schedule_.alive_count_at(7), 2u);
+  schedule_.clear(0, 7);
+  EXPECT_EQ(schedule_.alive_count_at(7), 1u);
+  EXPECT_EQ(schedule_.alive_count_at(-1), 0u);
+  EXPECT_EQ(schedule_.alive_count_at(100), 0u);
+}
+
+TEST_F(ScheduleTest, ForEachAliveVisitsAscendingWithoutAllocation) {
+  schedule_.set(3, 9, 0);
+  schedule_.set(1, 9, 1);
+  std::vector<std::pair<trace::FunctionId, std::size_t>> seen;
+  schedule_.for_each_alive(9, [&](trace::FunctionId f, std::size_t v) {
+    seen.emplace_back(f, v);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<trace::FunctionId, std::size_t>{1, 1}));
+  EXPECT_EQ(seen[1], (std::pair<trace::FunctionId, std::size_t>{3, 0}));
+}
+
+TEST_F(ScheduleTest, KeptAliveBufferVariantMatchesAllocating) {
+  schedule_.fill(0, 5, 15, 1);
+  schedule_.set(2, 10, 0);
+  std::vector<std::pair<trace::FunctionId, std::size_t>> buffer{{99, 99}};  // stale content
+  schedule_.kept_alive_at(10, buffer);
+  EXPECT_EQ(buffer, schedule_.kept_alive_at(10));
+}
+
+TEST_F(ScheduleTest, MemoryExceedsMatchesMemoryAt) {
+  schedule_.set(0, 20, 1);
+  schedule_.set(1, 20, 0);
+  const double m = schedule_.memory_at(20);
+  EXPECT_TRUE(schedule_.memory_exceeds(20, m - 1.0));
+  EXPECT_FALSE(schedule_.memory_exceeds(20, m));  // strict comparison, like memory_at(t) > cap
+  EXPECT_FALSE(schedule_.memory_exceeds(20, m + 1.0));
+  // Out-of-horizon minutes behave like memory_at's 0.0.
+  EXPECT_FALSE(schedule_.memory_exceeds(-1, 0.0));
+  EXPECT_TRUE(schedule_.memory_exceeds(200, -1.0));
+}
+
+TEST_F(ScheduleTest, ScheduledEndBoundsTail) {
+  EXPECT_EQ(schedule_.scheduled_end(0), 0);
+  schedule_.fill(0, 10, 30, 1);
+  EXPECT_GE(schedule_.scheduled_end(0), 30);
+  for (trace::Minute t = schedule_.scheduled_end(0); t < 100; ++t) {
+    EXPECT_EQ(schedule_.variant_at(0, t), kNoVariant);
+  }
+  schedule_.clear_from(0, 12);
+  EXPECT_LE(schedule_.scheduled_end(0), 12);
+  EXPECT_EQ(schedule_.variant_at(0, 11), 1);
 }
 
 }  // namespace
