@@ -4,11 +4,24 @@
 // inter-arrival profiles behind the paper's Figures 1-2, and the aggregate
 // invocation peaks. Can export the trace to CSV for external tooling.
 //
+// --profile runs a PULSE simulation over the trace with the observability
+// layer fully attached (ring-buffer event sink + metrics registry + phase
+// profiler) and prints where the policy spends its time, the engine/policy
+// counters, and the event mix. --events additionally streams every event
+// to a JSONL file for external tooling.
+//
 //   ./trace_explorer [--days=3] [--seed=42] [--load=trace.csv] [--save=trace.csv]
-//                    [--validate]
+//                    [--validate] [--profile] [--events=events.jsonl]
 
 #include <cstdio>
+#include <memory>
 
+#include "core/pulse_policy.hpp"
+#include "models/zoo.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/engine.hpp"
 #include "trace/analysis.hpp"
 #include "trace/classifier.hpp"
 #include "trace/validation.hpp"
@@ -16,6 +29,89 @@
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// Runs one PULSE simulation with every observability component attached
+// and prints the phase/metric/event breakdown.
+int run_profile(const pulse::trace::Trace& tr, const std::string& events_path) {
+  using namespace pulse;
+
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment = sim::Deployment::round_robin(zoo, tr.function_count());
+
+  obs::RingBufferSink ring(8192);
+  obs::MetricsRegistry registry;
+  obs::PhaseProfiler profiler;
+  std::unique_ptr<obs::JsonlFileSink> file_sink;
+  if (!events_path.empty()) {
+    file_sink = std::make_unique<obs::JsonlFileSink>(events_path);
+  }
+
+  sim::EngineConfig config;
+  config.observer.sink = file_sink ? static_cast<obs::TraceSink*>(file_sink.get())
+                                   : static_cast<obs::TraceSink*>(&ring);
+  config.observer.metrics = &registry;
+  config.observer.profiler = &profiler;
+
+  sim::SimulationEngine engine(deployment, tr, config);
+  core::PulsePolicy policy;
+  const sim::RunResult result = engine.run(policy);
+
+  std::printf("\nprofile of one PULSE run (%zu functions, %lld minutes):\n",
+              tr.function_count(), static_cast<long long>(tr.duration()));
+
+  util::TextTable phases({"Phase", "Calls", "Total (ms)", "Mean (us)"});
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    const obs::PhaseStats& st = profiler.stats(phase);
+    phases.add_row({std::string(obs::to_string(phase)), std::to_string(st.calls),
+                    util::fmt(st.total_s * 1e3, 2), util::fmt(st.mean_s() * 1e6, 2)});
+  }
+  std::printf("%s", phases.render().c_str());
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  util::TextTable counters({"Counter", "Value"});
+  for (const auto& [name, value] : snap.counters) {
+    counters.add_row({name, std::to_string(value)});
+  }
+  std::printf("\n%s", counters.render().c_str());
+  if (!snap.histograms.empty()) {
+    util::TextTable hists({"Histogram", "Total", "Mean", "P50", "P99"});
+    for (const auto& [name, h] : snap.histograms) {
+      hists.add_row({name, std::to_string(h.total), util::fmt(h.mean, 2),
+                     std::to_string(h.p50), std::to_string(h.p99)});
+    }
+    std::printf("\n%s", hists.render().c_str());
+  }
+
+  if (file_sink) {
+    std::printf("\nwrote %llu events to %s\n",
+                static_cast<unsigned long long>(file_sink->lines_written()),
+                events_path.c_str());
+  } else {
+    util::TextTable events({"Event", "Count"});
+    const std::vector<std::uint64_t> counts = ring.counts_by_type();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      events.add_row({std::string(obs::to_string(static_cast<obs::EventType>(i))),
+                      std::to_string(counts[i])});
+    }
+    std::printf("\n%s", events.render().c_str());
+    if (ring.dropped() > 0) {
+      std::printf("(ring buffer kept the newest %zu of %llu events)\n", ring.events().size(),
+                  static_cast<unsigned long long>(ring.recorded()));
+    }
+  }
+
+  std::printf(
+      "\nrun: %llu invocations, %.1f%% warm, cost $%.2f, %llu downgrades\n",
+      static_cast<unsigned long long>(result.invocations),
+      100.0 * result.warm_start_fraction(), result.total_keepalive_cost_usd,
+      static_cast<unsigned long long>(result.downgrades));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pulse;
@@ -28,6 +124,8 @@ int main(int argc, char** argv) {
   cli.add_flag("save", "", "save the trace to this CSV path");
   cli.add_flag("peaks", "2", "number of aggregate peaks to report");
   cli.add_switch("validate", "run the ingestion validation pass and report issues");
+  cli.add_switch("profile", "simulate PULSE over the trace with the observability layer on");
+  cli.add_flag("events", "", "with --profile: stream events to this JSONL file");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -114,6 +212,10 @@ int main(int argc, char** argv) {
   if (const std::string path = cli.get_string("save"); !path.empty()) {
     tr.save_csv(path);
     std::printf("\nsaved trace to %s\n", path.c_str());
+  }
+
+  if (cli.get_bool("profile")) {
+    return run_profile(tr, cli.get_string("events"));
   }
   return 0;
 }

@@ -42,6 +42,8 @@ std::size_t GlobalOptimizer::flatten_peak(trace::Minute t, sim::KeepAliveSchedul
   demand_.push(schedule.memory_at(t));
   std::size_t downgrades = 0;
 
+  obs::TraceSink* const sink = obs_ != nullptr ? obs_->sink : nullptr;
+
   // The kept list is built once and maintained across rounds: a downgrade
   // only changes the downgraded function's own entry (one variant lower, or
   // gone entirely), so updating that entry in place is bit-identical to
@@ -80,6 +82,14 @@ std::size_t GlobalOptimizer::flatten_peak(trace::Minute t, sim::KeepAliveSchedul
     }
     priority_.record_downgrade(worst_f);
     ++downgrades;
+    if (sink != nullptr) {
+      sink->record({obs::EventType::kDowngrade, t, worst_f, *prev,
+                    static_cast<double>(*prev - 1), "flatten_peak"});
+    }
+  }
+  if (obs_ != nullptr && obs_->metrics != nullptr && downgrades > 0) {
+    obs_->metrics->counter("optimizer.peak_minutes").add(1);
+    obs_->metrics->counter("optimizer.downgrades").add(downgrades);
   }
   return downgrades;
 }

@@ -15,6 +15,7 @@
 #include "core/peak_detector.hpp"
 #include "core/priority.hpp"
 #include "core/utility.hpp"
+#include "obs/observer.hpp"
 #include "sim/schedule.hpp"
 #include "trace/analysis.hpp"
 
@@ -73,6 +74,11 @@ class GlobalOptimizer {
                                         const std::vector<double>& normalized_priority,
                                         const std::vector<InterArrivalTracker>& trackers) const;
 
+  /// Attaches the observability context (nullptr = disabled). The owning
+  /// policy forwards what the engine handed it; the optimizer then emits a
+  /// kDowngrade event per downgrade and keeps optimizer.* counters.
+  void set_observer(const obs::Observer* observer) noexcept { obs_ = observer; }
+
   [[nodiscard]] std::uint64_t total_downgrades() const noexcept {
     return priority_.total_downgrades();
   }
@@ -85,6 +91,7 @@ class GlobalOptimizer {
   PeakDetector detector_;
   PriorityStructure priority_;
   DemandHistory demand_;
+  const obs::Observer* obs_ = nullptr;
 
   /// Reused across flatten_peak rounds (allocation-free hot path).
   std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer_;

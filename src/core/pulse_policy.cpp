@@ -35,6 +35,7 @@ void PulsePolicy::initialize(const sim::Deployment& deployment, const trace::Tra
   opt_config.keepalive_window = config_.keepalive_window;
   opt_config.weights = config_.utility_weights;
   optimizer_ = std::make_unique<GlobalOptimizer>(deployment.function_count(), opt_config);
+  optimizer_->set_observer(observer());
 }
 
 trace::Minute PulsePolicy::window_for(trace::FunctionId f) const {
@@ -47,6 +48,7 @@ trace::Minute PulsePolicy::window_for(trace::FunctionId f) const {
 
 void PulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                 sim::KeepAliveSchedule& schedule) {
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kSchedule);
   InterArrivalTracker& tracker = trackers_.at(f);
   tracker.record(t);
 
@@ -67,6 +69,7 @@ void PulsePolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedul
                                 const sim::MemoryHistory& history) {
   (void)history;  // peaks are detected against the policy's own demand record
   if (!config_.enable_global_optimization) return;
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kOptimize);
   optimizer_->flatten_peak(t, schedule, trackers_);
 }
 

@@ -14,16 +14,18 @@ PolicySummary summarize(std::string policy, const sim::EnsembleResult& ensemble)
   s.warm_fraction = ensemble.mean_warm_fraction();
   s.overhead_s = ensemble.mean_overhead_s();
   s.runs = ensemble.runs.size();
+  s.metrics = ensemble.metrics;
   return s;
 }
 
 PolicySummary run_policy_ensemble(const Scenario& scenario, const std::string& policy,
                                   std::size_t runs, std::uint64_t seed,
-                                  bool measure_overhead) {
+                                  bool measure_overhead, const obs::Observer& observer) {
   sim::EnsembleConfig config;
   config.runs = runs;
   config.seed = seed;
   config.engine.measure_overhead = measure_overhead;
+  config.engine.observer = observer;
   const sim::EnsembleResult ensemble =
       sim::run_ensemble(scenario.zoo, scenario.workload.trace,
                         [&] { return policies::make_policy(policy); }, config);

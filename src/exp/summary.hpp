@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "obs/observer.hpp"
 #include "sim/ensemble.hpp"
 
 namespace pulse::exp {
@@ -18,6 +19,11 @@ struct PolicySummary {
   double warm_fraction = 0.0;
   double overhead_s = 0.0;
   std::size_t runs = 0;
+
+  /// Observability counters/gauges/histograms merged over every run. Empty
+  /// unless the ensemble ran with a MetricsRegistry attached (see
+  /// run_policy_ensemble's `observer` parameter).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Collapses an ensemble into a summary (per-run totals averaged, exactly
@@ -25,11 +31,14 @@ struct PolicySummary {
 [[nodiscard]] PolicySummary summarize(std::string policy, const sim::EnsembleResult& ensemble);
 
 /// Runs the named policy over the scenario's trace as an ensemble and
-/// summarizes it.
+/// summarizes it. Passing a non-disabled `observer` attaches it to every
+/// run (per-worker registries, merged after the pool joins — see
+/// run_ensemble); the merged snapshot lands in PolicySummary::metrics.
 [[nodiscard]] PolicySummary run_policy_ensemble(const Scenario& scenario,
                                                 const std::string& policy,
                                                 std::size_t runs, std::uint64_t seed = 7,
-                                                bool measure_overhead = false);
+                                                bool measure_overhead = false,
+                                                const obs::Observer& observer = {});
 
 /// Single deterministic run (round-robin deployment) with per-minute series
 /// recorded — used by the figure benches that plot time series.

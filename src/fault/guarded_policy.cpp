@@ -21,6 +21,11 @@ std::string GuardedPolicy::name() const {
   }
 }
 
+void GuardedPolicy::attach_observer(const obs::Observer* observer) {
+  sim::KeepAlivePolicy::attach_observer(observer);
+  inner_->attach_observer(observer);
+}
+
 void GuardedPolicy::record_incident(trace::Minute t, const char* what) const {
   ++incidents_;
   if (!degraded_) {
@@ -28,6 +33,13 @@ void GuardedPolicy::record_incident(trace::Minute t, const char* what) const {
     degraded_since_ = t;
     first_incident_ = what;
   }
+  // The caught message is dynamic, so the event carries a static tag; the
+  // first message itself stays available via first_incident().
+  if (obs::TraceSink* const s = sink()) {
+    s->record({obs::EventType::kFault, t, obs::TraceEvent::kNoFunction, -1,
+               static_cast<double>(incidents_), "guard_incident"});
+  }
+  if (obs::MetricsRegistry* const m = metrics()) m->counter("guard.incidents").add(1);
 }
 
 void GuardedPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,

@@ -44,6 +44,11 @@ class GuardedPolicy : public sim::KeepAlivePolicy {
   [[nodiscard]] std::uint64_t downgrade_count() const override;
   [[nodiscard]] std::uint64_t incident_count() const override { return incidents_; }
 
+  /// Forwards the observer to the inner policy as well, so the wrapped
+  /// policy's events and phase timings keep flowing while the guard also
+  /// reports its own incidents.
+  void attach_observer(const obs::Observer* observer) override;
+
   /// true once the guard has tripped and the fallback is driving.
   [[nodiscard]] bool degraded() const noexcept { return degraded_; }
   /// Minute of the first incident; -1 while healthy.

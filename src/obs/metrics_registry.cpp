@@ -1,0 +1,70 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+namespace pulse::obs {
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+double MetricsSnapshot::gauge_or(std::string_view name, double fallback) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+util::IntHistogram& MetricsRegistry::histogram(const std::string& name, std::size_t capacity) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, util::IntHistogram(capacity)).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.total = h.total();
+    s.overflow = h.overflow();
+    s.mean = h.in_range_mean();
+    s.p50 = h.percentile_value(0.50).value_or(0);
+    s.p99 = h.percentile_value(0.99).value_or(0);
+    snap.histograms.emplace_back(name, s);
+  }
+  return snap;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].add(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+void MetricsRegistry::clear() noexcept {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace pulse::obs

@@ -1,0 +1,103 @@
+#pragma once
+// Named counters / gauges / histograms that the engine and the policies
+// register into when observability is enabled.
+//
+// Naming convention: lower-snake-case, dot-separated, "<component>.<what>"
+// — e.g. "engine.cold_starts", "milp.solver_nodes", "guard.incidents".
+// Units go last when ambiguous: "engine.keepalive_cost_usd".
+//
+// Threading model: a registry is single-writer. The ensemble runner gives
+// every worker slot its own registry (the existing per-slot machinery) and
+// merges them after the pool has joined, so there is never a concurrent
+// write. Merge order over integer counters and histogram buckets is
+// associative, so merged totals are deterministic for any thread count;
+// gauge merges sum doubles and are diagnostics, not paper numbers.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pulse::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  void max_with(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Collapsed view of one IntHistogram for snapshots.
+struct HistogramSummary {
+  std::uint64_t total = 0;
+  std::uint64_t overflow = 0;
+  double mean = 0.0;  // in-range mean
+  std::size_t p50 = 0;
+  std::size_t p99 = 0;
+};
+
+/// Point-in-time copy of a registry, sorted by name. Attached to RunResult
+/// and exp::PolicySummary; cheap to compare and to print.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Value of the named counter, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t counter_or(std::string_view name,
+                                         std::uint64_t fallback = 0) const noexcept;
+
+  /// Value of the named gauge, or `fallback` when absent.
+  [[nodiscard]] double gauge_or(std::string_view name, double fallback = 0.0) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the named metric, creating it on first use. References stay
+  /// valid for the registry's lifetime (node-based storage), so hot paths
+  /// can look up once and keep the pointer.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  util::IntHistogram& histogram(const std::string& name, std::size_t capacity = 240);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Adds every metric of `other` into this registry: counters and
+  /// histograms sum, gauges sum (create-if-missing). Used to aggregate
+  /// per-slot ensemble registries.
+  void merge(const MetricsRegistry& other);
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t metric_count() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, util::IntHistogram, std::less<>> histograms_;
+};
+
+}  // namespace pulse::obs

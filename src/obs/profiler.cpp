@@ -1,0 +1,15 @@
+#include "obs/profiler.hpp"
+
+namespace pulse::obs {
+
+const char* to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kPredict: return "predict";
+    case Phase::kOptimize: return "optimize";
+    case Phase::kSchedule: return "schedule";
+    case Phase::kSimulate: return "simulate";
+  }
+  return "?";
+}
+
+}  // namespace pulse::obs

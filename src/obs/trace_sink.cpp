@@ -1,0 +1,110 @@
+#include "obs/trace_sink.hpp"
+
+#include <stdexcept>
+
+namespace pulse::obs {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kColdStart: return "cold_start";
+    case EventType::kWarmStart: return "warm_start";
+    case EventType::kEviction: return "eviction";
+    case EventType::kCrashEviction: return "crash_eviction";
+    case EventType::kDowngrade: return "downgrade";
+    case EventType::kFault: return "fault";
+    case EventType::kCapacityPressure: return "capacity_pressure";
+    case EventType::kPolicyDecision: return "policy_decision";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kPolicyDecision) + 1;
+}  // namespace
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), type_counts_(kEventTypeCount, 0) {
+  buffer_.reserve(capacity_);
+}
+
+void RingBufferSink::record(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  ++type_counts_[static_cast<std::size_t>(event.type)];
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  // Oldest first: once the buffer wrapped, head_ points at the oldest entry.
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t RingBufferSink::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  std::lock_guard lock(mutex_);
+  return recorded_ - buffer_.size();
+}
+
+std::vector<std::uint64_t> RingBufferSink::counts_by_type() const {
+  std::lock_guard lock(mutex_);
+  return type_counts_;
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard lock(mutex_);
+  buffer_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  type_counts_.assign(kEventTypeCount, 0);
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("JsonlFileSink: cannot open " + path + " for writing");
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::record(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  std::fprintf(file_, "{\"type\":\"%s\",\"minute\":%lld", to_string(event.type),
+               static_cast<long long>(event.minute));
+  if (event.function != TraceEvent::kNoFunction) {
+    std::fprintf(file_, ",\"function\":%zu", event.function);
+  }
+  if (event.variant >= 0) {
+    std::fprintf(file_, ",\"variant\":%d", event.variant);
+  }
+  std::fprintf(file_, ",\"value\":%.17g,\"detail\":\"%s\"}\n", event.value, event.detail);
+  ++lines_;
+}
+
+std::uint64_t JsonlFileSink::lines_written() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+void JsonlFileSink::flush() {
+  std::lock_guard lock(mutex_);
+  std::fflush(file_);
+}
+
+}  // namespace pulse::obs

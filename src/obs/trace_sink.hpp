@@ -1,0 +1,87 @@
+#pragma once
+// Event sinks: where TraceEvents go when observability is enabled.
+//
+// The engine and the policies never talk to a concrete sink — they emit
+// through obs::Observer, which is a null check when nothing is attached.
+// Both provided implementations are internally synchronized so one sink can
+// be shared across ensemble worker threads.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace pulse::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Records one event. Must be safe to call from multiple threads.
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Fixed-capacity ring buffer: keeps the most recent `capacity` events and
+/// counts what it had to drop. The cheap always-on-capable sink.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void record(const TraceEvent& event) override;
+
+  /// All retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Total events ever recorded (retained + overwritten).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  /// Events overwritten because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Per-type counts over every event ever recorded (index = EventType).
+  [[nodiscard]] std::vector<std::uint64_t> counts_by_type() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> buffer_;  // ring storage, wraps at capacity_
+  std::size_t head_ = 0;            // next write position once full
+  std::uint64_t recorded_ = 0;
+  std::vector<std::uint64_t> type_counts_;
+};
+
+/// Streams every event as one JSON object per line (JSONL). Schema:
+///   {"type":"cold_start","minute":17,"function":3,"variant":2,
+///    "value":4,"detail":""}
+/// `function` is omitted for aggregate events and `variant` when -1.
+class JsonlFileSink final : public TraceSink {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error when
+  /// the file cannot be opened.
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  void record(const TraceEvent& event) override;
+
+  [[nodiscard]] std::uint64_t lines_written() const;
+
+  /// Flushes buffered output to the OS.
+  void flush();
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace pulse::obs

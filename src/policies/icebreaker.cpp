@@ -24,6 +24,7 @@ void IceBreakerPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
 }
 
 std::vector<double> IceBreakerPolicy::forecast(trace::FunctionId f) const {
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kPredict);
   const auto& series = history_.at(f);
   const std::size_t window = std::min(config_.fft_window, series.size());
   const std::span<const double> recent(series.data() + (series.size() - window), window);
@@ -36,6 +37,7 @@ std::vector<double> IceBreakerPolicy::forecast(trace::FunctionId f) const {
 void IceBreakerPolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
                                       const std::vector<double>& predicted,
                                       sim::KeepAliveSchedule& schedule) {
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kSchedule);
   const int highest = static_cast<int>(schedule.variant_count_of(f)) - 1;
   for (std::size_t d = 0; d < predicted.size(); ++d) {
     const trace::Minute m = t + 1 + static_cast<trace::Minute>(d);
@@ -58,6 +60,11 @@ void IceBreakerPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& sc
 
   // At period boundaries, forecast and schedule the next period.
   if ((t + 1) % config_.refresh_interval != 0) return;
+  if (obs::MetricsRegistry* const m = metrics()) m->counter("icebreaker.refreshes").add(1);
+  if (obs::TraceSink* const s = sink()) {
+    s->record({obs::EventType::kPolicyDecision, t, obs::TraceEvent::kNoFunction, -1,
+               static_cast<double>(history_.size()), "forecast_refresh"});
+  }
   for (trace::FunctionId f = 0; f < history_.size(); ++f) {
     if (history_[f].empty()) continue;
     apply_forecast(f, t, forecast(f), schedule);
@@ -82,6 +89,7 @@ void IceBreakerPulsePolicy::initialize(const sim::Deployment& deployment,
   opt_config.peak.memory_threshold = pulse_config_.memory_threshold;
   opt_config.peak.local_window = pulse_config_.local_window;
   optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
+  optimizer_->set_observer(observer());
 }
 
 void IceBreakerPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
@@ -95,6 +103,7 @@ void IceBreakerPulsePolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
                                            sim::KeepAliveSchedule& schedule) {
   // PULSE maps the predicted concurrency to an invocation likelihood and
   // selects the variant greedily instead of always warming the highest one.
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kSchedule);
   const std::size_t variants = schedule.variant_count_of(f);
   for (std::size_t d = 0; d < predicted.size(); ++d) {
     const trace::Minute m = t + 1 + static_cast<trace::Minute>(d);
@@ -111,6 +120,7 @@ void IceBreakerPulsePolicy::apply_forecast(trace::FunctionId f, trace::Minute t,
 void IceBreakerPulsePolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
                                           const sim::MemoryHistory& history) {
   IceBreakerPolicy::end_of_minute(t, schedule, history);
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kOptimize);
   optimizer_->flatten_peak(t, schedule, trackers_);
 }
 

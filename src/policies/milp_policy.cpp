@@ -25,6 +25,7 @@ void MilpPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                sim::KeepAliveSchedule& schedule) {
   // Same function-centric optimization as PULSE: the comparison isolates
   // the cross-function step.
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kSchedule);
   core::InterArrivalTracker& tracker = trackers_.at(f);
   tracker.record(t);
   const std::size_t variants = schedule.variant_count_of(f);
@@ -48,6 +49,7 @@ std::size_t MilpPolicy::cold_start_variant(trace::FunctionId f, trace::Minute t,
 void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
                                const sim::MemoryHistory& history) {
   (void)history;  // like PULSE, peaks are detected against demand memory
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kOptimize);
   while (demand_.now() < t) demand_.push(0.0);
   const double prior = detector_->prior_memory(demand_, t);
   demand_.push(schedule.memory_at(t));
@@ -94,9 +96,14 @@ void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule
 
   const MilpSolution solution = solve_milp(problem);
   solver_nodes_ += solution.nodes_explored;
+  if (obs::TraceSink* const s = sink()) {
+    s->record({obs::EventType::kPolicyDecision, t, obs::TraceEvent::kNoFunction, -1,
+               static_cast<double>(solution.nodes_explored), "milp_solve"});
+  }
 
   // Apply: drop or lower every model whose optimal choice is below its
   // current variant, from minute t onward.
+  std::uint64_t applied = 0;
   for (std::size_t i = 0; i < kept.size(); ++i) {
     const auto [f, current] = kept[i];
     const int chosen = solution.choice[i];
@@ -113,6 +120,16 @@ void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule
     }
     priority_->record_downgrade(f);
     ++downgrades_;
+    ++applied;
+    if (obs::TraceSink* const s = sink()) {
+      s->record({obs::EventType::kDowngrade, t, f, static_cast<std::int32_t>(current),
+                 static_cast<double>(chosen), "milp"});
+    }
+  }
+  if (obs::MetricsRegistry* const m = metrics()) {
+    m->counter("milp.solves").add(1);
+    m->counter("milp.solver_nodes").add(solution.nodes_explored);
+    if (applied > 0) m->counter("milp.downgrades").add(applied);
   }
 }
 

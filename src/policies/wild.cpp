@@ -13,16 +13,22 @@ void WildPolicy::initialize(const sim::Deployment& deployment, const trace::Trac
 }
 
 predict::WindowPrediction WildPolicy::predict_window(trace::FunctionId f, trace::Minute t) {
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kPredict);
   auto& predictor = predictors_.at(f);
   predictor.observe_invocation(t);
   predict::WindowPrediction w = predictor.predict();
   w.keepalive_until = std::clamp<trace::Minute>(w.keepalive_until, 1, config_.max_horizon);
   w.prewarm_offset = std::clamp<trace::Minute>(w.prewarm_offset, 0, w.keepalive_until - 1);
+  if (obs::MetricsRegistry* const m = metrics()) {
+    m->histogram("wild.keepalive_horizon", 64)
+        .add(static_cast<std::uint64_t>(w.keepalive_until));
+  }
   return w;
 }
 
 void WildPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                sim::KeepAliveSchedule& schedule) {
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kSchedule);
   const predict::WindowPrediction w = predict_window(f, t);
 
   // Release the container during the predicted idle head, keep the
@@ -51,10 +57,12 @@ void WildPulsePolicy::initialize(const sim::Deployment& deployment, const trace:
   opt_config.peak.memory_threshold = pulse_config_.memory_threshold;
   opt_config.peak.local_window = pulse_config_.local_window;
   optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
+  optimizer_->set_observer(observer());
 }
 
 void WildPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                     sim::KeepAliveSchedule& schedule) {
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kSchedule);
   // Wild forecasts the window ...
   const predict::WindowPrediction w = predict_window(f, t);
 
@@ -76,6 +84,7 @@ void WildPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
 void WildPulsePolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
                                     const sim::MemoryHistory& history) {
   (void)history;
+  const obs::PhaseTimer timer(profiler(), obs::Phase::kOptimize);
   optimizer_->flatten_peak(t, schedule, trackers_);
 }
 

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <vector>
@@ -44,6 +45,13 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
   const Deployment& dep = *deployment_;
   const trace::Minute duration = tr.duration();
 
+  // Observability: all three handles are optional; `sink` is the only one
+  // consulted on the per-minute hot path, as a single null-check branch.
+  const obs::Observer& obs = config_.observer;
+  obs::TraceSink* const sink = obs.sink;
+  const obs::PhaseTimer run_timer(obs.profiler, obs::Phase::kSimulate);
+  policy.attach_observer(obs.any() ? &config_.observer : nullptr);
+
   RunResult result;
   KeepAliveSchedule schedule(dep, duration);
   // Reused across minutes by the capacity-eviction loop (allocation-free
@@ -69,6 +77,11 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
   const fault::FaultInjector injector(config_.faults);
   const bool faults_on = injector.config().enabled();
 
+  // Looked up once; per-minute updates are then a pointer check away.
+  util::IntHistogram* alive_hist =
+      obs.metrics != nullptr ? &obs.metrics->histogram("engine.alive_containers", 512)
+                             : nullptr;
+
   policy.initialize(dep, tr, schedule);
 
   for (trace::Minute t = 0; t < duration; ++t) {
@@ -79,11 +92,15 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
     // container's remaining keep-alive stretch is evicted, so this minute's
     // invocations (if any) go cold.
     if (faults_on && injector.config().crash_rate > 0.0) {
-      schedule.for_each_alive(t, [&](trace::FunctionId f, std::size_t) {
+      schedule.for_each_alive(t, [&](trace::FunctionId f, std::size_t variant) {
         if (injector.container_crashes(f, t)) {
           schedule.evict_from(f, t);
           ++result.crash_evictions;
           minute_degraded = true;
+          if (sink != nullptr) {
+            sink->record({obs::EventType::kCrashEviction, t, f,
+                          static_cast<std::int32_t>(variant), 1.0, ""});
+          }
         }
       });
     }
@@ -122,6 +139,22 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
           schedule.clear(f, t);  // the provisional container never started
           result.failed_invocations += count;
         }
+        if (sink != nullptr && cs.retries > 0) {
+          sink->record({obs::EventType::kFault, t, f, static_cast<std::int32_t>(serving),
+                        static_cast<double>(cs.retries), "cold_start_retry"});
+        }
+      }
+
+      if (sink != nullptr) {
+        if (served) {
+          sink->record({first_is_cold ? obs::EventType::kColdStart
+                                      : obs::EventType::kWarmStart,
+                        t, f, static_cast<std::int32_t>(serving),
+                        static_cast<double>(count), ""});
+        } else {
+          sink->record({obs::EventType::kFault, t, f, static_cast<std::int32_t>(serving),
+                        static_cast<double>(count), "cold_start_failure"});
+        }
       }
 
       if (served) {
@@ -147,6 +180,10 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
               accuracy_credit = 0.0;
               ++result.timeouts;
               minute_degraded = true;
+              if (sink != nullptr) {
+                sink->record({obs::EventType::kFault, t, f,
+                              static_cast<std::int32_t>(serving), slo, "slo_timeout"});
+              }
             }
           }
           result.total_service_time_s += service_s;
@@ -210,6 +247,10 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
     // once and maintained by erasing the victim — bit-identical to
     // rebuilding it, at O(evictions) instead of O(F * evictions).
     if (capacity_mb > 0.0 && schedule.memory_exceeds(t, capacity_mb)) {
+      if (sink != nullptr) {
+        sink->record({obs::EventType::kCapacityPressure, t, obs::TraceEvent::kNoFunction,
+                      -1, schedule.memory_at(t) - capacity_mb, ""});
+      }
       schedule.kept_alive_at(t, kept_buffer);
       while (!kept_buffer.empty()) {
         const auto idx = eviction_rng.bounded(static_cast<std::uint32_t>(kept_buffer.size()));
@@ -217,6 +258,10 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
         schedule.evict_from(victim.first, t);
         kept_buffer.erase(kept_buffer.begin() + idx);
         ++result.capacity_evictions;
+        if (sink != nullptr) {
+          sink->record({obs::EventType::kEviction, t, victim.first,
+                        static_cast<std::int32_t>(victim.second), 1.0, "capacity"});
+        }
         if (!schedule.memory_exceeds(t, capacity_mb)) break;
       }
     }
@@ -226,6 +271,7 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
     const double cost_t = config_.cost_model.keepalive_cost_usd(memory_t, 1.0);
     result.total_keepalive_cost_usd += cost_t;
     memory_record.push_back(memory_t);
+    if (alive_hist != nullptr) alive_hist->add(schedule.alive_count_at(t));
 
     if (config_.record_series) {
       result.keepalive_memory_mb.push_back(memory_t);
@@ -236,6 +282,30 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
 
   result.downgrades = policy.downgrade_count();
   result.guard_incidents = policy.incident_count();
+
+  // Fold the run's aggregates into the registry (zero hot-path cost: one
+  // batch of adds at the end) and snapshot it into the result.
+  if (obs.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs.metrics;
+    m.counter("engine.runs").add(1);
+    m.counter("engine.invocations").add(result.invocations);
+    m.counter("engine.warm_starts").add(result.warm_starts);
+    m.counter("engine.cold_starts").add(result.cold_starts);
+    m.counter("engine.downgrades").add(result.downgrades);
+    m.counter("engine.capacity_evictions").add(result.capacity_evictions);
+    m.counter("engine.crash_evictions").add(result.crash_evictions);
+    m.counter("engine.failed_invocations").add(result.failed_invocations);
+    m.counter("engine.retries").add(result.retries);
+    m.counter("engine.timeouts").add(result.timeouts);
+    m.counter("engine.degraded_minutes").add(result.degraded_minutes);
+    m.counter("engine.guard_incidents").add(result.guard_incidents);
+    m.gauge("engine.service_time_s").add(result.total_service_time_s);
+    m.gauge("engine.keepalive_cost_usd").add(result.total_keepalive_cost_usd);
+    double peak = 0.0;
+    for (const double v : memory_record) peak = std::max(peak, v);
+    m.gauge("engine.peak_keepalive_memory_mb").max_with(peak);
+    result.metrics = m.snapshot();
+  }
   return result;
 }
 

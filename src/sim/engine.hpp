@@ -12,6 +12,7 @@
 
 #include "fault/injector.hpp"
 #include "models/latency.hpp"
+#include "obs/observer.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/deployment.hpp"
 #include "sim/metrics.hpp"
@@ -66,6 +67,12 @@ struct EngineConfig {
   /// bitwise-identical to one without any injector: fault decisions are
   /// hash-derived from FaultConfig::seed and consume no engine RNG state.
   fault::FaultConfig faults{};
+
+  /// Observability context: optional event sink, metrics registry, and
+  /// phase profiler (all non-owning; default fully disabled). Attaching
+  /// any of them leaves RunResult bitwise identical — the layer observes,
+  /// it never steers (tests/obs/obs_determinism_test.cpp is the gate).
+  obs::Observer observer{};
 };
 
 class SimulationEngine {

@@ -31,6 +31,24 @@ EnsembleResult run_ensemble(const models::ModelZoo& zoo, const trace::Trace& tra
   // One EngineConfig copy per worker task, not per run: only the seed
   // differs between runs, so each task slot mutates its own copy in place.
   std::vector<EngineConfig> task_config(pool.task_slot_count(), config.engine);
+
+  // Observability across workers rides the same per-slot machinery: each
+  // slot writes its own registry/profiler (no synchronization, TSan-clean)
+  // and the user's instances receive the merged totals after the pool has
+  // joined. A shared TraceSink is passed through as-is — the provided sinks
+  // are internally synchronized.
+  const obs::Observer user_obs = config.engine.observer;
+  std::vector<obs::MetricsRegistry> slot_metrics(
+      user_obs.metrics != nullptr ? pool.task_slot_count() : 0);
+  std::vector<obs::PhaseProfiler> slot_profilers(
+      user_obs.profiler != nullptr ? pool.task_slot_count() : 0);
+  for (std::size_t slot = 0; slot < pool.task_slot_count(); ++slot) {
+    if (user_obs.metrics != nullptr) task_config[slot].observer.metrics = &slot_metrics[slot];
+    if (user_obs.profiler != nullptr) {
+      task_config[slot].observer.profiler = &slot_profilers[slot];
+    }
+  }
+
   pool.parallel_for_slotted(config.runs, [&](std::size_t slot, std::size_t i) {
     // Per-run RNG stream: the deployment depends only on (seed, i).
     util::Pcg32 assign_rng(config.seed + i, /*stream=*/i * 2 + 1);
@@ -44,6 +62,10 @@ EnsembleResult run_ensemble(const models::ModelZoo& zoo, const trace::Trace& tra
     auto policy = factory();
     result.runs[i] = engine.run(*policy);
   });
+
+  for (const auto& m : slot_metrics) user_obs.metrics->merge(m);
+  for (const auto& p : slot_profilers) user_obs.profiler->merge(p);
+  if (user_obs.metrics != nullptr) result.metrics = user_obs.metrics->snapshot();
 
   return result;
 }

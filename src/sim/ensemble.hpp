@@ -31,6 +31,12 @@ struct EnsembleResult {
   /// One entry per run, in run order.
   std::vector<RunResult> runs;
 
+  /// Merged observability metrics over every run (empty unless
+  /// EngineConfig::observer.metrics was attached). Counter and histogram
+  /// totals are exact integer sums and therefore independent of the thread
+  /// count; gauge sums are floating-point diagnostics.
+  obs::MetricsSnapshot metrics;
+
   /// Aggregates over the runs (totals per run, then averaged — the paper's
   /// "averaging the values across all runs").
   [[nodiscard]] double mean_service_time_s() const;

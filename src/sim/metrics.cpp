@@ -9,4 +9,8 @@ double RunResult::service_time_percentile(double p) const {
   return util::percentile(service_time_samples, p);
 }
 
+std::vector<double> RunResult::service_time_percentiles(std::span<const double> ps) const {
+  return util::percentiles(service_time_samples, ps);
+}
+
 }  // namespace pulse::sim

@@ -4,8 +4,10 @@
 // behind Figures 4, 6(b) and 7.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "trace/trace.hpp"
 
 namespace pulse::sim {
@@ -98,9 +100,23 @@ struct RunResult {
   /// EngineConfig::record_service_samples). Enables tail-latency analysis.
   std::vector<double> service_time_samples;
 
+  /// Snapshot of the attached obs::MetricsRegistry taken at the end of the
+  /// run; empty when no registry was attached. Not part of the determinism
+  /// fingerprint — it is diagnostics, not a paper metric. When one registry
+  /// serves several runs (ensemble slots) the snapshot is cumulative up to
+  /// this run's completion.
+  obs::MetricsSnapshot metrics;
+
   /// Linear-interpolated percentile of the recorded service-time samples
   /// (p in [0, 100]); 0 when sampling was off.
   [[nodiscard]] double service_time_percentile(double p) const;
+
+  /// Several percentiles of the service-time samples with a single sort
+  /// (out[i] corresponds to ps[i]; bit-identical to per-p calls). Prefer
+  /// this when reporting p50/p95/p99 together — service_time_percentile
+  /// re-sorts the whole sample set on every call.
+  [[nodiscard]] std::vector<double> service_time_percentiles(
+      std::span<const double> ps) const;
 
   [[nodiscard]] double average_accuracy_pct() const noexcept {
     return invocations ? accuracy_pct_sum / static_cast<double>(invocations) : 0.0;

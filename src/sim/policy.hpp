@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/schedule.hpp"
 #include "trace/trace.hpp"
 
@@ -77,6 +78,28 @@ class KeepAlivePolicy {
   /// the incidents it caught; plain policies return 0). The engine copies
   /// this into RunResult::guard_incidents.
   [[nodiscard]] virtual std::uint64_t incident_count() const { return 0; }
+
+  /// Attaches the observability context (nullptr = disabled, the default).
+  /// The engine calls this before initialize(); wrapper policies forward to
+  /// their inner policy. The observer must outlive the policy's use.
+  virtual void attach_observer(const obs::Observer* observer) { obs_ = observer; }
+
+ protected:
+  /// Sink for typed events; nullptr when tracing is off. Guard emission on
+  /// this pointer so disabled runs never construct a TraceEvent.
+  [[nodiscard]] obs::TraceSink* sink() const noexcept { return obs_ ? obs_->sink : nullptr; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return obs_ ? obs_->metrics : nullptr;
+  }
+  [[nodiscard]] obs::PhaseProfiler* profiler() const noexcept {
+    return obs_ ? obs_->profiler : nullptr;
+  }
+  /// Raw observer pointer, for forwarding to helpers (e.g. the PULSE
+  /// global optimizer) that hold their own reference. nullptr = disabled.
+  [[nodiscard]] const obs::Observer* observer() const noexcept { return obs_; }
+
+ private:
+  const obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace pulse::sim

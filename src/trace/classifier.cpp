@@ -1,6 +1,7 @@
 #include "trace/classifier.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
 #include "trace/analysis.hpp"
@@ -28,6 +29,8 @@ PatternFeatures extract_features(const Trace& trace, FunctionId f) {
 
   std::vector<double> gap_values(gaps.begin(), gaps.end());
   features.gap_mean = util::mean(gap_values);
+  // Gaps are strictly positive minutes, so gap_mean > 0 here and the CV's
+  // zero-mean branch (now +inf) is unreachable for this caller.
   features.gap_cv = util::coefficient_of_variation(gap_values);
 
   // Dominant-gap share: mass of the most common inter-arrival value.
@@ -43,8 +46,10 @@ PatternFeatures extract_features(const Trace& trace, FunctionId f) {
   features.dominant_gap_share =
       static_cast<double>(dominant) / static_cast<double>(gaps.size());
 
-  const double median = util::percentile(gap_values, 50);
-  const double p99 = util::percentile(gap_values, 99);
+  // One sort for both tail statistics (percentile() re-sorts per call).
+  const std::vector<double> gap_ps = util::percentiles(gap_values, std::array{50.0, 99.0});
+  const double median = gap_ps[0];
+  const double p99 = gap_ps[1];
   features.tail_gap_ratio = median > 0.0 ? p99 / median : 0.0;
 
   // Diurnal contrast: hour-of-day invocation rates.

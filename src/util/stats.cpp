@@ -26,20 +26,39 @@ double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(x
 
 double coefficient_of_variation(std::span<const double> xs) noexcept {
   const double m = mean(xs);
-  if (m == 0.0) return 0.0;
+  if (m == 0.0) {
+    // A zero mean does not imply a stable series: {-1, 1} has stddev 1.
+    // Report infinite relative variation instead of silently claiming
+    // perfect stability (which fed pattern classification wrong numbers).
+    return stddev(xs) > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
   return stddev(xs) / m;
 }
 
-double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+double percentile_of_sorted(std::span<const double> sorted, double p) noexcept {
+  if (sorted.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_of_sorted(sorted, p);
+}
+
+std::vector<double> percentiles(std::span<const double> xs, std::span<const double> ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (xs.empty()) return out;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < ps.size(); ++i) out[i] = percentile_of_sorted(sorted, ps[i]);
+  return out;
 }
 
 double min_of(std::span<const double> xs) noexcept {
@@ -107,13 +126,29 @@ std::optional<std::size_t> IntHistogram::percentile_value(double p) const noexce
   const std::uint64_t in_range = total_ - overflow_;
   if (in_range == 0) return std::nullopt;
   p = std::clamp(p, 0.0, 1.0);
-  const double target = p * static_cast<double>(in_range);
+  // Contract (see header): the target rank is the integer
+  // max(1, ceil(p * in_range)), and the scan compares integer cumulative
+  // counts against it. The old float compare `(double)cum >= p * in_range`
+  // loses exactness once cum exceeds 2^53 and invites bin-edge off-by-ones;
+  // the integer compare is exact for every representable count.
+  const double scaled = p * static_cast<double>(in_range);
+  auto target = static_cast<std::uint64_t>(std::ceil(scaled));
+  target = std::clamp<std::uint64_t>(target, 1, in_range);
   std::uint64_t cum = 0;
   for (std::size_t v = 0; v < counts_.size(); ++v) {
     cum += counts_[v];
-    if (static_cast<double>(cum) >= target && cum > 0) return v;
+    if (cum >= target) return v;
   }
   return counts_.size() - 1;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  const std::size_t shared = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t v = 0; v < shared; ++v) counts_[v] += other.counts_[v];
+  std::uint64_t spilled = other.overflow_;
+  for (std::size_t v = shared; v < other.counts_.size(); ++v) spilled += other.counts_[v];
+  overflow_ += spilled;
+  total_ += other.total_;
 }
 
 double IntHistogram::in_range_mean() const noexcept {
@@ -130,6 +165,9 @@ double IntHistogram::in_range_cv() const noexcept {
   const std::uint64_t in_range = total_ - overflow_;
   if (in_range == 0) return 0.0;
   const double m = in_range_mean();
+  // Bucket values are non-negative, so a zero in-range mean means every
+  // in-range sample is exactly 0 — zero spread, CV 0 is correct here
+  // (unlike the signed-span coefficient_of_variation above).
   if (m == 0.0) return 0.0;
   double s = 0.0;
   for (std::size_t v = 0; v < counts_.size(); ++v) {

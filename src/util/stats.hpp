@@ -20,13 +20,28 @@ namespace pulse::util {
 /// Population standard deviation.
 [[nodiscard]] double stddev(std::span<const double> xs) noexcept;
 
-/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+/// Coefficient of variation (stddev / mean). A zero mean with nonzero
+/// spread returns +infinity — the series is maximally *unstable* relative
+/// to its mean, and callers that classify stability (trace::classify's
+/// gap_cv cut) must not mistake it for a perfectly steady signal. Only an
+/// all-equal-to-zero (or empty) series returns 0.
 /// Wild's hybrid histogram uses this to decide whether the inter-arrival
 /// histogram is "representative".
 [[nodiscard]] double coefficient_of_variation(std::span<const double> xs) noexcept;
 
 /// Linear-interpolated percentile, p in [0, 100]. 0 for an empty range.
+/// Copies and sorts `xs` on every call — for several percentiles of the
+/// same sample set use percentiles() (one sort) instead.
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// percentile() evaluated against an already ascending-sorted range.
+[[nodiscard]] double percentile_of_sorted(std::span<const double> sorted, double p) noexcept;
+
+/// All requested percentiles (each in [0, 100]) of `xs` with a single copy
+/// and sort; out[i] corresponds to ps[i]. Bit-identical to calling
+/// percentile(xs, ps[i]) per entry, without the per-call re-sort.
+[[nodiscard]] std::vector<double> percentiles(std::span<const double> xs,
+                                              std::span<const double> ps);
 
 [[nodiscard]] double min_of(std::span<const double> xs) noexcept;
 [[nodiscard]] double max_of(std::span<const double> xs) noexcept;
@@ -65,10 +80,18 @@ class IntHistogram {
   /// Probability mass of `value` (count / total); 0 when empty.
   [[nodiscard]] double probability(std::size_t value) const noexcept;
 
-  /// Smallest value v such that CDF(v) >= p; nullopt when empty or only
-  /// overflow mass exists. Wild uses low/high percentiles of the
-  /// inter-arrival histogram to size its pre-warm and keep-alive windows.
+  /// Smallest value v whose cumulative in-range count reaches the integer
+  /// target max(1, ceil(p * in_range_count)), p clamped to [0, 1] — i.e.
+  /// the smallest v with CDF(v) >= p, decided by integer comparison so an
+  /// exact bin-edge target can never off-by-one through a float compare
+  /// (these percentiles size Wild's pre-warm/keep-alive windows). p = 0
+  /// returns the smallest value with any mass; p = 1 the largest. nullopt
+  /// when empty or only overflow mass exists.
   [[nodiscard]] std::optional<std::size_t> percentile_value(double p) const noexcept;
+
+  /// Adds every count of `other` into this histogram. Buckets beyond this
+  /// histogram's capacity (including `other`'s overflow) land in overflow.
+  void merge(const IntHistogram& other);
 
   /// Mean of the in-range values (overflow excluded); 0 when empty.
   [[nodiscard]] double in_range_mean() const noexcept;

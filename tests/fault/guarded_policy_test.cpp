@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "fault/diverging_policy.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_sink.hpp"
 #include "policies/factory.hpp"
 #include "policies/fixed_keepalive.hpp"
 #include "predict/divergence.hpp"
@@ -117,6 +119,41 @@ TEST(GuardedPolicy, GuardAbsorbsIncidentAndCompletesRun) {
   EXPECT_EQ(guarded.incident_count(), 1u);
   EXPECT_EQ(r.guard_incidents, 1u);
   EXPECT_EQ(r.invocations, 3u);
+}
+
+TEST(GuardedPolicy, IncidentsFlowToAttachedObserver) {
+  const auto zoo = test_zoo();
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 60);
+  t.set_count(0, 5, 1);
+  t.set_count(0, 30, 2);
+
+  obs::RingBufferSink sink(64);
+  obs::MetricsRegistry registry;
+  sim::EngineConfig config = exact_config();
+  config.observer.sink = &sink;
+  config.observer.metrics = &registry;
+
+  sim::SimulationEngine engine(d, t, config);
+  GuardedPolicy guarded(std::make_unique<ThrowingPolicy>());
+  const sim::RunResult r = engine.run(guarded);
+  EXPECT_EQ(r.guard_incidents, 1u);
+
+  // The guard's own incident lands as a kFault with a static tag...
+  const auto counts = sink.counts_by_type();
+  EXPECT_EQ(counts.at(static_cast<std::size_t>(obs::EventType::kFault)), 1u);
+  bool found = false;
+  for (const obs::TraceEvent& e : sink.events()) {
+    if (e.type == obs::EventType::kFault) {
+      EXPECT_STREQ(e.detail, "guard_incident");
+      EXPECT_EQ(e.minute, 5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // ... and as a counter, alongside the engine's own tally.
+  EXPECT_EQ(registry.snapshot().counter_or("guard.incidents"), 1u);
+  EXPECT_EQ(r.metrics.counter_or("engine.guard_incidents"), 1u);
 }
 
 TEST(GuardedPolicy, FallbackMatchesFixedKeepAlive) {

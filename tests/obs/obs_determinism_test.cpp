@@ -1,0 +1,195 @@
+// The observability layer's core contract: attaching any combination of
+// sink / metrics / profiler leaves the simulation result bitwise identical.
+// Mirrors the golden-fixture engine configuration (capacity pressure +
+// fault injection) across every policy family that emits events.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
+#include "policies/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::obs {
+namespace {
+
+/// FNV-1a over every RunResult field the golden fixtures hash (the
+/// `metrics` snapshot is deliberately excluded — it is observability
+/// output, not simulation output).
+class Fingerprint {
+ public:
+  void add_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_double(double v) noexcept { add_u64(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t fingerprint(const sim::RunResult& r) {
+  Fingerprint fp;
+  fp.add_double(r.total_service_time_s);
+  fp.add_double(r.total_keepalive_cost_usd);
+  fp.add_double(r.accuracy_pct_sum);
+  fp.add_u64(r.invocations);
+  fp.add_u64(r.warm_starts);
+  fp.add_u64(r.cold_starts);
+  fp.add_u64(r.downgrades);
+  fp.add_u64(r.capacity_evictions);
+  fp.add_u64(r.failed_invocations);
+  fp.add_u64(r.retries);
+  fp.add_u64(r.timeouts);
+  fp.add_u64(r.crash_evictions);
+  fp.add_u64(r.degraded_minutes);
+  fp.add_u64(r.guard_incidents);
+  for (double v : r.keepalive_memory_mb) fp.add_double(v);
+  for (double v : r.keepalive_cost_usd) fp.add_double(v);
+  for (double v : r.ideal_cost_usd) fp.add_double(v);
+  for (double v : r.service_time_samples) fp.add_double(v);
+  for (const sim::FunctionMetrics& m : r.per_function) {
+    fp.add_u64(m.invocations);
+    fp.add_u64(m.warm_starts);
+    fp.add_u64(m.cold_starts);
+    fp.add_double(m.service_time_s);
+    fp.add_double(m.accuracy_pct_sum);
+  }
+  return fp.value();
+}
+
+sim::RunResult run_once(const char* policy_name, std::uint64_t seed, bool faults,
+                        const Observer& observer) {
+  trace::WorkloadConfig wc;
+  wc.function_count = 16;
+  wc.duration = 1440;
+  wc.seed = seed;
+  const trace::Workload workload = trace::build_azure_like_workload(wc);
+
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment = sim::Deployment::round_robin(zoo, wc.function_count);
+
+  sim::EngineConfig config;
+  config.seed = seed * 7919 + 17;
+  config.record_series = true;
+  config.record_per_function = true;
+  config.record_service_samples = true;
+  config.bernoulli_accuracy = true;
+  config.memory_capacity_mb = deployment.peak_highest_memory_mb() * 0.35;
+  if (faults) {
+    config.faults.crash_rate = 0.02;
+    config.faults.cold_start_failure_rate = 0.10;
+    config.faults.slo_multiplier = 3.0;
+    config.faults.memory_pressure_rate = 0.05;
+    config.faults.memory_pressure_capacity_mb = deployment.peak_highest_memory_mb() * 0.25;
+  }
+  config.observer = observer;
+
+  sim::SimulationEngine engine(deployment, workload.trace, config);
+  auto policy = policies::make_policy(policy_name);
+  return engine.run(*policy);
+}
+
+struct Case {
+  const char* policy;
+  std::uint64_t seed;
+  bool faults;
+};
+
+constexpr Case kCases[] = {
+    {"pulse", 101, false},   {"pulse", 202, true},           {"milp", 101, true},
+    {"wild+pulse", 202, false}, {"icebreaker+pulse", 101, false}, {"openwhisk", 202, true},
+};
+
+TEST(ObsDeterminism, FullObserverLeavesRunResultBitwiseIdentical) {
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.policy);
+    const sim::RunResult plain = run_once(c.policy, c.seed, c.faults, Observer{});
+
+    RingBufferSink sink(1 << 16);
+    MetricsRegistry registry;
+    PhaseProfiler profiler;
+    Observer observer;
+    observer.sink = &sink;
+    observer.metrics = &registry;
+    observer.profiler = &profiler;
+    const sim::RunResult observed = run_once(c.policy, c.seed, c.faults, observer);
+
+    EXPECT_EQ(fingerprint(plain), fingerprint(observed));
+    // And the observed run actually observed something.
+    EXPECT_GT(sink.recorded(), 0u);
+    EXPECT_GT(registry.metric_count(), 0u);
+    EXPECT_EQ(profiler.stats(Phase::kSimulate).calls, 1u);
+  }
+}
+
+TEST(ObsDeterminism, EachComponentAloneIsAlsoIdentical) {
+  const Case c{"pulse", 202, true};
+  const std::uint64_t plain = fingerprint(run_once(c.policy, c.seed, c.faults, Observer{}));
+
+  {
+    RingBufferSink sink(1 << 16);
+    Observer o;
+    o.sink = &sink;
+    EXPECT_EQ(plain, fingerprint(run_once(c.policy, c.seed, c.faults, o)));
+  }
+  {
+    MetricsRegistry registry;
+    Observer o;
+    o.metrics = &registry;
+    EXPECT_EQ(plain, fingerprint(run_once(c.policy, c.seed, c.faults, o)));
+  }
+  {
+    PhaseProfiler profiler;
+    Observer o;
+    o.profiler = &profiler;
+    EXPECT_EQ(plain, fingerprint(run_once(c.policy, c.seed, c.faults, o)));
+  }
+}
+
+TEST(ObsDeterminism, EngineCountersMatchRunResult) {
+  MetricsRegistry registry;
+  Observer observer;
+  observer.metrics = &registry;
+  const sim::RunResult r = run_once("pulse", 101, true, observer);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("engine.invocations"), r.invocations);
+  EXPECT_EQ(snap.counter_or("engine.cold_starts"), r.cold_starts);
+  EXPECT_EQ(snap.counter_or("engine.warm_starts"), r.warm_starts);
+  EXPECT_EQ(snap.counter_or("engine.downgrades"), r.downgrades);
+  EXPECT_EQ(snap.counter_or("engine.capacity_evictions"), r.capacity_evictions);
+  EXPECT_EQ(snap.counter_or("engine.crash_evictions"), r.crash_evictions);
+  EXPECT_EQ(snap.counter_or("engine.retries"), r.retries);
+  EXPECT_EQ(snap.counter_or("engine.timeouts"), r.timeouts);
+  // The RunResult carries the same snapshot.
+  EXPECT_EQ(r.metrics.counter_or("engine.invocations"), r.invocations);
+}
+
+TEST(ObsDeterminism, SinkSeesTheRunsEventMix) {
+  RingBufferSink sink(1 << 16);
+  Observer observer;
+  observer.sink = &sink;
+  const sim::RunResult r = run_once("pulse", 202, true, observer);
+
+  const std::vector<std::uint64_t> counts = sink.counts_by_type();
+  const auto count = [&](EventType t) { return counts.at(static_cast<std::size_t>(t)); };
+  // One warm/cold event per minute-with-invocations, so > 0 but <= the
+  // invocation total; evictions and downgrades match the result exactly.
+  EXPECT_GT(count(EventType::kColdStart) + count(EventType::kWarmStart), 0u);
+  EXPECT_LE(count(EventType::kColdStart) + count(EventType::kWarmStart), r.invocations);
+  EXPECT_EQ(count(EventType::kEviction), r.capacity_evictions);
+  EXPECT_EQ(count(EventType::kCrashEviction), r.crash_evictions);
+  EXPECT_EQ(count(EventType::kDowngrade), r.downgrades);
+}
+
+}  // namespace
+}  // namespace pulse::obs

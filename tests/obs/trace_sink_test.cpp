@@ -1,0 +1,162 @@
+// TraceSink behaviour: ring-buffer ordering / capacity / drop accounting,
+// and the JSONL file sink's schema and line accounting.
+
+#include "obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pulse::obs {
+namespace {
+
+TraceEvent event_at(trace::Minute minute, EventType type = EventType::kColdStart) {
+  TraceEvent e;
+  e.type = type;
+  e.minute = minute;
+  e.function = 3;
+  e.variant = 1;
+  e.value = 2.0;
+  e.detail = "test";
+  return e;
+}
+
+TEST(EventType, StableNames) {
+  EXPECT_STREQ(to_string(EventType::kColdStart), "cold_start");
+  EXPECT_STREQ(to_string(EventType::kWarmStart), "warm_start");
+  EXPECT_STREQ(to_string(EventType::kEviction), "eviction");
+  EXPECT_STREQ(to_string(EventType::kCrashEviction), "crash_eviction");
+  EXPECT_STREQ(to_string(EventType::kDowngrade), "downgrade");
+  EXPECT_STREQ(to_string(EventType::kFault), "fault");
+  EXPECT_STREQ(to_string(EventType::kCapacityPressure), "capacity_pressure");
+  EXPECT_STREQ(to_string(EventType::kPolicyDecision), "policy_decision");
+}
+
+TEST(RingBufferSink, RecordsInOrderBelowCapacity) {
+  RingBufferSink sink(8);
+  for (trace::Minute t = 0; t < 5; ++t) sink.record(event_at(t));
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (trace::Minute t = 0; t < 5; ++t) EXPECT_EQ(events[static_cast<std::size_t>(t)].minute, t);
+  EXPECT_EQ(sink.recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(RingBufferSink, WrapsKeepingNewestOldestFirst) {
+  RingBufferSink sink(4);
+  for (trace::Minute t = 0; t < 10; ++t) sink.record(event_at(t));
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Newest 4 events (minutes 6..9), oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].minute, static_cast<trace::Minute>(6 + i));
+  }
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  EXPECT_EQ(sink.capacity(), 4u);
+}
+
+TEST(RingBufferSink, CountsByTypeSurviveOverwrite) {
+  RingBufferSink sink(2);
+  sink.record(event_at(0, EventType::kColdStart));
+  sink.record(event_at(1, EventType::kColdStart));
+  sink.record(event_at(2, EventType::kEviction));  // overwrites a cold start
+  const std::vector<std::uint64_t> counts = sink.counts_by_type();
+  EXPECT_EQ(counts.at(static_cast<std::size_t>(EventType::kColdStart)), 2u);
+  EXPECT_EQ(counts.at(static_cast<std::size_t>(EventType::kEviction)), 1u);
+}
+
+TEST(RingBufferSink, ClearResetsEverything) {
+  RingBufferSink sink(4);
+  for (trace::Minute t = 0; t < 6; ++t) sink.record(event_at(t));
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  // And it keeps working after the reset.
+  sink.record(event_at(42));
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].minute, 42);
+}
+
+TEST(RingBufferSink, EventPayloadRoundTrips) {
+  RingBufferSink sink(2);
+  TraceEvent e;
+  e.type = EventType::kDowngrade;
+  e.minute = 17;
+  e.function = 5;
+  e.variant = 2;
+  e.value = 1.0;
+  e.detail = "flatten_peak";
+  sink.record(e);
+  const TraceEvent out = sink.events().at(0);
+  EXPECT_EQ(out.type, EventType::kDowngrade);
+  EXPECT_EQ(out.minute, 17);
+  EXPECT_EQ(out.function, 5u);
+  EXPECT_EQ(out.variant, 2);
+  EXPECT_DOUBLE_EQ(out.value, 1.0);
+  EXPECT_STREQ(out.detail, "flatten_peak");
+}
+
+class JsonlFileSinkTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string temp_path() {
+    path_ = ::testing::TempDir() + "pulse_obs_jsonl_test.jsonl";
+    return path_;
+  }
+
+  static std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::string path_;
+};
+
+TEST_F(JsonlFileSinkTest, WritesOneJsonObjectPerLine) {
+  const std::string path = temp_path();
+  {
+    JsonlFileSink sink(path);
+    sink.record(event_at(7, EventType::kColdStart));
+    TraceEvent aggregate;
+    aggregate.type = EventType::kCapacityPressure;
+    aggregate.minute = 8;
+    aggregate.value = 512.5;
+    sink.record(aggregate);
+    EXPECT_EQ(sink.lines_written(), 2u);
+    sink.flush();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\":\"cold_start\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"minute\":7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"function\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"variant\":1"), std::string::npos);
+  // Aggregate event: function / variant omitted per the documented schema.
+  EXPECT_NE(lines[1].find("\"type\":\"capacity_pressure\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"function\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"variant\""), std::string::npos);
+  // Every line is a braces-delimited object.
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(JsonlFileSinkTest, UnopenablePathThrows) {
+  EXPECT_THROW(JsonlFileSink("/nonexistent-dir-xyz/file.jsonl"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pulse::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -36,9 +37,21 @@ TEST(Stats, CoefficientOfVariation) {
   EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 2.0 / 5.0);
 }
 
-TEST(Stats, CoefficientOfVariationZeroMean) {
+TEST(Stats, CoefficientOfVariationZeroMeanWithSpreadIsInfinite) {
+  // Historical bug: mean == 0 with nonzero spread silently returned 0.0,
+  // making a maximally-dispersed series look perfectly regular. The CV is
+  // undefined there; +inf is the honest limit and keeps burstiness
+  // classifiers from treating the series as constant.
   const std::vector<double> xs{-1.0, 1.0};
+  EXPECT_TRUE(std::isinf(coefficient_of_variation(xs)));
+  EXPECT_GT(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariationAllZerosIsZero) {
+  // No spread and no mean: a genuinely constant series keeps CV == 0.
+  const std::vector<double> xs{0.0, 0.0, 0.0};
   EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
 }
 
 TEST(Stats, PercentileBounds) {
@@ -55,6 +68,39 @@ TEST(Stats, PercentileInterpolates) {
 }
 
 TEST(Stats, PercentileEmptyIsZero) { EXPECT_EQ(percentile({}, 50), 0.0); }
+
+TEST(Stats, PercentilesMatchPerCallPercentileBitwise) {
+  // The sort-once batch API must reproduce the per-call API exactly — same
+  // interpolation, same bits — so callers can migrate without result drift.
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) {
+    xs.push_back(std::sin(i * 12.9898) * 43758.5453);  // unsorted, duplicates-free
+  }
+  xs.push_back(xs.front());  // and one duplicate
+  const std::vector<double> ps{0.0, 1.0, 12.5, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0};
+  const std::vector<double> batch = percentiles(xs, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(batch[i], percentile(xs, ps[i])) << "p=" << ps[i];
+  }
+}
+
+TEST(Stats, PercentileOfSortedMatchesPercentile) {
+  std::vector<double> xs{9.0, 1.0, 5.0, 3.0, 7.0};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 10.0, 37.5, 50.0, 80.0, 100.0}) {
+    EXPECT_EQ(percentile_of_sorted(sorted, p), percentile(xs, p)) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentilesEmptyInput) {
+  const std::vector<double> ps{50.0, 99.0};
+  const std::vector<double> out = percentiles({}, ps);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
 
 TEST(Stats, MinMaxSum) {
   const std::vector<double> xs{4.0, -2.0, 7.5};
@@ -137,6 +183,69 @@ TEST(IntHistogram, PercentileIgnoresOverflow) {
   h.add(2, 10);
   h.add(50, 1000);  // overflow mass must not shift percentiles
   EXPECT_EQ(h.percentile_value(0.99).value(), 2u);
+}
+
+TEST(IntHistogram, PercentileValueBoundaries) {
+  IntHistogram h(20);
+  h.add(3, 4);
+  h.add(9, 6);
+  // p <= 0 targets the first in-range unit of mass; p == 1 the last.
+  EXPECT_EQ(h.percentile_value(0.0).value(), 3u);
+  EXPECT_EQ(h.percentile_value(-0.5).value(), 3u);  // clamped
+  EXPECT_EQ(h.percentile_value(1.0).value(), 9u);
+  EXPECT_EQ(h.percentile_value(2.0).value(), 9u);  // clamped
+}
+
+TEST(IntHistogram, PercentileValueExactBucketEdge) {
+  // 4 of 10 units sit on value 3, so target(p=0.4) = ceil(4) = 4 lands
+  // exactly on the last unit in bucket 3 — the old floating compare
+  // `cum >= p*in_range` agreed, and the integer rewrite must keep it.
+  IntHistogram h(20);
+  h.add(3, 4);
+  h.add(9, 6);
+  EXPECT_EQ(h.percentile_value(0.4).value(), 3u);
+  // One unit past the edge belongs to the next bucket.
+  EXPECT_EQ(h.percentile_value(0.41).value(), 9u);
+}
+
+TEST(IntHistogram, PercentileValueOverflowOnlyIsEmpty) {
+  IntHistogram h(5);
+  h.add(100, 7);  // all mass overflows
+  EXPECT_FALSE(h.percentile_value(0.5).has_value());
+  EXPECT_FALSE(h.percentile_value(0.0).has_value());
+  EXPECT_FALSE(h.percentile_value(1.0).has_value());
+}
+
+TEST(IntHistogram, PercentileValueSingleBucket) {
+  IntHistogram h(5);
+  h.add(2);
+  for (double p : {0.0, 0.5, 1.0}) EXPECT_EQ(h.percentile_value(p).value(), 2u);
+}
+
+TEST(IntHistogram, MergeAddsBucketsAndOverflow) {
+  IntHistogram a(10);
+  a.add(2, 3);
+  a.add(100, 1);  // overflow in a
+  IntHistogram b(10);
+  b.add(2, 1);
+  b.add(7, 4);
+  b.add(200, 2);  // overflow in b
+  a.merge(b);
+  EXPECT_EQ(a.total(), 11u);
+  EXPECT_EQ(a.overflow(), 3u);
+  EXPECT_DOUBLE_EQ(a.probability(2), 4.0 / 11.0);
+  EXPECT_DOUBLE_EQ(a.probability(7), 4.0 / 11.0);
+}
+
+TEST(IntHistogram, MergeSpillsSmallerCapacityIntoOverflow) {
+  IntHistogram narrow(5);
+  narrow.add(1, 2);
+  IntHistogram wide(50);
+  wide.add(30, 4);  // in range for `wide`, out of range for `narrow`
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.total(), 6u);
+  EXPECT_EQ(narrow.overflow(), 4u);  // wide's bucket 30 spilled
+  EXPECT_DOUBLE_EQ(narrow.probability(1), 2.0 / 6.0);
 }
 
 TEST(IntHistogram, InRangeMeanAndCv) {
