@@ -7,9 +7,28 @@
 // workload/policy pairs and reports where the minute abstraction holds
 // (short executions) and where it leaks (long GPT-class executions under
 // bursts) — justifying the substitution documented in DESIGN.md.
+//
+// Since the platform layer gained fault injection, capacity pressure and
+// observability, the bench also cross-checks those: a fault/capacity table
+// comparing the two layers' injected-fault accounting on the same seeds,
+// and an interleaved observer-attached vs observer-disabled timing pass
+// that hard-fails if an attached observer changes the simulation results.
+//
+// Usage: bench_concurrency [--quick] [--out <path>]
+// Writes machine-readable results to BENCH_concurrency.json (or --out).
+// Without --quick, the google-benchmark micro-timings run afterwards.
 
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
 #include "platform/platform.hpp"
 #include "policies/factory.hpp"
 #include "sim/engine.hpp"
@@ -51,6 +70,160 @@ Comparison compare(const models::ModelZoo& zoo, const trace::Trace& trace,
   return c;
 }
 
+/// Both layers under the same injected faults and capacity limit.
+struct FaultComparison {
+  sim::FaultCounters minute;
+  sim::FaultCounters container;
+  double minute_failed_pct = 0.0;
+  double container_failed_pct = 0.0;
+  double cost_delta_pct = 0.0;
+};
+
+FaultComparison compare_faults(const models::ModelZoo& zoo, const trace::Trace& trace,
+                               const std::string& policy, const fault::FaultConfig& faults,
+                               double capacity_mb) {
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, trace.function_count());
+
+  sim::EngineConfig econfig;
+  econfig.deterministic_latency = true;
+  econfig.faults = faults;
+  econfig.memory_capacity_mb = capacity_mb;
+  sim::SimulationEngine engine(d, trace, econfig);
+  const auto p1 = policies::make_policy(policy);
+  const sim::RunResult minute = engine.run(*p1);
+
+  platform::PlatformConfig pconfig;
+  pconfig.deterministic_latency = true;
+  pconfig.faults = faults;
+  pconfig.memory_capacity_mb = capacity_mb;
+  platform::PlatformSimulator plat(d, trace, pconfig);
+  const auto p2 = policies::make_policy(policy);
+  const platform::PlatformResult container = plat.run(*p2);
+
+  FaultComparison fc;
+  fc.minute = minute.fault_counters();
+  fc.container = container.faults;
+  fc.minute_failed_pct = 100.0 * minute.failed_fraction();
+  fc.container_failed_pct = 100.0 * container.failed_fraction();
+  if (minute.total_keepalive_cost_usd > 0.0) {
+    fc.cost_delta_pct = 100.0 *
+                        (container.total_cost_usd - minute.total_keepalive_cost_usd) /
+                        minute.total_keepalive_cost_usd;
+  }
+  return fc;
+}
+
+/// Keep-alive peak of a fault-free minute-engine run; the capacity limit
+/// for the fault table is set below it so evictions actually fire.
+double probe_keepalive_peak_mb(const models::ModelZoo& zoo, const trace::Trace& trace,
+                               const std::string& policy) {
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, trace.function_count());
+  sim::EngineConfig econfig;
+  econfig.deterministic_latency = true;
+  econfig.record_series = true;
+  sim::SimulationEngine engine(d, trace, econfig);
+  const auto p = policies::make_policy(policy);
+  const sim::RunResult r = engine.run(*p);
+  double peak = 0.0;
+  for (const double mb : r.keepalive_memory_mb) peak = std::max(peak, mb);
+  return peak;
+}
+
+/// Everything an observer must not change, in one comparable struct.
+struct ResultFingerprint {
+  std::uint64_t invocations = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t warm_starts = 0;
+  std::uint64_t scale_out_cold_starts = 0;
+  std::uint64_t prewarm_starts = 0;
+  std::uint64_t containers_created = 0;
+  sim::FaultCounters faults;
+  double total_service_time_s = 0.0;
+  double total_cost_usd = 0.0;
+  double accuracy_pct_sum = 0.0;
+
+  [[nodiscard]] bool operator==(const ResultFingerprint&) const noexcept = default;
+};
+
+ResultFingerprint fingerprint(const platform::PlatformResult& r) {
+  ResultFingerprint fp;
+  fp.invocations = r.invocations;
+  fp.cold_starts = r.cold_starts;
+  fp.warm_starts = r.warm_starts;
+  fp.scale_out_cold_starts = r.scale_out_cold_starts;
+  fp.prewarm_starts = r.prewarm_starts;
+  fp.containers_created = r.containers_created;
+  fp.faults = r.faults;
+  fp.total_service_time_s = r.total_service_time_s;
+  fp.total_cost_usd = r.total_cost_usd;
+  fp.accuracy_pct_sum = r.accuracy_pct_sum;
+  return fp;
+}
+
+struct ObsOverhead {
+  double disabled_min_s = 0.0;
+  double attached_min_s = 0.0;
+  double overhead_pct = 0.0;
+  bool fingerprints_match = true;
+};
+
+/// Interleaved disabled-vs-attached platform runs (bench_obs_overhead's
+/// pairing trick: adjacent runs share the machine state, so the block-local
+/// floor cancels in the ratio). Hard-fails the caller when an attached
+/// observer perturbs the results.
+ObsOverhead measure_obs_overhead(const models::ModelZoo& zoo, const trace::Trace& trace,
+                                 const fault::FaultConfig& faults, double capacity_mb,
+                                 int reps) {
+  const sim::Deployment d = sim::Deployment::round_robin(zoo, trace.function_count());
+  platform::PlatformConfig base;
+  base.deterministic_latency = true;
+  base.faults = faults;
+  base.memory_capacity_mb = capacity_mb;
+
+  ObsOverhead o;
+  ResultFingerprint reference;
+  bool have_reference = false;
+  double disabled_min = 0.0;
+  double attached_min = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      platform::PlatformSimulator plat(d, trace, base);
+      const auto policy = policies::make_policy("pulse");
+      const auto start = std::chrono::steady_clock::now();
+      const platform::PlatformResult r = plat.run(*policy);
+      const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+      if (!have_reference) {
+        reference = fingerprint(r);
+        have_reference = true;
+      } else if (!(fingerprint(r) == reference)) {
+        o.fingerprints_match = false;
+      }
+      disabled_min = rep == 0 ? wall.count() : std::min(disabled_min, wall.count());
+    }
+    {
+      obs::RingBufferSink sink(8192);
+      obs::MetricsRegistry registry;
+      obs::PhaseProfiler profiler;
+      platform::PlatformConfig observed = base;
+      observed.observer.sink = &sink;
+      observed.observer.metrics = &registry;
+      observed.observer.profiler = &profiler;
+      platform::PlatformSimulator plat(d, trace, observed);
+      const auto policy = policies::make_policy("pulse");
+      const auto start = std::chrono::steady_clock::now();
+      const platform::PlatformResult r = plat.run(*policy);
+      const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+      if (!(fingerprint(r) == reference)) o.fingerprints_match = false;
+      attached_min = rep == 0 ? wall.count() : std::min(attached_min, wall.count());
+    }
+  }
+  o.disabled_min_s = disabled_min;
+  o.attached_min_s = attached_min;
+  o.overhead_pct =
+      disabled_min > 0.0 ? 100.0 * (attached_min - disabled_min) / disabled_min : 0.0;
+  return o;
+}
+
 void BM_PlatformSimulatorDay(benchmark::State& state) {
   trace::WorkloadConfig wconfig;
   wconfig.function_count = 12;
@@ -66,17 +239,103 @@ void BM_PlatformSimulatorDay(benchmark::State& state) {
 }
 BENCHMARK(BM_PlatformSimulatorDay);
 
+void BM_PlatformSimulatorDayFaulted(benchmark::State& state) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = 12;
+  wconfig.duration = trace::kMinutesPerDay;
+  const auto workload = trace::build_azure_like_workload(wconfig);
+  const auto zoo = models::ModelZoo::builtin();
+  const auto d = sim::Deployment::round_robin(zoo, 12);
+  platform::PlatformConfig config;
+  config.faults.crash_rate = 0.02;
+  config.faults.cold_start_failure_rate = 0.05;
+  config.faults.slo_multiplier = 1.5;
+  for (auto _ : state) {
+    platform::PlatformSimulator plat(d, workload.trace, config);
+    const auto policy = policies::make_policy("openwhisk");
+    benchmark::DoNotOptimize(plat.run(*policy));
+  }
+}
+BENCHMARK(BM_PlatformSimulatorDayFaulted);
+
+struct FaultRow {
+  std::string policy;
+  FaultComparison fc;
+};
+
+void write_json(const std::string& path, bool quick, const std::vector<FaultRow>& fault_rows,
+                double capacity_mb, const ObsOverhead& obs, bool pass) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"concurrency\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"fault_parity\": [\n");
+  for (std::size_t i = 0; i < fault_rows.size(); ++i) {
+    const FaultRow& r = fault_rows[i];
+    std::fprintf(
+        out,
+        "    {\"policy\": \"%s\", \"capacity_mb\": %.17g,\n"
+        "     \"minute\": {\"failed\": %llu, \"retries\": %llu, \"timeouts\": %llu, "
+        "\"crash_evictions\": %llu, \"capacity_evictions\": %llu, \"failed_pct\": %.17g},\n"
+        "     \"container\": {\"failed\": %llu, \"retries\": %llu, \"timeouts\": %llu, "
+        "\"crash_evictions\": %llu, \"capacity_evictions\": %llu, \"failed_pct\": %.17g},\n"
+        "     \"cost_delta_pct\": %.17g}%s\n",
+        r.policy.c_str(), capacity_mb, static_cast<unsigned long long>(r.fc.minute.failed_invocations),
+        static_cast<unsigned long long>(r.fc.minute.retries),
+        static_cast<unsigned long long>(r.fc.minute.timeouts),
+        static_cast<unsigned long long>(r.fc.minute.crash_evictions),
+        static_cast<unsigned long long>(r.fc.minute.capacity_evictions), r.fc.minute_failed_pct,
+        static_cast<unsigned long long>(r.fc.container.failed_invocations),
+        static_cast<unsigned long long>(r.fc.container.retries),
+        static_cast<unsigned long long>(r.fc.container.timeouts),
+        static_cast<unsigned long long>(r.fc.container.crash_evictions),
+        static_cast<unsigned long long>(r.fc.container.capacity_evictions),
+        r.fc.container_failed_pct, r.fc.cost_delta_pct,
+        i + 1 < fault_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"obs_overhead\": {\"disabled_min_s\": %.17g, \"attached_min_s\": %.17g, "
+               "\"overhead_pct\": %.17g, \"fingerprints_match\": %s},\n",
+               obs.disabled_min_s, obs.attached_min_s, obs.overhead_pct,
+               obs.fingerprints_match ? "true" : "false");
+  std::fprintf(out, "  \"pass\": %s\n", pass ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pulse;
+
+  bool quick = false;
+  std::string out_path = "BENCH_concurrency.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 1;
+    }
+  }
+
   bench::print_heading(
       "Concurrency ablation — minute-level vs container-granular simulation",
       "validation of the paper's (and this repo's) minute-resolution abstraction");
 
   trace::WorkloadConfig wconfig;
   wconfig.function_count = 12;
-  wconfig.duration = 2 * trace::kMinutesPerDay;
+  wconfig.duration = quick ? trace::kMinutesPerDay : 2 * trace::kMinutesPerDay;
   const auto workload = trace::build_azure_like_workload(wconfig);
 
   // Two zoos: fast models (vision-style, seconds of exec) where the minute
@@ -108,5 +367,61 @@ int main(int argc, char** argv) {
       "GPT-class execution times, overlap adds scale-out cold starts the\n"
       "minute model cannot see. PULSE's orderings hold in both models.\n");
 
-  return bench::run_microbenchmarks(argc, argv);
+  // --- fault / capacity parity: both layers on the same injected faults ---
+  fault::FaultConfig faults;
+  faults.crash_rate = 0.02;
+  faults.cold_start_failure_rate = 0.05;
+  // Tight SLO: with deterministic latency only retry backoff can overshoot
+  // it, so the timeout column isolates the retry-penalty path.
+  faults.slo_multiplier = 1.1;
+  faults.memory_pressure_rate = 0.05;
+  const double peak_mb = probe_keepalive_peak_mb(full_zoo, workload.trace, "openwhisk");
+  const double capacity_mb = 0.6 * peak_mb;
+  faults.memory_pressure_capacity_mb = 0.4 * peak_mb;
+
+  util::TextTable ftable({"Policy", "Layer", "Failed (%)", "Retries", "Timeouts",
+                          "Crash evict", "Capacity evict", "Cost delta (%)"});
+  std::vector<FaultRow> fault_rows;
+  for (const char* policy : {"openwhisk", "pulse"}) {
+    const FaultComparison fc = compare_faults(full_zoo, workload.trace, policy, faults,
+                                              capacity_mb);
+    ftable.add_row({policy, "minute", util::fmt(fc.minute_failed_pct, 2),
+                    std::to_string(fc.minute.retries), std::to_string(fc.minute.timeouts),
+                    std::to_string(fc.minute.crash_evictions),
+                    std::to_string(fc.minute.capacity_evictions), "-"});
+    ftable.add_row({policy, "container", util::fmt(fc.container_failed_pct, 2),
+                    std::to_string(fc.container.retries),
+                    std::to_string(fc.container.timeouts),
+                    std::to_string(fc.container.crash_evictions),
+                    std::to_string(fc.container.capacity_evictions),
+                    util::fmt(fc.cost_delta_pct, 1)});
+    ftable.add_separator();
+    fault_rows.push_back({policy, fc});
+  }
+  std::printf("\nInjected faults on both layers (capacity %.0f MB, pressure floor %.0f MB):\n%s",
+              capacity_mb, faults.memory_pressure_capacity_mb, ftable.render().c_str());
+  std::printf(
+      "\nReading: both layers draw every fault from the same hash-seeded\n"
+      "streams, so the counters track each other; residual deltas come from\n"
+      "scale-out containers the minute abstraction cannot represent.\n");
+
+  // --- observer overhead on the platform path (zero-overhead contract) ---
+  const ObsOverhead obs =
+      measure_obs_overhead(full_zoo, workload.trace, faults, capacity_mb, quick ? 3 : 5);
+  std::printf(
+      "\nobserver on the platform path: disabled %.4f s, attached %.4f s "
+      "(+%.1f%%), results %s\n",
+      obs.disabled_min_s, obs.attached_min_s, obs.overhead_pct,
+      obs.fingerprints_match ? "identical" : "DIVERGED");
+
+  const bool pass = obs.fingerprints_match;
+  write_json(out_path, quick, fault_rows, capacity_mb, obs, pass);
+  if (!pass) {
+    std::fprintf(stderr, "FAIL: attached observer changed platform results\n");
+    return 1;
+  }
+
+  if (quick) return 0;
+  int bench_argc = 1;
+  return bench::run_microbenchmarks(bench_argc, argv);
 }

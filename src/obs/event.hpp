@@ -39,6 +39,11 @@ enum class EventType : std::uint8_t {
   /// A policy-level decision worth tracing (window chosen, MILP solved,
   /// forecast refreshed). `detail` names the decision.
   kPolicyDecision,
+  /// The platform simulator spawned a container at reconcile time to
+  /// satisfy the schedule (no invocation drove it). `value` is the
+  /// cold-start provisioning time in seconds the container pays before
+  /// turning warm.
+  kPrewarm,
 };
 
 /// Stable lower-snake-case name of the event type (the JSONL `type` field).

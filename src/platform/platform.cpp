@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -31,11 +32,22 @@ class SampledHistory final : public sim::MemoryHistory {
   std::vector<double> values_;
 };
 
+/// Pcg32 stream for function f's latency jitter, hash-derived from the
+/// function id (the FaultInjector trick applied to generator streams):
+/// each function owns an independent stream, so adding or removing one
+/// function never shifts another function's samples.
+[[nodiscard]] std::uint64_t latency_stream(trace::FunctionId f) noexcept {
+  std::uint64_t z = (static_cast<std::uint64_t>(f) + 0x9e3779b97f4a7c15ULL) ^ 0x9a7f02ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 PlatformSimulator::PlatformSimulator(const sim::Deployment& deployment,
                                      const trace::Trace& trace, PlatformConfig config)
-    : deployment_(&deployment), trace_(&trace), config_(config) {
+    : deployment_(&deployment), trace_(&trace), config_(std::move(config)) {
   if (deployment.function_count() != trace.function_count()) {
     throw std::invalid_argument("PlatformSimulator: deployment/trace function count mismatch");
   }
@@ -46,13 +58,42 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
   const sim::Deployment& dep = *deployment_;
   const trace::Minute duration = tr.duration();
 
+  // Observability: all three handles are optional; `sink` is the only one
+  // consulted on the per-second hot path, as a single null-check branch.
+  const obs::Observer& obs = config_.observer;
+  obs::TraceSink* const sink = obs.sink;
+  const obs::PhaseTimer run_timer(obs.profiler, obs::Phase::kSimulate);
+  policy.attach_observer(obs.any() ? &config_.observer : nullptr);
+
   PlatformResult result;
   sim::KeepAliveSchedule schedule(dep, duration);
   SampledHistory history;
-  util::Pcg32 rng(config_.seed, /*stream=*/0x9a7f02);
+  std::vector<util::Pcg32> latency_rng;
+  latency_rng.reserve(tr.function_count());
+  for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
+    latency_rng.emplace_back(config_.seed, latency_stream(f));
+  }
+  // Same seed/stream as the minute engine's capacity-eviction generator:
+  // with matching schedules the two layers draw identical victim sequences.
+  util::Pcg32 eviction_rng(config_.seed, /*stream=*/0xeb1c7);
+  std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer;
+
+  const fault::FaultInjector injector(config_.faults);
+  const bool faults_on = injector.config().enabled();
+  // The minute engine marks cold-started containers in the schedule (they
+  // count toward keep-alive memory for the rest of the minute). The
+  // platform's memory accounting runs on the pool instead, so it only
+  // needs that mirroring when the schedule itself is consulted for
+  // platform behaviour — fault injection or a capacity limit. Keeping it
+  // off otherwise preserves bitwise identity with the pre-fault platform.
+  const bool mirror_schedule = faults_on || config_.memory_capacity_mb > 0.0;
 
   std::vector<std::vector<Container>> pool(tr.function_count());
   std::size_t live_containers = 0;
+
+  util::IntHistogram* live_hist =
+      obs.metrics != nullptr ? &obs.metrics->histogram("platform.live_containers", 512)
+                             : nullptr;
 
   auto memory_of = [&](const Container& c, trace::FunctionId f) {
     return dep.family_of(f).variant(c.variant).memory_mb;
@@ -68,12 +109,11 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
   };
 
   auto spawn = [&](trace::FunctionId f, std::size_t variant, double at_s,
-                   double busy_until_s) -> Container& {
+                   double busy_until_s) {
     pool[f].push_back(Container{variant, at_s, busy_until_s});
     ++result.containers_created;
     ++live_containers;
     result.peak_containers = std::max(result.peak_containers, live_containers);
-    return pool[f].back();
   };
 
   auto total_memory = [&] {
@@ -88,6 +128,28 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
 
   for (trace::Minute m = 0; m < duration; ++m) {
     const double minute_start_s = static_cast<double>(m) * kSecondsPerMinute;
+    const double minute_end_s = minute_start_s + kSecondsPerMinute;
+    bool minute_degraded = false;
+
+    // --- injected container crashes ---
+    // Fire at the minute boundary, before reconciliation: the crashed
+    // container's remaining keep-alive stretch is evicted from the
+    // schedule, so the reconcile pass below reaps its warm container and
+    // this minute's invocations (if any) go cold. Identical draw
+    // coordinates to the minute engine.
+    if (faults_on && injector.config().crash_rate > 0.0) {
+      schedule.for_each_alive(m, [&](trace::FunctionId f, std::size_t variant) {
+        if (injector.container_crashes(f, m)) {
+          schedule.evict_from(f, m);
+          ++result.faults.crash_evictions;
+          minute_degraded = true;
+          if (sink != nullptr) {
+            sink->record({obs::EventType::kCrashEviction, m, f,
+                          static_cast<std::int32_t>(variant), 1.0, ""});
+          }
+        }
+      });
+    }
 
     // --- reconcile the warm pool with the keep-alive schedule ---
     for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
@@ -107,11 +169,21 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
         retire(f, i, minute_start_s);
       }
       // Pre-warm the scheduled variant when no live container provides it.
+      // The fresh container pays its cold-start provisioning time: it only
+      // turns warm (idle) once the variant's cold start completes, so an
+      // arrival inside the provisioning window still scales out.
       if (scheduled != sim::kNoVariant) {
         const auto v = static_cast<std::size_t>(scheduled);
         const bool present = std::any_of(pool[f].begin(), pool[f].end(),
                                          [&](const Container& c) { return c.variant == v; });
-        if (!present) spawn(f, v, minute_start_s, minute_start_s);
+        if (!present) {
+          const double provision_s = dep.family_of(f).variant(v).cold_start_time_s;
+          spawn(f, v, minute_start_s, minute_start_s + provision_s);
+          ++result.prewarm_starts;
+          if (sink != nullptr) {
+            sink->record({obs::EventType::kPrewarm, m, f, scheduled, provision_s, ""});
+          }
+        }
       }
     }
 
@@ -120,6 +192,7 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
       const std::uint32_t count = tr.count(f, m);
       if (count == 0) continue;
       const models::ModelFamily& family = dep.family_of(f);
+      util::Pcg32& rng = latency_rng[f];
 
       for (std::uint32_t i = 0; i < count; ++i) {
         double arrival_s = minute_start_s;
@@ -130,7 +203,7 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
 
         // Prefer an idle container (any variant the pool holds).
         Container* idle = nullptr;
-        bool any_live = !pool[f].empty();
+        const bool any_live = !pool[f].empty();
         for (Container& c : pool[f]) {
           if (c.busy_until_s <= arrival_s) {
             idle = &c;
@@ -140,46 +213,188 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
 
         double service_s;
         std::size_t served_variant;
+        bool cold;
         if (idle != nullptr) {
+          cold = false;
           served_variant = idle->variant;
           const auto& variant = family.variant(served_variant);
           service_s = config_.deterministic_latency
                           ? models::LatencyModel::expected_service_time(variant, false)
                           : config_.latency.sample_service_time(variant, false, rng);
-          idle->busy_until_s = arrival_s + service_s;
-          ++result.warm_starts;
         } else {
-          // Scale-out or fresh cold start.
-          served_variant = any_live ? pool[f].front().variant
-                                    : policy.cold_start_variant(f, m, dep);
+          // Scale-out or fresh cold start: serve the variant the schedule
+          // currently prescribes, not whatever container happens to sit at
+          // the front of the pool (reap order made that a stale variant
+          // after downgrades). With nothing scheduled, fall back to the
+          // policy's cold-start choice — the minute engine's exact rule.
+          cold = true;
+          const int scheduled_now = schedule.variant_at(f, m);
+          served_variant = scheduled_now != sim::kNoVariant
+                               ? static_cast<std::size_t>(scheduled_now)
+                               : policy.cold_start_variant(f, m, dep);
           const auto& variant = family.variant(served_variant);
+
+          // Injected cold-start failures: the bounded retry loop shares
+          // the minute engine's (f, m) draw coordinates, so every spawn
+          // attempt of this minute sees the same outcome and a failed
+          // minute fails all of its invocations on both layers.
+          double cold_retry_penalty_s = 0.0;
+          if (faults_on) {
+            const fault::ColdStartOutcome cs = injector.cold_start(f, m);
+            result.faults.retries += cs.retries;
+            cold_retry_penalty_s = cs.retry_penalty_s;
+            if (cs.retries > 0 || !cs.succeeded) minute_degraded = true;
+            if (!cs.succeeded) {
+              ++result.faults.failed_invocations;
+              if (sink != nullptr) {
+                sink->record({obs::EventType::kFault, m, f,
+                              static_cast<std::int32_t>(served_variant), 1.0,
+                              "cold_start_failure"});
+              }
+              continue;  // no container starts; the invocation is lost
+            }
+            if (sink != nullptr && cs.retries > 0) {
+              sink->record({obs::EventType::kFault, m, f,
+                            static_cast<std::int32_t>(served_variant),
+                            static_cast<double>(cs.retries), "cold_start_retry"});
+            }
+          }
+
           service_s = config_.deterministic_latency
                           ? models::LatencyModel::expected_service_time(variant, true)
                           : config_.latency.sample_service_time(variant, true, rng);
+          service_s += cold_retry_penalty_s;
+          if (mirror_schedule && scheduled_now == sim::kNoVariant) {
+            // The cold-started container exists for the rest of this
+            // minute; the minute engine counts it toward keep-alive memory
+            // at m, which the capacity/crash logic below consults.
+            schedule.set(f, m, static_cast<int>(served_variant));
+          }
+        }
+
+        const auto& variant = family.variant(served_variant);
+        double accuracy_credit = variant.accuracy_pct;
+        if (faults_on) {
+          // Per-variant SLO: the client abandons at the deadline, so the
+          // time is clipped there and no accuracy is delivered. The
+          // container is freed at the deadline too.
+          const double slo = injector.timeout_slo_s(
+              models::LatencyModel::expected_service_time(variant, cold));
+          if (slo > 0.0 && service_s > slo) {
+            service_s = slo;
+            accuracy_credit = 0.0;
+            ++result.faults.timeouts;
+            minute_degraded = true;
+            if (sink != nullptr) {
+              sink->record({obs::EventType::kFault, m, f,
+                            static_cast<std::int32_t>(served_variant), slo, "slo_timeout"});
+            }
+          }
+        }
+
+        if (idle != nullptr) {
+          idle->busy_until_s = arrival_s + service_s;
+          ++result.warm_starts;
+        } else {
           spawn(f, served_variant, arrival_s, arrival_s + service_s);
           ++result.cold_starts;
           if (any_live) ++result.scale_out_cold_starts;
         }
+        if (sink != nullptr) {
+          sink->record({cold ? obs::EventType::kColdStart : obs::EventType::kWarmStart, m,
+                        f, static_cast<std::int32_t>(served_variant), 1.0, ""});
+        }
 
         result.total_service_time_s += service_s;
-        result.accuracy_pct_sum += family.variant(served_variant).accuracy_pct;
+        result.accuracy_pct_sum += accuracy_credit;
         ++result.invocations;
       }
 
+      // The policy observes the arrival even when the platform failed to
+      // serve it — predictors track demand, not fulfillment.
       policy.on_invocation(f, m, schedule);
     }
 
     policy.end_of_minute(m, schedule, history);
 
+    // --- capacity pressure ---
+    // Mirrors the minute engine: injected memory-pressure spikes tighten
+    // the configured capacity; while the *schedule* exceeds it, random
+    // kept containers are evicted (same seeded generator, so with matching
+    // schedules the victim sequence is identical). The victim's idle
+    // containers die with the schedule entry, charged as if minute m never
+    // happened — exactly what evicting minute m from the schedule does to
+    // the engine's cost.
+    double capacity_mb = config_.memory_capacity_mb;
+    if (faults_on) {
+      capacity_mb = injector.effective_capacity_mb(capacity_mb, m);
+      if (injector.under_memory_pressure(m)) minute_degraded = true;
+    }
+    if (capacity_mb > 0.0 && schedule.memory_exceeds(m, capacity_mb)) {
+      if (sink != nullptr) {
+        sink->record({obs::EventType::kCapacityPressure, m, obs::TraceEvent::kNoFunction,
+                      -1, schedule.memory_at(m) - capacity_mb, ""});
+      }
+      schedule.kept_alive_at(m, kept_buffer);
+      while (!kept_buffer.empty()) {
+        const auto idx = eviction_rng.bounded(static_cast<std::uint32_t>(kept_buffer.size()));
+        const auto victim = kept_buffer[static_cast<std::size_t>(idx)];
+        schedule.evict_from(victim.first, m);
+        kept_buffer.erase(kept_buffer.begin() + idx);
+        ++result.faults.capacity_evictions;
+        for (std::size_t i = pool[victim.first].size(); i-- > 0;) {
+          if (pool[victim.first][i].busy_until_s <= minute_end_s) {
+            retire(victim.first, i, minute_start_s);
+          }
+        }
+        if (sink != nullptr) {
+          sink->record({obs::EventType::kEviction, m, victim.first,
+                        static_cast<std::int32_t>(victim.second), 1.0, "capacity"});
+        }
+        if (!schedule.memory_exceeds(m, capacity_mb)) break;
+      }
+    }
+    if (minute_degraded) ++result.faults.degraded_minutes;
+
     const double mem = total_memory();
     history.push(mem);
     if (config_.record_series) result.memory_mb.push_back(mem);
+    if (live_hist != nullptr) live_hist->add(live_containers);
   }
 
   // Flush the remaining containers' cost at the horizon.
   const double end_s = static_cast<double>(duration) * kSecondsPerMinute;
   for (trace::FunctionId f = 0; f < pool.size(); ++f) {
     for (std::size_t i = pool[f].size(); i-- > 0;) retire(f, i, end_s);
+  }
+
+  result.downgrades = policy.downgrade_count();
+  result.faults.guard_incidents = policy.incident_count();
+
+  // Fold the run's aggregates into the registry (one batch of adds at the
+  // end; zero hot-path cost) and snapshot it into the result.
+  if (obs.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *obs.metrics;
+    reg.counter("platform.runs").add(1);
+    reg.counter("platform.invocations").add(result.invocations);
+    reg.counter("platform.warm_starts").add(result.warm_starts);
+    reg.counter("platform.cold_starts").add(result.cold_starts);
+    reg.counter("platform.scale_out_cold_starts").add(result.scale_out_cold_starts);
+    reg.counter("platform.containers_created").add(result.containers_created);
+    reg.counter("platform.prewarm_starts").add(result.prewarm_starts);
+    reg.counter("platform.downgrades").add(result.downgrades);
+    reg.counter("platform.capacity_evictions").add(result.faults.capacity_evictions);
+    reg.counter("platform.crash_evictions").add(result.faults.crash_evictions);
+    reg.counter("platform.failed_invocations").add(result.faults.failed_invocations);
+    reg.counter("platform.retries").add(result.faults.retries);
+    reg.counter("platform.timeouts").add(result.faults.timeouts);
+    reg.counter("platform.degraded_minutes").add(result.faults.degraded_minutes);
+    reg.counter("platform.guard_incidents").add(result.faults.guard_incidents);
+    reg.gauge("platform.service_time_s").add(result.total_service_time_s);
+    reg.gauge("platform.cost_usd").add(result.total_cost_usd);
+    reg.gauge("platform.peak_containers")
+        .max_with(static_cast<double>(result.peak_containers));
+    result.metrics = reg.snapshot();
   }
   return result;
 }

@@ -17,14 +17,24 @@
 //     minute engine): scheduled functions keep one pre-warmed container of
 //     the scheduled variant; unscheduled idle containers are reaped.
 //
+// Feature parity with the minute engine: the same hash-seeded
+// fault::FaultInjector drives container crashes, cold-start retry/backoff,
+// SLO timeouts and memory-pressure spikes; a memory capacity limit evicts
+// kept containers with the engine's deterministic eviction order; and the
+// obs::Observer layer (events, metrics, phase profiling) threads through
+// reconcile/serve/retire under the same zero-overhead contract.
+//
 // Its purpose is cross-validation: on low-concurrency workloads it must
-// agree with the minute engine (tests assert this), and on bursty ones it
-// quantifies the abstraction's error (bench_concurrency).
+// agree with the minute engine — including fault counters and total cost
+// under identical FaultConfig seeds (tests assert this) — and on bursty
+// ones it quantifies the abstraction's error (bench_concurrency).
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "models/latency.hpp"
+#include "obs/observer.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/deployment.hpp"
 #include "sim/metrics.hpp"
@@ -45,7 +55,9 @@ struct PlatformConfig {
   /// Use expected service times (exact arithmetic for tests).
   bool deterministic_latency = false;
 
-  /// Seed for latency jitter and intra-minute arrival spreading.
+  /// Seed for latency jitter and intra-minute arrival spreading. Jitter is
+  /// drawn from per-function hashed streams (the FaultInjector trick), so
+  /// adding a function never perturbs another function's samples.
   std::uint64_t seed = 1;
 
   /// Spread each minute's invocations uniformly over its 60 seconds (true)
@@ -55,6 +67,24 @@ struct PlatformConfig {
 
   /// Record the per-minute memory series (sampled at minute boundaries).
   bool record_series = false;
+
+  /// Absolute keep-alive memory capacity, MB (0 = unlimited). Mirrors
+  /// EngineConfig::memory_capacity_mb: when the keep-alive schedule exceeds
+  /// it at the end of a minute, kept containers are evicted in the minute
+  /// engine's deterministic (seeded) random order until it fits.
+  double memory_capacity_mb = 0.0;
+
+  /// Fault injection (crashes, cold-start failures, SLO timeouts, memory
+  /// pressure). Zero rates leave the run bitwise identical to one without
+  /// any injector: fault decisions are hash-derived from FaultConfig::seed
+  /// and consume no simulator RNG state.
+  fault::FaultConfig faults{};
+
+  /// Observability context: optional event sink, metrics registry, and
+  /// phase profiler (all non-owning; default fully disabled). Attaching
+  /// any of them leaves PlatformResult bitwise identical — the layer
+  /// observes, it never steers.
+  obs::Observer observer{};
 };
 
 struct PlatformResult {
@@ -69,6 +99,11 @@ struct PlatformResult {
   /// Containers created over the run (pre-warms + cold starts).
   std::uint64_t containers_created = 0;
 
+  /// Containers spawned at reconcile time to satisfy the schedule (no
+  /// invocation drove them). Each pays its variant's cold-start
+  /// provisioning time before turning warm.
+  std::uint64_t prewarm_starts = 0;
+
   /// Largest number of simultaneously live containers.
   std::size_t peak_containers = 0;
 
@@ -79,8 +114,20 @@ struct PlatformResult {
   /// the same cost model as the minute engine).
   double total_cost_usd = 0.0;
 
+  /// Downgrades performed by the policy's cross-function optimizer.
+  std::uint64_t downgrades = 0;
+
+  /// Fault tallies (all zero unless PlatformConfig::faults has nonzero
+  /// rates or a capacity limit is set). Same struct the minute engine
+  /// reports, so parity tests compare them with one ==.
+  sim::FaultCounters faults;
+
   /// Per-minute container-memory samples (PlatformConfig::record_series).
   std::vector<double> memory_mb;
+
+  /// Snapshot of the attached obs::MetricsRegistry taken at the end of the
+  /// run; empty when no registry was attached.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] double average_accuracy_pct() const noexcept {
     return invocations ? accuracy_pct_sum / static_cast<double>(invocations) : 0.0;
@@ -88,6 +135,12 @@ struct PlatformResult {
   [[nodiscard]] double warm_start_fraction() const noexcept {
     return invocations ? static_cast<double>(warm_starts) / static_cast<double>(invocations)
                        : 0.0;
+  }
+  [[nodiscard]] double failed_fraction() const noexcept {
+    const std::uint64_t attempted = invocations + faults.failed_invocations;
+    return attempted ? static_cast<double>(faults.failed_invocations) /
+                           static_cast<double>(attempted)
+                     : 0.0;
   }
 };
 

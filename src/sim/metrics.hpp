@@ -28,6 +28,39 @@ struct FunctionMetrics {
   }
 };
 
+/// The fault/robustness tallies shared by the minute engine's RunResult and
+/// the platform simulator's PlatformResult. Both layers derive every fault
+/// decision from the same hash-seeded fault::FaultInjector, so on
+/// low-concurrency traces the two engines must produce *identical* counter
+/// sets — tests/platform/platform_fault_test.cpp compares these structs
+/// directly.
+struct FaultCounters {
+  /// Invocations that could not be served: their cold start exhausted every
+  /// retry. They contribute no service time or accuracy credit.
+  std::uint64_t failed_invocations = 0;
+
+  /// Cold-start retry attempts performed (each pays exponential backoff).
+  std::uint64_t retries = 0;
+
+  /// Invocations abandoned at their per-variant SLO deadline.
+  std::uint64_t timeouts = 0;
+
+  /// Kept-alive containers evicted by injected crashes.
+  std::uint64_t crash_evictions = 0;
+
+  /// Containers forcibly evicted because keep-alive memory exceeded the
+  /// configured (or pressure-tightened) capacity.
+  std::uint64_t capacity_evictions = 0;
+
+  /// Minutes in which at least one fault event fired.
+  std::uint64_t degraded_minutes = 0;
+
+  /// Incidents absorbed by a fault::GuardedPolicy wrapper.
+  std::uint64_t guard_incidents = 0;
+
+  [[nodiscard]] bool operator==(const FaultCounters&) const noexcept = default;
+};
+
 struct RunResult {
   /// Cumulative service time over every invocation (cold start + execution),
   /// seconds. The paper's "Service Time" metric.
@@ -86,6 +119,14 @@ struct RunResult {
     const std::uint64_t attempted = invocations + failed_invocations;
     return attempted ? static_cast<double>(failed_invocations) / static_cast<double>(attempted)
                      : 0.0;
+  }
+
+  /// The fault tallies gathered into the shared cross-engine struct (the
+  /// platform parity tests compare this against PlatformResult's).
+  [[nodiscard]] FaultCounters fault_counters() const noexcept {
+    return FaultCounters{failed_invocations, retries,           timeouts,
+                         crash_evictions,    capacity_evictions, degraded_minutes,
+                         guard_incidents};
   }
 
   /// Per-minute series (empty unless EngineConfig::record_series).

@@ -33,6 +33,7 @@ TEST(EventType, StableNames) {
   EXPECT_STREQ(to_string(EventType::kFault), "fault");
   EXPECT_STREQ(to_string(EventType::kCapacityPressure), "capacity_pressure");
   EXPECT_STREQ(to_string(EventType::kPolicyDecision), "policy_decision");
+  EXPECT_STREQ(to_string(EventType::kPrewarm), "prewarm");
 }
 
 TEST(RingBufferSink, RecordsInOrderBelowCapacity) {

@@ -1,0 +1,438 @@
+// Platform-layer fault/capacity/observability parity with the minute
+// engine, plus regression tests for the platform accounting bugfix sweep
+// (stale scale-out variants, free pre-warms, shared latency rng streams).
+//
+// The central invariant: both layers derive every fault decision from the
+// same hash-seeded fault::FaultInjector, so on a low-concurrency trace
+// (counts <= 1, inter-arrival gaps >= 2 minutes, executions far below a
+// minute) the two simulations must report *identical* fault counters and
+// the same keep-alive cost.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fault/guarded_policy.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
+#include "platform/platform.hpp"
+#include "policies/fixed_keepalive.hpp"
+#include "sim/engine.hpp"
+
+namespace pulse::platform {
+namespace {
+
+/// One family with round numbers: warm 2 s, cold penalty 8 s.
+models::ModelZoo test_zoo() {
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Test", "t", "d",
+      {models::ModelVariant{"low", 1.0, 4.0, 70.0, 100.0},
+       models::ModelVariant{"high", 2.0, 8.0, 90.0, 300.0}}));
+  return zoo;
+}
+
+/// Low-concurrency parity trace: one invocation at a time, per-function
+/// inter-arrival gaps of at least 7 minutes, so container-granular and
+/// minute-granular execution see exactly the same warm/cold pattern.
+trace::Trace parity_trace(trace::FunctionId functions, trace::Minute duration) {
+  trace::Trace t(functions, duration);
+  constexpr int kGaps[] = {7, 11, 13, 17, 19, 23};
+  for (trace::FunctionId f = 0; f < functions; ++f) {
+    const int gap = kGaps[f % (sizeof(kGaps) / sizeof(kGaps[0]))];
+    for (trace::Minute m = static_cast<trace::Minute>(f) + 1; m < duration; m += gap) {
+      t.set_count(f, m, 1);
+    }
+  }
+  return t;
+}
+
+fault::FaultConfig parity_faults() {
+  fault::FaultConfig faults;
+  faults.crash_rate = 0.10;
+  faults.cold_start_failure_rate = 0.20;
+  faults.max_cold_start_retries = 2;
+  faults.retry_backoff_base_s = 0.6;
+  // Cold SLO = 1.05 * 10 s = 10.5 s: any retried cold start (penalty
+  // >= 0.6 s) overshoots it, so timeouts fire deterministically.
+  faults.slo_multiplier = 1.05;
+  faults.memory_pressure_rate = 0.15;
+  faults.memory_pressure_capacity_mb = 350.0;
+  return faults;
+}
+
+TEST(PlatformFaultParity, CountersAndCostMatchMinuteEngine) {
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 4);
+  const trace::Trace t = parity_trace(4, 500);
+  const fault::FaultConfig faults = parity_faults();
+
+  sim::EngineConfig econfig;
+  econfig.deterministic_latency = true;
+  econfig.seed = 5;
+  econfig.faults = faults;
+  econfig.memory_capacity_mb = 650.0;
+  sim::SimulationEngine engine(d, t, econfig);
+  policies::FixedKeepAlivePolicy minute_policy;
+  const sim::RunResult minute = engine.run(minute_policy);
+
+  PlatformConfig pconfig;
+  pconfig.deterministic_latency = true;
+  pconfig.seed = 5;
+  pconfig.faults = faults;
+  pconfig.memory_capacity_mb = 650.0;
+  PlatformSimulator platform(d, t, pconfig);
+  policies::FixedKeepAlivePolicy platform_policy;
+  const PlatformResult container = platform.run(platform_policy);
+
+  // The faults must actually have fired for this test to mean anything.
+  EXPECT_GT(container.faults.crash_evictions, 0u);
+  EXPECT_GT(container.faults.retries, 0u);
+  EXPECT_GT(container.faults.failed_invocations, 0u);
+  EXPECT_GT(container.faults.timeouts, 0u);
+  EXPECT_GT(container.faults.capacity_evictions, 0u);
+  EXPECT_GT(container.faults.degraded_minutes, 0u);
+
+  // Identical fault counters: one shared struct, one comparison.
+  EXPECT_EQ(minute.fault_counters(), container.faults);
+
+  // And identical serving behaviour on the low-concurrency trace.
+  EXPECT_EQ(container.invocations, minute.invocations);
+  EXPECT_EQ(container.cold_starts, minute.cold_starts);
+  EXPECT_EQ(container.warm_starts, minute.warm_starts);
+  EXPECT_EQ(container.scale_out_cold_starts, 0u);
+  EXPECT_DOUBLE_EQ(container.total_service_time_s, minute.total_service_time_s);
+  EXPECT_DOUBLE_EQ(container.accuracy_pct_sum, minute.accuracy_pct_sum);
+
+  // Cost: same container residency, accumulated per-container instead of
+  // per-minute, so allow only floating-point regrouping error.
+  EXPECT_NEAR(container.total_cost_usd, minute.total_keepalive_cost_usd,
+              1e-9 * minute.total_keepalive_cost_usd);
+}
+
+TEST(PlatformFaultParity, ZeroRateFaultConfigAndCapacityIsIdentity) {
+  // A zero-rate injector and no capacity limit must be observationally
+  // absent: bitwise-identical PlatformResult, jitter included.
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 3);
+  const trace::Trace t = parity_trace(3, 300);
+
+  PlatformConfig plain;
+  plain.seed = 9;
+  plain.record_series = true;
+
+  PlatformConfig zeroed = plain;
+  zeroed.faults = fault::FaultConfig{};  // all rates zero
+  zeroed.faults.seed = 0xabcdef;         // seed alone must not matter
+  zeroed.memory_capacity_mb = 0.0;
+
+  policies::FixedKeepAlivePolicy p1;
+  policies::FixedKeepAlivePolicy p2;
+  const PlatformResult a = PlatformSimulator(d, t, plain).run(p1);
+  const PlatformResult b = PlatformSimulator(d, t, zeroed).run(p2);
+
+  EXPECT_EQ(a.invocations, b.invocations);
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.warm_starts, b.warm_starts);
+  EXPECT_EQ(a.containers_created, b.containers_created);
+  EXPECT_EQ(a.prewarm_starts, b.prewarm_starts);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_DOUBLE_EQ(a.total_service_time_s, b.total_service_time_s);
+  EXPECT_DOUBLE_EQ(a.total_cost_usd, b.total_cost_usd);
+  EXPECT_DOUBLE_EQ(a.accuracy_pct_sum, b.accuracy_pct_sum);
+  EXPECT_EQ(a.memory_mb, b.memory_mb);
+}
+
+TEST(PlatformObservability, AttachedObserverNeverChangesResults) {
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 3);
+  const trace::Trace t = parity_trace(3, 300);
+
+  PlatformConfig config;
+  config.seed = 7;
+  config.faults = parity_faults();
+  config.memory_capacity_mb = 650.0;
+
+  policies::FixedKeepAlivePolicy p1;
+  const PlatformResult plain = PlatformSimulator(d, t, config).run(p1);
+
+  obs::RingBufferSink sink(4096);
+  obs::MetricsRegistry registry;
+  obs::PhaseProfiler profiler;
+  PlatformConfig observed = config;
+  observed.observer.sink = &sink;
+  observed.observer.metrics = &registry;
+  observed.observer.profiler = &profiler;
+  policies::FixedKeepAlivePolicy p2;
+  const PlatformResult traced = PlatformSimulator(d, t, observed).run(p2);
+
+  // The layer observes, it never steers.
+  EXPECT_EQ(plain.invocations, traced.invocations);
+  EXPECT_EQ(plain.faults, traced.faults);
+  EXPECT_DOUBLE_EQ(plain.total_service_time_s, traced.total_service_time_s);
+  EXPECT_DOUBLE_EQ(plain.total_cost_usd, traced.total_cost_usd);
+  EXPECT_DOUBLE_EQ(plain.accuracy_pct_sum, traced.accuracy_pct_sum);
+
+  // And it actually observed: events flowed, metrics folded, the run span
+  // was profiled, and the snapshot landed in the result.
+  EXPECT_GT(sink.recorded(), 0u);
+  EXPECT_EQ(profiler.stats(obs::Phase::kSimulate).calls, 1u);
+  EXPECT_TRUE(plain.metrics.empty());
+  ASSERT_FALSE(traced.metrics.empty());
+  EXPECT_EQ(traced.metrics.counter_or("platform.invocations"), traced.invocations);
+  EXPECT_EQ(traced.metrics.counter_or("platform.prewarm_starts"), traced.prewarm_starts);
+  EXPECT_EQ(traced.metrics.counter_or("platform.crash_evictions"),
+            traced.faults.crash_evictions);
+  EXPECT_EQ(traced.metrics.counter_or("platform.capacity_evictions"),
+            traced.faults.capacity_evictions);
+}
+
+TEST(PlatformCapacity, EvictionsKeepKeptMemoryUnderTheLimit) {
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 4);
+  const trace::Trace t = parity_trace(4, 400);
+
+  PlatformConfig config;
+  config.deterministic_latency = true;
+  config.record_series = true;
+  config.memory_capacity_mb = 650.0;  // fixed-high keeps 4 x 300 MB otherwise
+
+  PlatformSimulator platform(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const PlatformResult r = platform.run(policy);
+
+  EXPECT_GT(r.faults.capacity_evictions, 0u);
+  for (std::size_t m = 0; m < r.memory_mb.size(); ++m) {
+    EXPECT_LE(r.memory_mb[m], 650.0) << "minute " << m;
+  }
+}
+
+/// Schedules `first_minute_variant` for minute 0 and `rest_variant` for
+/// every later minute; cold-starts on the family's highest variant.
+class PinnedSchedulePolicy : public sim::KeepAlivePolicy {
+ public:
+  PinnedSchedulePolicy(int first, int rest, trace::Minute rest_from = 1)
+      : first_(first), rest_(rest), rest_from_(rest_from) {}
+  [[nodiscard]] std::string name() const override { return "pinned"; }
+  void initialize(const sim::Deployment& deployment, const trace::Trace& trace,
+                  sim::KeepAliveSchedule& schedule) override {
+    (void)deployment;
+    for (trace::FunctionId f = 0; f < trace.function_count(); ++f) {
+      schedule.fill(f, 0, 1, first_);
+      schedule.fill(f, rest_from_, trace.duration(), rest_);
+    }
+  }
+  void on_invocation(trace::FunctionId, trace::Minute, sim::KeepAliveSchedule&) override {}
+
+ private:
+  int first_;
+  int rest_;
+  trace::Minute rest_from_;
+};
+
+TEST(PlatformBugfix, ScaleOutServesScheduledVariantNotPoolFront) {
+  // Regression for the stale scale-out variant: after the schedule
+  // downgrades to the low variant, a scale-out must serve the *scheduled*
+  // variant even while a busy high-variant container sits at the front of
+  // the pool (swap-remove reap order put it there).
+  models::ModelZoo zoo;
+  zoo.add_family(models::ModelFamily(
+      "Two", "t", "d",
+      {models::ModelVariant{"low", 2.0, 4.0, 70.0, 100.0},
+       models::ModelVariant{"high", 70.0, 5.0, 95.0, 300.0}}));
+  const auto d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 5);
+  t.set_count(0, 0, 1);
+  t.set_count(0, 1, 2);
+
+  PlatformConfig config;
+  config.deterministic_latency = true;
+  PlatformSimulator sim(d, t, config);
+  PinnedSchedulePolicy policy(/*first=*/1, /*rest=*/0);
+  const PlatformResult r = sim.run(policy);
+
+  // Minute 0: the pre-warm is provisioning, so the arrival scales out on
+  // the scheduled high variant (95%), busy across the minute boundary.
+  // Minute 1: the schedule says low; the first arrival finds high busy and
+  // the fresh low pre-warm still provisioning -> scale-out must serve LOW
+  // (70%), not the stale high container at the pool front. The second
+  // arrival reuses the now-idle high container (95%).
+  EXPECT_DOUBLE_EQ(r.accuracy_pct_sum, 95.0 + 70.0 + 95.0);
+  EXPECT_EQ(r.cold_starts, 2u);
+  EXPECT_EQ(r.warm_starts, 1u);
+}
+
+TEST(PlatformBugfix, PrewarmPaysColdStartProvisioning) {
+  // Regression for free pre-warms: a reconcile-time pre-warm is busy until
+  // its variant's cold start completes, so an arrival inside the
+  // provisioning window still pays a (scale-out) cold start, and the
+  // pre-warm is counted.
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 1);
+  trace::Trace t(1, 8);
+  t.set_count(0, 3, 1);
+  t.set_count(0, 5, 1);
+
+  PlatformConfig config;
+  config.deterministic_latency = true;
+  PlatformSimulator sim(d, t, config);
+  // Schedule the high variant starting exactly at the first arrival's
+  // minute, so the arrival lands inside the pre-warm's provisioning window.
+  PinnedSchedulePolicy policy(/*first=*/sim::kNoVariant, /*rest=*/1, /*rest_from=*/3);
+  const PlatformResult r = sim.run(policy);
+
+  EXPECT_EQ(r.prewarm_starts, 1u);
+  EXPECT_EQ(r.cold_starts, 1u);  // the minute-3 arrival, 8 s into provisioning
+  EXPECT_EQ(r.scale_out_cold_starts, 1u);
+  EXPECT_EQ(r.warm_starts, 1u);  // the minute-5 arrival
+  EXPECT_EQ(r.containers_created, 2u);
+
+  // Provisioning accounting: the pre-warm (spawned at minute 3, retired by
+  // the minute-4 reconcile in favour of the scale-out copy) is charged like
+  // any other container residency.
+  EXPECT_GT(r.total_cost_usd, 0.0);
+}
+
+TEST(PlatformBugfix, LatencyJitterStreamsArePerFunction) {
+  // Regression for rng stream hygiene: function 0's samples must not
+  // depend on what other functions do. With per-function hashed streams,
+  // a combined two-function run decomposes exactly into the two
+  // single-function runs; the old shared stream interleaved the draws and
+  // broke this additivity.
+  const auto zoo = test_zoo();
+  PlatformConfig config;
+  config.seed = 42;  // jittered: deterministic_latency stays false
+
+  trace::Trace both(2, 120);
+  trace::Trace only_a(1, 120);
+  trace::Trace only_b(2, 120);  // function 1 alone, at its combined-run id
+  for (trace::Minute m = 1; m < 120; m += 4) {
+    both.set_count(0, m, 1);
+    only_a.set_count(0, m, 1);
+  }
+  for (trace::Minute m = 3; m < 120; m += 6) {
+    both.set_count(1, m, 1);
+    only_b.set_count(1, m, 1);
+  }
+
+  const auto d2 = sim::Deployment::round_robin(zoo, 2);
+  const auto d1 = sim::Deployment::round_robin(zoo, 1);
+  policies::FixedKeepAlivePolicy pab, pa, pb;
+  const PlatformResult ab = PlatformSimulator(d2, both, config).run(pab);
+  const PlatformResult a = PlatformSimulator(d1, only_a, config).run(pa);
+  const PlatformResult b = PlatformSimulator(d2, only_b, config).run(pb);
+
+  EXPECT_EQ(ab.invocations, a.invocations + b.invocations);
+  EXPECT_EQ(ab.cold_starts, a.cold_starts + b.cold_starts);
+  EXPECT_NEAR(ab.total_service_time_s, a.total_service_time_s + b.total_service_time_s,
+              1e-9 * ab.total_service_time_s);
+}
+
+TEST(PlatformBugfix, LatencyJitterFixture) {
+  // Pinned fixture for the per-function jitter streams: guards the exact
+  // sample sequence against accidental stream reshuffles.
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 2);
+  trace::Trace t(2, 120);
+  for (trace::Minute m = 1; m < 120; m += 4) t.set_count(0, m, 1);
+  for (trace::Minute m = 3; m < 120; m += 6) t.set_count(1, m, 1);
+
+  PlatformConfig config;
+  config.seed = 42;
+  PlatformSimulator sim(d, t, config);
+  policies::FixedKeepAlivePolicy policy;
+  const PlatformResult r = sim.run(policy);
+
+  EXPECT_EQ(r.invocations, 50u);
+  EXPECT_NEAR(r.total_service_time_s, 115.16685373808112, 1e-6 * r.total_service_time_s);
+  EXPECT_NEAR(r.total_cost_usd, 0.14042, 1e-6 * r.total_cost_usd);
+}
+
+/// Throws from end_of_minute once the trace passes minute 5.
+class ExplodingPolicy : public sim::KeepAlivePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "exploding"; }
+  void on_invocation(trace::FunctionId f, trace::Minute t,
+                     sim::KeepAliveSchedule& schedule) override {
+    schedule.fill(f, t + 1, t + 3, 0);
+  }
+  void end_of_minute(trace::Minute t, sim::KeepAliveSchedule&,
+                     const sim::MemoryHistory&) override {
+    if (t >= 5) throw std::runtime_error("solver exploded");
+  }
+};
+
+TEST(PlatformGuardedPolicy, GuardAbsorbsIncidentsOnThePlatformPath) {
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 2);
+  const trace::Trace t = parity_trace(2, 200);
+
+  PlatformConfig config;
+  config.deterministic_latency = true;
+  PlatformSimulator sim(d, t, config);
+  fault::GuardedPolicy guarded(std::make_unique<ExplodingPolicy>());
+  const PlatformResult r = sim.run(guarded);
+
+  // The run completes with honest metrics; the guard tripped and reported.
+  EXPECT_EQ(r.invocations, t.total_invocations());
+  EXPECT_TRUE(guarded.degraded());
+  EXPECT_GE(r.faults.guard_incidents, 1u);
+  EXPECT_EQ(r.faults.guard_incidents, guarded.incident_count());
+}
+
+TEST(PlatformEnsemble, ThreadedRunsAreDeterministicAndMergeable) {
+  // Ensemble-style use: several PlatformSimulators with fault injection on
+  // separate threads, each with its own metrics registry (the engine
+  // ensemble's per-slot pattern), merged after the join. TSan runs this in
+  // CI; the merged counters must be thread-count invariant.
+  const auto zoo = test_zoo();
+  const auto d = sim::Deployment::round_robin(zoo, 4);
+  const trace::Trace t = parity_trace(4, 300);
+
+  PlatformConfig config;
+  config.deterministic_latency = true;
+  config.faults = parity_faults();
+  config.memory_capacity_mb = 650.0;
+
+  policies::FixedKeepAlivePolicy ref_policy;
+  const PlatformResult reference = PlatformSimulator(d, t, config).run(ref_policy);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<PlatformResult> results(kThreads);
+  std::vector<obs::MetricsRegistry> registries(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      PlatformConfig local = config;
+      local.observer.metrics = &registries[i];
+      PlatformSimulator sim(d, t, local);
+      policies::FixedKeepAlivePolicy policy;
+      results[i] = sim.run(policy);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  obs::MetricsRegistry merged;
+  for (const auto& reg : registries) merged.merge(reg);
+  const obs::MetricsSnapshot snapshot = merged.snapshot();
+
+  for (const PlatformResult& r : results) {
+    EXPECT_EQ(r.invocations, reference.invocations);
+    EXPECT_EQ(r.faults, reference.faults);
+    EXPECT_DOUBLE_EQ(r.total_service_time_s, reference.total_service_time_s);
+    EXPECT_DOUBLE_EQ(r.total_cost_usd, reference.total_cost_usd);
+  }
+  EXPECT_EQ(snapshot.counter_or("platform.runs"), kThreads);
+  EXPECT_EQ(snapshot.counter_or("platform.invocations"),
+            kThreads * reference.invocations);
+  EXPECT_EQ(snapshot.counter_or("platform.crash_evictions"),
+            kThreads * reference.faults.crash_evictions);
+}
+
+}  // namespace
+}  // namespace pulse::platform
