@@ -1,0 +1,209 @@
+#include "cluster/cluster_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace pulse::cluster {
+
+double ClusterResult::total_service_time_s() const noexcept {
+  double total = 0.0;
+  for (const auto& r : shards) total += r.total_service_time_s;
+  return total;
+}
+
+double ClusterResult::total_keepalive_cost_usd() const noexcept {
+  double total = 0.0;
+  for (const auto& r : shards) total += r.total_keepalive_cost_usd;
+  return total;
+}
+
+double ClusterResult::accuracy_pct_sum() const noexcept {
+  double total = 0.0;
+  for (const auto& r : shards) total += r.accuracy_pct_sum;
+  return total;
+}
+
+std::uint64_t ClusterResult::invocations() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : shards) total += r.invocations;
+  return total;
+}
+
+std::uint64_t ClusterResult::warm_starts() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : shards) total += r.warm_starts;
+  return total;
+}
+
+std::uint64_t ClusterResult::cold_starts() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : shards) total += r.cold_starts;
+  return total;
+}
+
+std::uint64_t ClusterResult::capacity_evictions() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : shards) total += r.capacity_evictions;
+  return total;
+}
+
+sim::FaultCounters ClusterResult::fault_counters() const noexcept {
+  sim::FaultCounters total;
+  for (const auto& r : shards) {
+    const sim::FaultCounters c = r.fault_counters();
+    total.failed_invocations += c.failed_invocations;
+    total.retries += c.retries;
+    total.timeouts += c.timeouts;
+    total.crash_evictions += c.crash_evictions;
+    total.capacity_evictions += c.capacity_evictions;
+    total.degraded_minutes += c.degraded_minutes;
+    total.guard_incidents += c.guard_incidents;
+  }
+  return total;
+}
+
+ClusterEngine::ClusterEngine(const sim::Deployment& deployment, const trace::Trace& trace,
+                             ClusterConfig config)
+    : config_(std::move(config)), duration_(trace.duration()) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ClusterEngine: shards must be > 0");
+  }
+  if (deployment.function_count() != trace.function_count()) {
+    throw std::invalid_argument("ClusterEngine: deployment/trace function count mismatch");
+  }
+  if (!config_.market.valid()) {
+    throw std::invalid_argument("ClusterEngine: invalid MarketConfig");
+  }
+  partition_ = Partition::make(trace.function_count(), config_.shards);
+  shard_traces_.reserve(config_.shards);
+  shard_deployments_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shard_traces_.push_back(shard_trace(trace, partition_.members[s]));
+    shard_deployments_.push_back(shard_deployment(deployment, partition_.members[s]));
+  }
+}
+
+ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
+  const std::size_t n = config_.shards;
+  const std::size_t hardware = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t threads = config_.threads != 0 ? config_.threads : std::min(n, hardware);
+  const obs::Observer user_obs = config_.engine.observer;
+
+  // One shard and no capacity: nothing for the market to split; the shard
+  // sees exactly the user's engine config (this is the bitwise-identity
+  // path the golden test pins).
+  const bool market_on = config_.engine.memory_capacity_mb > 0.0 && n > 1;
+
+  // Initial quotas proportional to shard populations; the last non-empty
+  // shard absorbs the rounding remainder so the split sums to the total.
+  std::vector<double> initial_quota;
+  if (market_on) {
+    initial_quota.assign(n, 0.0);
+    const double total = config_.engine.memory_capacity_mb;
+    const double functions = static_cast<double>(partition_.function_count());
+    double assigned = 0.0;
+    std::size_t last = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      initial_quota[s] =
+          functions > 0.0
+              ? total * static_cast<double>(partition_.members[s].size()) / functions
+              : total / static_cast<double>(n);
+      assigned += initial_quota[s];
+      if (initial_quota[s] > 0.0) last = s;
+    }
+    initial_quota[last] += total - assigned;
+  }
+  CapacityMarket market(config_.market,
+                        market_on ? initial_quota : std::vector<double>{0.0});
+
+  // Per-shard observability state: the sink is shared (synchronized),
+  // metrics/profilers are per-shard and merged after the pool joins.
+  std::vector<obs::MetricsRegistry> shard_metrics(user_obs.metrics != nullptr ? n : 0);
+  std::vector<obs::PhaseProfiler> shard_profilers(user_obs.profiler != nullptr ? n : 0);
+
+  std::vector<std::unique_ptr<sim::KeepAlivePolicy>> policies;
+  std::vector<std::unique_ptr<sim::SteppedRun>> runs;
+  policies.reserve(n);
+  runs.reserve(n);
+  std::vector<sim::EngineConfig> configs(n, config_.engine);
+  for (std::size_t s = 0; s < n; ++s) {
+    configs[s].global_ids = &partition_.members[s];
+    configs[s].memory_capacity_mb = market_on ? market.quota_mb(s)
+                                              : config_.engine.memory_capacity_mb;
+    if (user_obs.metrics != nullptr) configs[s].observer.metrics = &shard_metrics[s];
+    if (user_obs.profiler != nullptr) configs[s].observer.profiler = &shard_profilers[s];
+    policies.push_back(factory());
+    if (policies.back() == nullptr) {
+      throw std::invalid_argument("ClusterEngine::run: factory returned null policy");
+    }
+    runs.push_back(std::make_unique<sim::SteppedRun>(shard_deployments_[s], shard_traces_[s],
+                                                     configs[s], *policies.back()));
+  }
+
+  util::ThreadPool pool(threads);
+  ClusterResult result;
+  result.shards.resize(n);
+
+  std::vector<std::uint64_t> prev_evictions(n, 0);
+  std::vector<std::uint64_t> prev_cold(n, 0);
+  const trace::Minute interval = market_on ? config_.market.rebalance_interval : duration_;
+
+  for (trace::Minute t0 = 0; t0 < duration_;) {
+    const trace::Minute t1 = std::min<trace::Minute>(t0 + std::max<trace::Minute>(interval, 1),
+                                                     duration_);
+    pool.parallel_for(n, [&](std::size_t s) { runs[s]->run_until(t1); });
+    t0 = t1;
+
+    if (!market_on || t1 >= duration_) continue;
+
+    // Between barriers, single-threaded: gather signals, trade, re-quota.
+    std::vector<ShardSignal> signals(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      signals[s].used_mb = runs[s]->keepalive_memory_mb(t1 - 1);
+      const sim::RunResult& p = runs[s]->partial();
+      signals[s].capacity_evictions = p.capacity_evictions - prev_evictions[s];
+      signals[s].cold_starts = p.cold_starts - prev_cold[s];
+      prev_evictions[s] = p.capacity_evictions;
+      prev_cold[s] = p.cold_starts;
+    }
+    const std::vector<QuotaTransfer> trades = market.rebalance(signals);
+    for (const QuotaTransfer& trade : trades) {
+      runs[trade.donor]->set_memory_capacity_mb(market.quota_mb(trade.donor));
+      runs[trade.recipient]->set_memory_capacity_mb(market.quota_mb(trade.recipient));
+      user_obs.emit({obs::EventType::kRebalance, t1, trade.recipient,
+                     static_cast<std::int32_t>(trade.donor), trade.mb, "quota_transfer"});
+      if (user_obs.metrics != nullptr) {
+        user_obs.metrics->counter("cluster.transfers").add(1);
+        user_obs.metrics->gauge("cluster.quota_moved_mb").add(trade.mb);
+      }
+    }
+  }
+
+  pool.parallel_for(n, [&](std::size_t s) { result.shards[s] = runs[s]->finish(); });
+
+  if (user_obs.metrics != nullptr) {
+    for (const auto& reg : shard_metrics) user_obs.metrics->merge(reg);
+    user_obs.metrics->gauge("cluster.shards").set(static_cast<double>(n));
+    user_obs.metrics->counter("cluster.rebalance_epochs").add(market.epochs());
+  }
+  if (user_obs.profiler != nullptr) {
+    for (const auto& prof : shard_profilers) user_obs.profiler->merge(prof);
+  }
+
+  if (market_on) {
+    result.final_quota_mb.resize(n);
+    for (std::size_t s = 0; s < n; ++s) result.final_quota_mb[s] = market.quota_mb(s);
+    result.total_quota_mb = market.total_quota_mb();
+  }
+  result.rebalance_epochs = market.epochs();
+  result.transfers = market.transfers();
+  result.quota_moved_mb = market.quota_moved_mb();
+  if (user_obs.metrics != nullptr) result.metrics = user_obs.metrics->snapshot();
+  return result;
+}
+
+}  // namespace pulse::cluster

@@ -1,0 +1,130 @@
+#pragma once
+// Sharded cluster engine: million-function populations across N worker
+// shards coordinated by a cross-shard capacity market.
+//
+// The single SimulationEngine replays one catalog in one thread; at
+// cluster scale (100k–1M functions) that is both too slow and the wrong
+// model — real platforms spread the catalog over many hosts, each with its
+// own memory pool. ClusterEngine hash-partitions the catalog (partition.hpp),
+// gives every shard its own SteppedRun — capacity pool, keep-alive
+// schedule, fault stream, policy instance and RNG streams — and steps all
+// shards concurrently on a ThreadPool. At every rebalance epoch the shards
+// hit a barrier, report pressure signals, and the CapacityMarket
+// (market.hpp) re-trades memory quota between them.
+//
+// Determinism contract:
+//   * One shard, default engine config: bitwise-identical RunResult to
+//     SimulationEngine on the same inputs (the partition is the identity
+//     and the market never runs).
+//   * Fixed (seed, shard count): bit-identical ClusterResult for any
+//     thread count — shards share nothing mutable, and all market /
+//     event / merge work happens on the coordinating thread between
+//     barriers, in shard order.
+//   * With EngineConfig::hashed_rng, per-function samples and faults are
+//     keyed on catalog-global function ids, so aggregate behaviour is
+//     invariant to the shard count as well (capacity effects excepted —
+//     quota partitioning is visible by design).
+//
+// Observability: the user's TraceSink is shared by all shards (the
+// built-in sinks are internally synchronized; a custom sink must be
+// thread-safe too). Metrics registries and profilers are per-shard and
+// merged into the user's after the pool joins — the single-writer
+// discipline the ensemble runner established. Market decisions emit
+// kRebalance events and cluster.* metrics.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/market.hpp"
+#include "cluster/partition.hpp"
+#include "obs/metrics_registry.hpp"
+#include "sim/deployment.hpp"
+#include "sim/engine.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace pulse::cluster {
+
+struct ClusterConfig {
+  /// Worker shards the catalog is hash-partitioned across.
+  std::size_t shards = 1;
+
+  /// Threads stepping the shards (0 = min(shards, hardware concurrency)).
+  /// Never affects results.
+  std::size_t threads = 0;
+
+  /// Per-shard engine configuration. memory_capacity_mb is the TOTAL
+  /// cluster keep-alive capacity: the market splits it into per-shard
+  /// quotas proportional to shard populations and re-trades it every
+  /// epoch. 0 disables capacity and the market. Set hashed_rng for
+  /// shard-count-invariant aggregates.
+  sim::EngineConfig engine{};
+
+  MarketConfig market{};
+};
+
+struct ClusterResult {
+  /// Per-shard run results, indexed by shard id.
+  std::vector<sim::RunResult> shards;
+
+  /// Quota each shard held after the final epoch (empty when the market
+  /// never ran).
+  std::vector<double> final_quota_mb;
+
+  std::uint64_t rebalance_epochs = 0;
+  std::uint64_t transfers = 0;
+  double quota_moved_mb = 0.0;
+
+  /// Conserved cluster capacity (0 when the market never ran). Exactly
+  /// equal to the initial total at every epoch.
+  double total_quota_mb = 0.0;
+
+  /// Snapshot of the user's registry after per-shard merges and cluster.*
+  /// metrics; empty when no registry was attached.
+  obs::MetricsSnapshot metrics;
+
+  // Catalog-wide aggregates (plain sums over shards).
+  [[nodiscard]] double total_service_time_s() const noexcept;
+  [[nodiscard]] double total_keepalive_cost_usd() const noexcept;
+  [[nodiscard]] double accuracy_pct_sum() const noexcept;
+  [[nodiscard]] std::uint64_t invocations() const noexcept;
+  [[nodiscard]] std::uint64_t warm_starts() const noexcept;
+  [[nodiscard]] std::uint64_t cold_starts() const noexcept;
+  [[nodiscard]] std::uint64_t capacity_evictions() const noexcept;
+
+  [[nodiscard]] double average_accuracy_pct() const noexcept {
+    const std::uint64_t n = invocations();
+    return n ? accuracy_pct_sum() / static_cast<double>(n) : 0.0;
+  }
+
+  /// Field-wise sum of every shard's fault counters (the equality the
+  /// cluster fault test asserts against per-shard sums).
+  [[nodiscard]] sim::FaultCounters fault_counters() const noexcept;
+};
+
+class ClusterEngine {
+ public:
+  /// deployment/trace must outlive the engine (per-shard deployments share
+  /// the source's model-family pointers). Throws std::invalid_argument on
+  /// zero shards, a function-count mismatch, or an invalid market config.
+  ClusterEngine(const sim::Deployment& deployment, const trace::Trace& trace,
+                ClusterConfig config);
+
+  /// Replays the whole trace across all shards. `factory` is called once
+  /// per shard, in shard order, on the calling thread.
+  [[nodiscard]] ClusterResult run(const sim::PolicyFactory& factory);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Partition& partition() const noexcept { return partition_; }
+
+ private:
+  ClusterConfig config_;
+  Partition partition_;
+  std::vector<trace::Trace> shard_traces_;
+  std::vector<sim::Deployment> shard_deployments_;
+  trace::Minute duration_ = 0;
+};
+
+}  // namespace pulse::cluster

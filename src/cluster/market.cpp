@@ -1,0 +1,154 @@
+#include "cluster/market.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pulse::cluster {
+
+namespace {
+
+struct Candidate {
+  std::size_t shard = 0;
+  double pressure = 0.0;  // recipients: how starved; donors: how much spare
+};
+
+// Deterministic priority: strongest signal first, shard id breaks ties.
+void sort_candidates(std::vector<Candidate>& v) {
+  std::sort(v.begin(), v.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.pressure != b.pressure) return a.pressure > b.pressure;
+    return a.shard < b.shard;
+  });
+}
+
+}  // namespace
+
+CapacityMarket::CapacityMarket(MarketConfig config, const std::vector<double>& initial_quota_mb)
+    : config_(config) {
+  if (!config_.valid()) throw std::invalid_argument("CapacityMarket: invalid MarketConfig");
+  if (initial_quota_mb.empty()) {
+    throw std::invalid_argument("CapacityMarket: need at least one shard quota");
+  }
+  quota_units_.reserve(initial_quota_mb.size());
+  for (const double mb : initial_quota_mb) {
+    if (mb < 0.0 || !std::isfinite(mb)) {
+      throw std::invalid_argument("CapacityMarket: quotas must be finite and non-negative");
+    }
+    quota_units_.push_back(to_units(mb));
+  }
+  last_role_.assign(quota_units_.size(), Role::kNone);
+  last_trade_epoch_.assign(quota_units_.size(), 0);
+}
+
+CapacityMarket::Units CapacityMarket::to_units(double mb) noexcept {
+  return static_cast<Units>(std::llround(mb * kUnitsPerMb));
+}
+
+double CapacityMarket::to_mb(Units units) noexcept {
+  return static_cast<double>(units) / kUnitsPerMb;
+}
+
+double CapacityMarket::quota_mb(std::size_t shard) const {
+  return to_mb(quota_units_.at(shard));
+}
+
+double CapacityMarket::total_quota_mb() const noexcept {
+  Units total = 0;
+  for (const Units u : quota_units_) total += u;
+  return to_mb(total);
+}
+
+double CapacityMarket::quota_moved_mb() const noexcept { return to_mb(moved_units_); }
+
+bool CapacityMarket::cooled_down(std::size_t shard, Role next) const noexcept {
+  if (last_role_[shard] == Role::kNone || last_role_[shard] == next) return true;
+  return epoch_ - last_trade_epoch_[shard] > config_.cooldown_epochs;
+}
+
+std::vector<QuotaTransfer> CapacityMarket::rebalance(const std::vector<ShardSignal>& signals) {
+  if (signals.size() != quota_units_.size()) {
+    throw std::invalid_argument("CapacityMarket::rebalance: one signal per shard required");
+  }
+  ++epoch_;
+  std::vector<QuotaTransfer> out;
+  if (quota_units_.size() < 2) return out;
+
+  const Units min_units = to_units(config_.min_quota_mb);
+  const double target_util = 0.5 * (config_.low_watermark + config_.high_watermark);
+
+  std::vector<Candidate> donors;
+  std::vector<Candidate> recipients;
+  // Spare quota a donor may still give this epoch / deficit a recipient may
+  // still absorb, in units; indexed by shard.
+  std::vector<Units> give(quota_units_.size(), 0);
+  std::vector<Units> want(quota_units_.size(), 0);
+
+  for (std::size_t s = 0; s < quota_units_.size(); ++s) {
+    const Units quota = quota_units_[s];
+    const Units used = std::clamp<Units>(to_units(signals[s].used_mb), 0,
+                                         std::numeric_limits<Units>::max());
+    const double util =
+        quota > 0 ? static_cast<double>(used) / static_cast<double>(quota)
+                  : (used > 0 ? std::numeric_limits<double>::infinity() : 0.0);
+    const bool starved = util > config_.high_watermark || signals[s].capacity_evictions > 0;
+
+    if (starved && cooled_down(s, Role::kRecipient)) {
+      // Enough quota to bring utilization down to the mid-band target,
+      // never less than one transfer_fraction step when evictions show the
+      // shard is actually thrashing.
+      const Units desired =
+          target_util > 0.0
+              ? static_cast<Units>(std::ceil(static_cast<double>(used) / target_util))
+              : quota;
+      Units deficit = std::max<Units>(0, desired - quota);
+      if (signals[s].capacity_evictions > 0) {
+        const Units step = static_cast<Units>(
+            static_cast<double>(std::max<Units>(quota, min_units)) * config_.transfer_fraction);
+        deficit = std::max(deficit, step);
+      }
+      if (deficit > 0) {
+        want[s] = deficit;
+        // Starvation pressure: utilization plus one point per eviction-heavy
+        // epoch so actively-thrashing shards outrank merely-full ones.
+        const double pressure = util + (signals[s].capacity_evictions > 0 ? 1.0 : 0.0);
+        recipients.push_back({s, pressure});
+      }
+    } else if (!starved && util < config_.low_watermark && quota > min_units &&
+               signals[s].capacity_evictions == 0 && cooled_down(s, Role::kDonor)) {
+      const Units spare = quota - std::max(used, min_units);
+      const Units offer =
+          static_cast<Units>(static_cast<double>(spare) * config_.transfer_fraction);
+      if (offer > 0) {
+        give[s] = offer;
+        donors.push_back({s, static_cast<double>(offer)});
+      }
+    }
+  }
+
+  if (donors.empty() || recipients.empty()) return out;
+  sort_candidates(donors);
+  sort_candidates(recipients);
+
+  for (const Candidate& r : recipients) {
+    for (const Candidate& d : donors) {
+      if (want[r.shard] <= 0) break;
+      if (give[d.shard] <= 0) continue;
+      const Units moved = std::min(want[r.shard], give[d.shard]);
+      give[d.shard] -= moved;
+      want[r.shard] -= moved;
+      quota_units_[d.shard] -= moved;
+      quota_units_[r.shard] += moved;
+      moved_units_ += moved;
+      ++transfers_;
+      last_role_[d.shard] = Role::kDonor;
+      last_role_[r.shard] = Role::kRecipient;
+      last_trade_epoch_[d.shard] = epoch_;
+      last_trade_epoch_[r.shard] = epoch_;
+      out.push_back({d.shard, r.shard, to_mb(moved)});
+    }
+  }
+  return out;
+}
+
+}  // namespace pulse::cluster

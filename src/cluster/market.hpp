@@ -1,0 +1,127 @@
+#pragma once
+// Cross-shard capacity market.
+//
+// Each shard owns a memory quota — its slice of the cluster keep-alive
+// capacity. Shard loads drift apart over a day (diurnal phases, faults,
+// hot functions), so a fixed split strands headroom on cold shards while
+// hot shards churn through capacity evictions. Every rebalance epoch the
+// shards report pressure signals and a deterministic broker moves quota
+// from donors (low utilization, no evictions) to recipients (above the
+// high watermark or actively evicting).
+//
+// Design constraints, in order:
+//   1. Exact conservation. Quotas live in integer fixed-point units
+//      (1/1024 MB); every transfer debits and credits the same integer
+//      amount, so the cluster total is bit-identical across any number of
+//      epochs — asserted by tests/cluster/market_test.cpp.
+//   2. Determinism. Matching consumes the signal vector in deterministic
+//      order (pressure-sorted with shard id as tie-break); no RNG, no
+//      time, no iteration over unordered containers. Same signals in,
+//      same transfers out.
+//   3. Hysteresis. A shard that traded cannot reverse its role for
+//      `cooldown_epochs` epochs, so quota does not slosh back and forth
+//      between two shards that straddle a watermark. Repeating the same
+//      role is allowed — sustained pressure keeps attracting quota.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pulse::cluster {
+
+struct MarketConfig {
+  /// Minutes between rebalance epochs (the cluster-wide barrier cadence).
+  trace::Minute rebalance_interval = 15;
+
+  /// Utilization above which a shard bids for more quota.
+  double high_watermark = 0.90;
+
+  /// Utilization below which a shard offers quota up.
+  double low_watermark = 0.60;
+
+  /// Largest fraction of a donor's spare quota (quota - used) it gives up
+  /// in one epoch. Keeps individual trades incremental.
+  double transfer_fraction = 0.25;
+
+  /// No trade ever leaves a donor below this floor.
+  double min_quota_mb = 64.0;
+
+  /// Epochs a shard must wait after a trade before switching roles.
+  std::size_t cooldown_epochs = 2;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return rebalance_interval > 0 && high_watermark > low_watermark && low_watermark >= 0.0 &&
+           high_watermark <= 1.0 && transfer_fraction > 0.0 && transfer_fraction <= 1.0 &&
+           min_quota_mb >= 0.0;
+  }
+};
+
+/// One shard's report for the epoch that just completed.
+struct ShardSignal {
+  /// Keep-alive memory in use at the epoch boundary.
+  double used_mb = 0.0;
+
+  /// Capacity evictions during the epoch (not cumulative).
+  std::uint64_t capacity_evictions = 0;
+
+  /// Cold starts during the epoch (not cumulative).
+  std::uint64_t cold_starts = 0;
+};
+
+/// One quota movement decided by the broker.
+struct QuotaTransfer {
+  std::size_t donor = 0;
+  std::size_t recipient = 0;
+  double mb = 0.0;
+};
+
+class CapacityMarket {
+ public:
+  /// Starts each shard at `initial_quota_mb[s]` (rounded to fixed-point
+  /// units). Throws std::invalid_argument on an invalid config or an empty
+  /// quota vector.
+  CapacityMarket(MarketConfig config, const std::vector<double>& initial_quota_mb);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return quota_units_.size(); }
+  [[nodiscard]] const MarketConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] double quota_mb(std::size_t shard) const;
+
+  /// Conserved cluster total. Computed from the integer unit total, so it
+  /// compares exactly equal across epochs.
+  [[nodiscard]] double total_quota_mb() const noexcept;
+
+  /// Runs one rebalance epoch over `signals` (one entry per shard, indexed
+  /// by shard id) and returns the transfers applied, donors first in
+  /// matching order. Throws std::invalid_argument on a size mismatch.
+  std::vector<QuotaTransfer> rebalance(const std::vector<ShardSignal>& signals);
+
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] double quota_moved_mb() const noexcept;
+
+ private:
+  // 1/1024 MB per unit: fine enough that rounding is invisible next to MB
+  // sized quotas, coarse enough that ~2^43 MB of cluster memory stays well
+  // inside int64.
+  static constexpr double kUnitsPerMb = 1024.0;
+  using Units = std::int64_t;
+
+  enum class Role : std::uint8_t { kNone, kDonor, kRecipient };
+
+  [[nodiscard]] static Units to_units(double mb) noexcept;
+  [[nodiscard]] static double to_mb(Units units) noexcept;
+  [[nodiscard]] bool cooled_down(std::size_t shard, Role next) const noexcept;
+
+  MarketConfig config_;
+  std::vector<Units> quota_units_;
+  std::vector<Role> last_role_;
+  std::vector<std::uint64_t> last_trade_epoch_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t transfers_ = 0;
+  Units moved_units_ = 0;
+};
+
+}  // namespace pulse::cluster

@@ -63,6 +63,17 @@ void PulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
     const std::size_t v = select_variant(p, variants, config_.technique);
     schedule.set(f, t + d, static_cast<int>(v));
   }
+
+  // One kPolicyDecision per variant-selection pass: the variant chosen for
+  // the first window minute (the decision that resolves the next warm
+  // start) and the window length it covers. Recomputed inside the guard so
+  // disabled runs pay nothing.
+  if (obs::TraceSink* s = sink(); s != nullptr) {
+    const std::size_t next_v =
+        select_variant(tracker.probability(1, t), variants, config_.technique);
+    s->record({obs::EventType::kPolicyDecision, t, f, static_cast<std::int32_t>(next_v),
+               static_cast<double>(window), "variant_selection"});
+  }
 }
 
 void PulsePolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "trace/trace.hpp"
+#include "util/rng.hpp"
 
 namespace pulse::fault {
 
@@ -129,20 +130,12 @@ class FaultInjector {
   static constexpr std::uint64_t kColdStartStream = 0xc01d'57a7;
   static constexpr std::uint64_t kPressureStream = 0x9e55'043e;
 
-  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
-
-  /// Uniform [0, 1) derived purely from (seed, stream, a, b).
+  /// Uniform [0, 1) derived purely from (seed, stream, a, b). Delegates to
+  /// the shared util::hash_uniform chain — bit-identical to the historical
+  /// in-class implementation, so fault fixtures never move.
   [[nodiscard]] double uniform(std::uint64_t stream, std::uint64_t a,
                                std::uint64_t b) const noexcept {
-    std::uint64_t h = config_.seed + 0x9e3779b97f4a7c15ULL;
-    h = mix(h ^ stream);
-    h = mix(h ^ (a + 0x9e3779b97f4a7c15ULL));
-    h = mix(h ^ (b + 0x517cc1b727220a95ULL));
-    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+    return util::hash_uniform(config_.seed, stream, a, b);
   }
 
   FaultConfig config_{};

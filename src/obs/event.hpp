@@ -44,6 +44,11 @@ enum class EventType : std::uint8_t {
   /// cold-start provisioning time in seconds the container pays before
   /// turning warm.
   kPrewarm,
+  /// The cluster capacity market moved keep-alive quota between two worker
+  /// shards at a rebalance epoch. Shard coordinates ride the function /
+  /// variant fields: `function` is the recipient shard, `variant` the donor
+  /// shard, `value` the MB moved. `minute` is the epoch boundary.
+  kRebalance,
 };
 
 /// Stable lower-snake-case name of the event type (the JSONL `type` field).

@@ -15,12 +15,13 @@ const char* to_string(EventType type) noexcept {
     case EventType::kCapacityPressure: return "capacity_pressure";
     case EventType::kPolicyDecision: return "policy_decision";
     case EventType::kPrewarm: return "prewarm";
+    case EventType::kRebalance: return "rebalance";
   }
   return "?";
 }
 
 namespace {
-constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kPrewarm) + 1;
+constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kRebalance) + 1;
 }  // namespace
 
 RingBufferSink::RingBufferSink(std::size_t capacity)

@@ -29,6 +29,20 @@ class RecordedHistory final : public MemoryHistory {
 
 using Clock = std::chrono::steady_clock;
 
+// Stream tags of the hashed (EngineConfig::hashed_rng) per-invocation
+// draws. Disjoint from the FaultInjector's stream tags so fault decisions
+// and sampling never correlate.
+constexpr std::uint64_t kHashLatencyStream = 0x1a7e'2c91;
+constexpr std::uint64_t kHashAccuracyStream = 0x0acc'0117;
+constexpr std::uint64_t kHashEvictStream = 0xeb1c'7005;
+
+/// One key per invocation: minute in the high bits, the minute's invocation
+/// index in the low 32 (counts are std::uint32_t, so the packing is exact).
+[[nodiscard]] constexpr std::uint64_t invocation_key(trace::Minute t,
+                                                     std::uint32_t i) noexcept {
+  return (static_cast<std::uint64_t>(t) << 32) | i;
+}
+
 }  // namespace
 
 SimulationEngine::SimulationEngine(const Deployment& deployment, const trace::Trace& trace,
@@ -41,250 +55,335 @@ SimulationEngine::SimulationEngine(const Deployment& deployment, const trace::Tr
 }
 
 RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
-  const trace::Trace& tr = *trace_;
-  const Deployment& dep = *deployment_;
-  const trace::Minute duration = tr.duration();
+  SteppedRun stepped(*deployment_, *trace_, config_, policy);
+  return stepped.finish();
+}
 
-  // Observability: all three handles are optional; `sink` is the only one
-  // consulted on the per-minute hot path, as a single null-check branch.
+SteppedRun::SteppedRun(const Deployment& deployment, const trace::Trace& trace,
+                       EngineConfig config, KeepAlivePolicy& policy)
+    : deployment_(&deployment),
+      trace_(&trace),
+      config_(config),
+      policy_(&policy),
+      schedule_(deployment, trace.duration()),
+      latency_rng_(config.seed, /*stream=*/0xc0ffee),
+      accuracy_rng_(config.seed, /*stream=*/0xacc),
+      eviction_rng_(config.seed, /*stream=*/0xeb1c7),
+      injector_(config.faults) {
+  if (deployment.function_count() != trace.function_count()) {
+    throw std::invalid_argument("SteppedRun: deployment/trace function count mismatch");
+  }
+  if (config_.global_ids != nullptr &&
+      config_.global_ids->size() != trace.function_count()) {
+    throw std::invalid_argument("SteppedRun: global_ids/trace function count mismatch");
+  }
+  const trace::Minute duration = trace.duration();
+  memory_record_.reserve(static_cast<std::size_t>(duration));
+  history_ = std::make_unique<RecordedHistory>(memory_record_);
+  faults_on_ = injector_.config().enabled();
+
   const obs::Observer& obs = config_.observer;
-  obs::TraceSink* const sink = obs.sink;
-  const obs::PhaseTimer run_timer(obs.profiler, obs::Phase::kSimulate);
-  policy.attach_observer(obs.any() ? &config_.observer : nullptr);
-
-  RunResult result;
-  KeepAliveSchedule schedule(dep, duration);
-  // Reused across minutes by the capacity-eviction loop (allocation-free
-  // hot path; see below).
-  std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer;
-  std::vector<double> memory_record;
-  memory_record.reserve(static_cast<std::size_t>(duration));
-  RecordedHistory history(memory_record);
-  util::Pcg32 latency_rng(config_.seed, /*stream=*/0xc0ffee);
-  util::Pcg32 accuracy_rng(config_.seed, /*stream=*/0xacc);
+  policy_->attach_observer(obs.any() ? &config_.observer : nullptr);
 
   if (config_.record_series) {
-    result.keepalive_memory_mb.reserve(static_cast<std::size_t>(duration));
-    result.keepalive_cost_usd.reserve(static_cast<std::size_t>(duration));
-    result.ideal_cost_usd.reserve(static_cast<std::size_t>(duration));
+    result_.keepalive_memory_mb.reserve(static_cast<std::size_t>(duration));
+    result_.keepalive_cost_usd.reserve(static_cast<std::size_t>(duration));
+    result_.ideal_cost_usd.reserve(static_cast<std::size_t>(duration));
   }
-
-  util::Pcg32 eviction_rng(config_.seed, /*stream=*/0xeb1c7);
   if (config_.record_per_function) {
-    result.per_function.assign(tr.function_count(), FunctionMetrics{});
+    result_.per_function.assign(trace.function_count(), FunctionMetrics{});
   }
-
-  const fault::FaultInjector injector(config_.faults);
-  const bool faults_on = injector.config().enabled();
 
   // Looked up once; per-minute updates are then a pointer check away.
-  util::IntHistogram* alive_hist =
-      obs.metrics != nullptr ? &obs.metrics->histogram("engine.alive_containers", 512)
-                             : nullptr;
+  alive_hist_ = obs.metrics != nullptr
+                    ? &obs.metrics->histogram("engine.alive_containers", 512)
+                    : nullptr;
 
-  policy.initialize(dep, tr, schedule);
+  policy_->initialize(deployment, trace, schedule_);
+}
 
-  for (trace::Minute t = 0; t < duration; ++t) {
-    double ideal_cost_t = 0.0;
-    bool minute_degraded = false;
+SteppedRun::~SteppedRun() = default;
 
-    // Injected container crashes fire at the minute boundary: the crashed
-    // container's remaining keep-alive stretch is evicted, so this minute's
-    // invocations (if any) go cold.
-    if (faults_on && injector.config().crash_rate > 0.0) {
-      schedule.for_each_alive(t, [&](trace::FunctionId f, std::size_t variant) {
-        if (injector.container_crashes(f, t)) {
-          schedule.evict_from(f, t);
-          ++result.crash_evictions;
-          minute_degraded = true;
-          if (sink != nullptr) {
-            sink->record({obs::EventType::kCrashEviction, t, f,
-                          static_cast<std::int32_t>(variant), 1.0, ""});
-          }
+trace::Minute SteppedRun::duration() const noexcept { return trace_->duration(); }
+
+double SteppedRun::keepalive_memory_mb(trace::Minute t) const noexcept {
+  if (t < 0 || static_cast<std::size_t>(t) >= memory_record_.size()) return 0.0;
+  return memory_record_[static_cast<std::size_t>(t)];
+}
+
+void SteppedRun::run_until(trace::Minute end) {
+  const trace::Minute stop = std::min(end, trace_->duration());
+  if (next_minute_ >= stop) return;
+  // One kSimulate span per advancing slice: a run driven straight to the
+  // end records exactly one call, like the historical monolithic run().
+  const obs::PhaseTimer timer(config_.observer.profiler, obs::Phase::kSimulate);
+  while (next_minute_ < stop) {
+    step_minute();
+    ++next_minute_;
+  }
+}
+
+void SteppedRun::step_minute() {
+  const trace::Trace& tr = *trace_;
+  const Deployment& dep = *deployment_;
+  KeepAlivePolicy& policy = *policy_;
+  KeepAliveSchedule& schedule = schedule_;
+  RunResult& result = result_;
+  const fault::FaultInjector& injector = injector_;
+  const bool faults_on = faults_on_;
+  const bool hashed = config_.hashed_rng;
+  const std::vector<trace::FunctionId>* const gids = config_.global_ids;
+
+  const obs::Observer& obs = config_.observer;
+  obs::TraceSink* const sink = obs.sink;
+
+  const trace::Minute t = next_minute_;
+  double ideal_cost_t = 0.0;
+  bool minute_degraded = false;
+
+  // Injected container crashes fire at the minute boundary: the crashed
+  // container's remaining keep-alive stretch is evicted, so this minute's
+  // invocations (if any) go cold.
+  if (faults_on && injector.config().crash_rate > 0.0) {
+    schedule.for_each_alive(t, [&](trace::FunctionId f, std::size_t variant) {
+      const trace::FunctionId gf = gids != nullptr ? (*gids)[f] : f;
+      if (injector.container_crashes(gf, t)) {
+        schedule.evict_from(f, t);
+        ++result.crash_evictions;
+        minute_degraded = true;
+        if (sink != nullptr) {
+          sink->record({obs::EventType::kCrashEviction, t, gf,
+                        static_cast<std::int32_t>(variant), 1.0, ""});
         }
-      });
+      }
+    });
+  }
+
+  for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
+    const std::uint32_t count = tr.count(f, t);
+    if (count == 0) continue;
+    const trace::FunctionId gf = gids != nullptr ? (*gids)[f] : f;
+
+    const models::ModelFamily& family = dep.family_of(f);
+    const int alive = schedule.variant_at(f, t);
+    std::size_t serving;
+    bool first_is_cold;
+    if (alive != kNoVariant) {
+      serving = static_cast<std::size_t>(alive);
+      first_is_cold = false;
+    } else {
+      serving = policy.cold_start_variant(f, t, dep);
+      first_is_cold = true;
+      // The cold-started container exists for the rest of this minute and
+      // counts toward keep-alive memory at t.
+      schedule.set(f, t, static_cast<int>(serving));
     }
 
-    for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
-      const std::uint32_t count = tr.count(f, t);
-      if (count == 0) continue;
-
-      const models::ModelFamily& family = dep.family_of(f);
-      const int alive = schedule.variant_at(f, t);
-      std::size_t serving;
-      bool first_is_cold;
-      if (alive != kNoVariant) {
-        serving = static_cast<std::size_t>(alive);
-        first_is_cold = false;
-      } else {
-        serving = policy.cold_start_variant(f, t, dep);
-        first_is_cold = true;
-        // The cold-started container exists for the rest of this minute and
-        // counts toward keep-alive memory at t.
-        schedule.set(f, t, static_cast<int>(serving));
+    // Injected cold-start failures: bounded retry with exponential
+    // backoff; exhausting every retry fails the whole minute's
+    // invocations (no container exists to serve them).
+    bool served = true;
+    double cold_retry_penalty_s = 0.0;
+    if (first_is_cold && faults_on) {
+      const fault::ColdStartOutcome cs = injector.cold_start(gf, t);
+      result.retries += cs.retries;
+      cold_retry_penalty_s = cs.retry_penalty_s;
+      if (cs.retries > 0 || !cs.succeeded) minute_degraded = true;
+      if (!cs.succeeded) {
+        served = false;
+        schedule.clear(f, t);  // the provisional container never started
+        result.failed_invocations += count;
       }
-
-      // Injected cold-start failures: bounded retry with exponential
-      // backoff; exhausting every retry fails the whole minute's
-      // invocations (no container exists to serve them).
-      bool served = true;
-      double cold_retry_penalty_s = 0.0;
-      if (first_is_cold && faults_on) {
-        const fault::ColdStartOutcome cs = injector.cold_start(f, t);
-        result.retries += cs.retries;
-        cold_retry_penalty_s = cs.retry_penalty_s;
-        if (cs.retries > 0 || !cs.succeeded) minute_degraded = true;
-        if (!cs.succeeded) {
-          served = false;
-          schedule.clear(f, t);  // the provisional container never started
-          result.failed_invocations += count;
-        }
-        if (sink != nullptr && cs.retries > 0) {
-          sink->record({obs::EventType::kFault, t, f, static_cast<std::int32_t>(serving),
-                        static_cast<double>(cs.retries), "cold_start_retry"});
-        }
+      if (sink != nullptr && cs.retries > 0) {
+        sink->record({obs::EventType::kFault, t, gf, static_cast<std::int32_t>(serving),
+                      static_cast<double>(cs.retries), "cold_start_retry"});
       }
+    }
 
-      if (sink != nullptr) {
-        if (served) {
-          sink->record({first_is_cold ? obs::EventType::kColdStart
-                                      : obs::EventType::kWarmStart,
-                        t, f, static_cast<std::int32_t>(serving),
-                        static_cast<double>(count), ""});
-        } else {
-          sink->record({obs::EventType::kFault, t, f, static_cast<std::int32_t>(serving),
-                        static_cast<double>(count), "cold_start_failure"});
-        }
-      }
-
+    if (sink != nullptr) {
       if (served) {
-        const models::ModelVariant& variant = family.variant(serving);
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const bool cold = first_is_cold && i == 0;
-          double service_s =
-              config_.deterministic_latency
-                  ? models::LatencyModel::expected_service_time(variant, cold)
-                  : config_.latency.sample_service_time(variant, cold, latency_rng);
-          double accuracy_credit =
-              config_.bernoulli_accuracy
-                  ? (accuracy_rng.bernoulli(variant.accuracy_fraction()) ? 100.0 : 0.0)
-                  : variant.accuracy_pct;
-          if (cold) service_s += cold_retry_penalty_s;
-          if (faults_on) {
-            // Per-variant SLO: the client abandons at the deadline, so the
-            // time is clipped there and no accuracy is delivered.
-            const double slo = injector.timeout_slo_s(
-                models::LatencyModel::expected_service_time(variant, cold));
-            if (slo > 0.0 && service_s > slo) {
-              service_s = slo;
-              accuracy_credit = 0.0;
-              ++result.timeouts;
-              minute_degraded = true;
-              if (sink != nullptr) {
-                sink->record({obs::EventType::kFault, t, f,
-                              static_cast<std::int32_t>(serving), slo, "slo_timeout"});
-              }
+        sink->record({first_is_cold ? obs::EventType::kColdStart
+                                    : obs::EventType::kWarmStart,
+                      t, gf, static_cast<std::int32_t>(serving),
+                      static_cast<double>(count), ""});
+      } else {
+        sink->record({obs::EventType::kFault, t, gf, static_cast<std::int32_t>(serving),
+                      static_cast<double>(count), "cold_start_failure"});
+      }
+    }
+
+    if (served) {
+      const models::ModelVariant& variant = family.variant(serving);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const bool cold = first_is_cold && i == 0;
+        double service_s;
+        if (config_.deterministic_latency) {
+          service_s = models::LatencyModel::expected_service_time(variant, cold);
+        } else if (hashed) {
+          // A function's jitter depends only on its own coordinates: one
+          // short-lived generator per invocation, keyed by the catalog-
+          // global id. See EngineConfig::hashed_rng.
+          util::Pcg32 draw(util::hash_u64(config_.seed, kHashLatencyStream,
+                                          static_cast<std::uint64_t>(gf),
+                                          invocation_key(t, i)),
+                           kHashLatencyStream);
+          service_s = config_.latency.sample_service_time(variant, cold, draw);
+        } else {
+          service_s = config_.latency.sample_service_time(variant, cold, latency_rng_);
+        }
+        double accuracy_credit;
+        if (!config_.bernoulli_accuracy) {
+          accuracy_credit = variant.accuracy_pct;
+        } else if (hashed) {
+          accuracy_credit =
+              util::hash_uniform(config_.seed, kHashAccuracyStream,
+                                 static_cast<std::uint64_t>(gf), invocation_key(t, i)) <
+                      variant.accuracy_fraction()
+                  ? 100.0
+                  : 0.0;
+        } else {
+          accuracy_credit =
+              accuracy_rng_.bernoulli(variant.accuracy_fraction()) ? 100.0 : 0.0;
+        }
+        if (cold) service_s += cold_retry_penalty_s;
+        if (faults_on) {
+          // Per-variant SLO: the client abandons at the deadline, so the
+          // time is clipped there and no accuracy is delivered.
+          const double slo = injector.timeout_slo_s(
+              models::LatencyModel::expected_service_time(variant, cold));
+          if (slo > 0.0 && service_s > slo) {
+            service_s = slo;
+            accuracy_credit = 0.0;
+            ++result.timeouts;
+            minute_degraded = true;
+            if (sink != nullptr) {
+              sink->record({obs::EventType::kFault, t, gf,
+                            static_cast<std::int32_t>(serving), slo, "slo_timeout"});
             }
           }
-          result.total_service_time_s += service_s;
-          result.accuracy_pct_sum += accuracy_credit;
-          ++result.invocations;
-          if (cold) {
-            ++result.cold_starts;
-          } else {
-            ++result.warm_starts;
-          }
-          if (config_.record_service_samples) {
-            result.service_time_samples.push_back(service_s);
-          }
-          if (config_.record_per_function) {
-            FunctionMetrics& fm = result.per_function[f];
-            ++fm.invocations;
-            cold ? ++fm.cold_starts : ++fm.warm_starts;
-            fm.service_time_s += service_s;
-            fm.accuracy_pct_sum += accuracy_credit;
-          }
         }
-      }
-
-      // The ideal reference keeps the highest-quality model alive exactly
-      // during invocation minutes (Figure 6b's ideal line). It is fault-free
-      // by definition, so failed minutes still accrue it.
-      ideal_cost_t += config_.cost_model.keepalive_cost_usd(family.highest().memory_mb, 1.0);
-
-      // The policy observes the arrival even when the platform failed to
-      // serve it — predictors track demand, not fulfillment.
-      if (config_.measure_overhead) {
-        const auto start = Clock::now();
-        policy.on_invocation(f, t, schedule);
-        result.policy_overhead_s +=
-            std::chrono::duration<double>(Clock::now() - start).count();
-      } else {
-        policy.on_invocation(f, t, schedule);
+        result.total_service_time_s += service_s;
+        result.accuracy_pct_sum += accuracy_credit;
+        ++result.invocations;
+        if (cold) {
+          ++result.cold_starts;
+        } else {
+          ++result.warm_starts;
+        }
+        if (config_.record_service_samples) {
+          result.service_time_samples.push_back(service_s);
+        }
+        if (config_.record_per_function) {
+          FunctionMetrics& fm = result.per_function[f];
+          ++fm.invocations;
+          cold ? ++fm.cold_starts : ++fm.warm_starts;
+          fm.service_time_s += service_s;
+          fm.accuracy_pct_sum += accuracy_credit;
+        }
       }
     }
 
+    // The ideal reference keeps the highest-quality model alive exactly
+    // during invocation minutes (Figure 6b's ideal line). It is fault-free
+    // by definition, so failed minutes still accrue it.
+    ideal_cost_t += config_.cost_model.keepalive_cost_usd(family.highest().memory_mb, 1.0);
+
+    // The policy observes the arrival even when the platform failed to
+    // serve it — predictors track demand, not fulfillment.
     if (config_.measure_overhead) {
       const auto start = Clock::now();
-      policy.end_of_minute(t, schedule, history);
-      result.policy_overhead_s += std::chrono::duration<double>(Clock::now() - start).count();
+      policy.on_invocation(f, t, schedule);
+      result.policy_overhead_s +=
+          std::chrono::duration<double>(Clock::now() - start).count();
     } else {
-      policy.end_of_minute(t, schedule, history);
-    }
-
-    // Capacity pressure: the platform evicts random kept containers until
-    // keep-alive memory fits (the provider baseline behaviour under memory
-    // stress; PULSE-style policies flatten before this fires). Injected
-    // memory-pressure spikes temporarily tighten the capacity.
-    double capacity_mb = config_.memory_capacity_mb;
-    if (faults_on) {
-      capacity_mb = injector.effective_capacity_mb(capacity_mb, t);
-      if (injector.under_memory_pressure(t)) minute_degraded = true;
-    }
-    // memory_exceeds decides `memory_at(t) > capacity_mb` from the exact
-    // integer aggregate (no per-iteration O(F) rescan), and evicting a
-    // victim only changes that victim's row, so the alive list is built
-    // once and maintained by erasing the victim — bit-identical to
-    // rebuilding it, at O(evictions) instead of O(F * evictions).
-    if (capacity_mb > 0.0 && schedule.memory_exceeds(t, capacity_mb)) {
-      if (sink != nullptr) {
-        sink->record({obs::EventType::kCapacityPressure, t, obs::TraceEvent::kNoFunction,
-                      -1, schedule.memory_at(t) - capacity_mb, ""});
-      }
-      schedule.kept_alive_at(t, kept_buffer);
-      while (!kept_buffer.empty()) {
-        const auto idx = eviction_rng.bounded(static_cast<std::uint32_t>(kept_buffer.size()));
-        const auto victim = kept_buffer[static_cast<std::size_t>(idx)];
-        schedule.evict_from(victim.first, t);
-        kept_buffer.erase(kept_buffer.begin() + idx);
-        ++result.capacity_evictions;
-        if (sink != nullptr) {
-          sink->record({obs::EventType::kEviction, t, victim.first,
-                        static_cast<std::int32_t>(victim.second), 1.0, "capacity"});
-        }
-        if (!schedule.memory_exceeds(t, capacity_mb)) break;
-      }
-    }
-    if (minute_degraded) ++result.degraded_minutes;
-
-    const double memory_t = schedule.memory_at(t);
-    const double cost_t = config_.cost_model.keepalive_cost_usd(memory_t, 1.0);
-    result.total_keepalive_cost_usd += cost_t;
-    memory_record.push_back(memory_t);
-    if (alive_hist != nullptr) alive_hist->add(schedule.alive_count_at(t));
-
-    if (config_.record_series) {
-      result.keepalive_memory_mb.push_back(memory_t);
-      result.keepalive_cost_usd.push_back(cost_t);
-      result.ideal_cost_usd.push_back(ideal_cost_t);
+      policy.on_invocation(f, t, schedule);
     }
   }
 
-  result.downgrades = policy.downgrade_count();
-  result.guard_incidents = policy.incident_count();
+  if (config_.measure_overhead) {
+    const auto start = Clock::now();
+    policy.end_of_minute(t, schedule, *history_);
+    result.policy_overhead_s += std::chrono::duration<double>(Clock::now() - start).count();
+  } else {
+    policy.end_of_minute(t, schedule, *history_);
+  }
+
+  // Capacity pressure: the platform evicts random kept containers until
+  // keep-alive memory fits (the provider baseline behaviour under memory
+  // stress; PULSE-style policies flatten before this fires). Injected
+  // memory-pressure spikes temporarily tighten the capacity.
+  double capacity_mb = config_.memory_capacity_mb;
+  if (faults_on) {
+    capacity_mb = injector.effective_capacity_mb(capacity_mb, t);
+    if (injector.under_memory_pressure(t)) minute_degraded = true;
+  }
+  // memory_exceeds decides `memory_at(t) > capacity_mb` from the exact
+  // integer aggregate (no per-iteration O(F) rescan), and evicting a
+  // victim only changes that victim's row, so the alive list is built
+  // once and maintained by erasing the victim — bit-identical to
+  // rebuilding it, at O(evictions) instead of O(F * evictions).
+  if (capacity_mb > 0.0 && schedule.memory_exceeds(t, capacity_mb)) {
+    if (sink != nullptr) {
+      sink->record({obs::EventType::kCapacityPressure, t, obs::TraceEvent::kNoFunction,
+                    -1, schedule.memory_at(t) - capacity_mb, ""});
+    }
+    schedule.kept_alive_at(t, kept_buffer_);
+    std::uint32_t evict_ordinal = 0;
+    while (!kept_buffer_.empty()) {
+      std::uint32_t idx;
+      if (hashed) {
+        // Victim picks keyed by (minute, ordinal): independent of how many
+        // evictions earlier minutes performed, hence reproducible whatever
+        // quota trajectory the cluster market applied before this minute.
+        util::Pcg32 draw(util::hash_u64(config_.seed, kHashEvictStream,
+                                        static_cast<std::uint64_t>(t), evict_ordinal),
+                         kHashEvictStream);
+        idx = draw.bounded(static_cast<std::uint32_t>(kept_buffer_.size()));
+        ++evict_ordinal;
+      } else {
+        idx = eviction_rng_.bounded(static_cast<std::uint32_t>(kept_buffer_.size()));
+      }
+      const auto victim = kept_buffer_[static_cast<std::size_t>(idx)];
+      schedule.evict_from(victim.first, t);
+      kept_buffer_.erase(kept_buffer_.begin() + idx);
+      ++result.capacity_evictions;
+      if (sink != nullptr) {
+        sink->record({obs::EventType::kEviction, t,
+                      gids != nullptr ? (*gids)[victim.first] : victim.first,
+                      static_cast<std::int32_t>(victim.second), 1.0, "capacity"});
+      }
+      if (!schedule.memory_exceeds(t, capacity_mb)) break;
+    }
+  }
+  if (minute_degraded) ++result.degraded_minutes;
+
+  const double memory_t = schedule.memory_at(t);
+  const double cost_t = config_.cost_model.keepalive_cost_usd(memory_t, 1.0);
+  result.total_keepalive_cost_usd += cost_t;
+  memory_record_.push_back(memory_t);
+  if (alive_hist_ != nullptr) alive_hist_->add(schedule.alive_count_at(t));
+
+  if (config_.record_series) {
+    result.keepalive_memory_mb.push_back(memory_t);
+    result.keepalive_cost_usd.push_back(cost_t);
+    result.ideal_cost_usd.push_back(ideal_cost_t);
+  }
+}
+
+RunResult SteppedRun::finish() {
+  if (finished_) {
+    throw std::logic_error("SteppedRun::finish: already finished");
+  }
+  run_until(trace_->duration());
+  finished_ = true;
+
+  RunResult& result = result_;
+  result.downgrades = policy_->downgrade_count();
+  result.guard_incidents = policy_->incident_count();
 
   // Fold the run's aggregates into the registry (zero hot-path cost: one
   // batch of adds at the end) and snapshot it into the result.
+  const obs::Observer& obs = config_.observer;
   if (obs.metrics != nullptr) {
     obs::MetricsRegistry& m = *obs.metrics;
     m.counter("engine.runs").add(1);
@@ -302,11 +401,11 @@ RunResult SimulationEngine::run(KeepAlivePolicy& policy) {
     m.gauge("engine.service_time_s").add(result.total_service_time_s);
     m.gauge("engine.keepalive_cost_usd").add(result.total_keepalive_cost_usd);
     double peak = 0.0;
-    for (const double v : memory_record) peak = std::max(peak, v);
+    for (const double v : memory_record_) peak = std::max(peak, v);
     m.gauge("engine.peak_keepalive_memory_mb").max_with(peak);
     result.metrics = m.snapshot();
   }
-  return result;
+  return std::move(result_);
 }
 
 }  // namespace pulse::sim

@@ -9,6 +9,8 @@
 // from the keep-alive schedule the policy maintains.
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "fault/injector.hpp"
 #include "models/latency.hpp"
@@ -73,6 +75,96 @@ struct EngineConfig {
   /// any of them leaves RunResult bitwise identical — the layer observes,
   /// it never steers (tests/obs/obs_determinism_test.cpp is the gate).
   obs::Observer observer{};
+
+  /// Derive per-invocation latency jitter, Bernoulli accuracy draws, and
+  /// capacity-eviction victim picks by hashing (seed, function, minute,
+  /// invocation) — the FaultInjector discipline applied to the engine's own
+  /// stochastic streams — instead of consuming the run-wide sequential
+  /// Pcg32 streams. A function's samples then depend only on its own
+  /// coordinates, never on which other functions share the engine, which is
+  /// what makes sharded ClusterEngine results shard-count invariant.
+  /// Default off: the sequential streams keep historical golden fixtures
+  /// bitwise identical.
+  bool hashed_rng = false;
+
+  /// Optional catalog-global function ids, one per local function. When a
+  /// cluster shard replays a sub-trace, local function f stands for global
+  /// function (*global_ids)[f]; fault-injection hashing, hashed RNG streams
+  /// and trace-event coordinates all use the global id, so fault patterns,
+  /// samples, and events are those of the full catalog regardless of the
+  /// partitioning. Must outlive the engine. nullptr = identity mapping.
+  const std::vector<trace::FunctionId>* global_ids = nullptr;
+};
+
+/// Minute-stepped execution of one simulation run.
+///
+/// Exactly the replay SimulationEngine::run performs, exposed as an object
+/// that can be advanced in minute-granular slices so a coordinating layer
+/// (the sharded ClusterEngine) can interleave several runs and adjust
+/// capacity quotas at epoch barriers. SimulationEngine::run is implemented
+/// on top of this class: a SteppedRun driven straight to the end produces a
+/// bitwise-identical RunResult.
+///
+/// deployment/trace/policy must outlive the run; the policy is used
+/// exclusively by this object.
+class SteppedRun {
+ public:
+  SteppedRun(const Deployment& deployment, const trace::Trace& trace, EngineConfig config,
+             KeepAlivePolicy& policy);
+  ~SteppedRun();
+
+  SteppedRun(const SteppedRun&) = delete;
+  SteppedRun& operator=(const SteppedRun&) = delete;
+
+  /// Simulates minutes [next_minute(), min(end, duration())). No-op when
+  /// the run is already past `end`.
+  void run_until(trace::Minute end);
+
+  /// First minute not yet simulated (== duration() when the replay is done).
+  [[nodiscard]] trace::Minute next_minute() const noexcept { return next_minute_; }
+
+  [[nodiscard]] trace::Minute duration() const noexcept;
+
+  /// Adjusts the keep-alive capacity for minutes not yet simulated (the
+  /// cluster capacity market re-quotas shards between epochs). 0 = unlimited.
+  void set_memory_capacity_mb(double mb) noexcept { config_.memory_capacity_mb = mb; }
+  [[nodiscard]] double memory_capacity_mb() const noexcept {
+    return config_.memory_capacity_mb;
+  }
+
+  /// Counters and totals accumulated so far (downgrade/guard counters are
+  /// only folded in by finish()). Valid until finish() is called.
+  [[nodiscard]] const RunResult& partial() const noexcept { return result_; }
+
+  /// Keep-alive memory recorded at a simulated minute t (0 outside
+  /// [0, next_minute())) — the pressure signal the capacity market reads.
+  [[nodiscard]] double keepalive_memory_mb(trace::Minute t) const noexcept;
+
+  /// Runs any remaining minutes, folds end-of-run counters and metrics, and
+  /// returns the final result. Call at most once.
+  RunResult finish();
+
+ private:
+  void step_minute();
+
+  const Deployment* deployment_;
+  const trace::Trace* trace_;
+  EngineConfig config_;
+  KeepAlivePolicy* policy_;
+
+  RunResult result_;
+  KeepAliveSchedule schedule_;
+  std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer_;
+  std::vector<double> memory_record_;
+  std::unique_ptr<MemoryHistory> history_;
+  util::Pcg32 latency_rng_;
+  util::Pcg32 accuracy_rng_;
+  util::Pcg32 eviction_rng_;
+  fault::FaultInjector injector_;
+  bool faults_on_ = false;
+  util::IntHistogram* alive_hist_ = nullptr;
+  trace::Minute next_minute_ = 0;
+  bool finished_ = false;
 };
 
 class SimulationEngine {

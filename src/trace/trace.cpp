@@ -65,6 +65,19 @@ std::vector<Minute> Trace::invocation_minutes(FunctionId f) const {
   return out;
 }
 
+Trace Trace::select_functions(std::span<const FunctionId> functions) const {
+  Trace out(functions.size(), duration_);
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const FunctionId f = functions[i];
+    if (f >= counts_.size()) {
+      throw std::out_of_range("Trace::select_functions: function id out of range");
+    }
+    out.names_[i] = names_[f];
+    out.counts_[i] = counts_[f];
+  }
+  return out;
+}
+
 Trace Trace::slice(Minute begin, Minute end) const {
   if (begin < 0 || end > duration_ || begin > end) {
     throw std::out_of_range("Trace::slice: invalid range");

@@ -69,6 +69,12 @@ class Trace {
   /// experiments of Tables II/III).
   [[nodiscard]] Trace slice(Minute begin, Minute end) const;
 
+  /// Projects the trace onto a subset of its functions: the result's
+  /// function i is this trace's functions[i] (series and name copied).
+  /// Duplicate or unordered ids are allowed; out-of-range ids throw. The
+  /// cluster partitioner builds per-shard sub-traces with this.
+  [[nodiscard]] Trace select_functions(std::span<const FunctionId> functions) const;
+
   /// CSV round trip. Columns: function,name then one count per minute.
   void save_csv(const std::filesystem::path& path) const;
   [[nodiscard]] static Trace load_csv(const std::filesystem::path& path);

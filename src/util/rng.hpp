@@ -92,6 +92,36 @@ class Pcg32 {
   std::uint64_t inc_;
 };
 
+/// SplitMix64 finalizer as a pure function: the mixer behind every
+/// hash-derived decision stream in the repository (fault injection, the
+/// engine's hashed per-function RNG, the cluster's shard partitioner).
+[[nodiscard]] constexpr std::uint64_t hash_mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Well-mixed 64-bit hash of (seed, stream, a, b). `stream` separates
+/// purposes (crash vs latency vs eviction...), `a`/`b` are the event
+/// coordinates (function id, minute, invocation index). The chain is the
+/// one fault::FaultInjector has always used, exposed so every hash-derived
+/// stream draws from the same audited construction.
+[[nodiscard]] constexpr std::uint64_t hash_u64(std::uint64_t seed, std::uint64_t stream,
+                                               std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t h = seed + 0x9e3779b97f4a7c15ULL;
+  h = hash_mix64(h ^ stream);
+  h = hash_mix64(h ^ (a + 0x9e3779b97f4a7c15ULL));
+  h = hash_mix64(h ^ (b + 0x517cc1b727220a95ULL));
+  return h;
+}
+
+/// Uniform [0, 1) derived purely from (seed, stream, a, b) — 53 bits.
+[[nodiscard]] constexpr double hash_uniform(std::uint64_t seed, std::uint64_t stream,
+                                            std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<double>(hash_u64(seed, stream, a, b) >> 11) *
+         (1.0 / 9007199254740992.0);  // 2^53
+}
+
 /// Standard normal via Box-Muller (no cached second value: keeps the
 /// generator state a pure function of the call count).
 inline double normal(Pcg32& rng, double mean = 0.0, double stddev = 1.0) {

@@ -1,0 +1,134 @@
+// Capacity-market invariants: exact conservation of the cluster total,
+// deterministic matching, donor floors, and role-flip hysteresis.
+
+#include "cluster/market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pulse::cluster {
+namespace {
+
+MarketConfig tight_config() {
+  MarketConfig c;
+  c.rebalance_interval = 15;
+  c.high_watermark = 0.90;
+  c.low_watermark = 0.60;
+  c.transfer_fraction = 0.25;
+  c.min_quota_mb = 64.0;
+  c.cooldown_epochs = 2;
+  return c;
+}
+
+// Signals that make shard 0 a donor (cold) and shard `hot` a recipient.
+std::vector<ShardSignal> hot_cold(const CapacityMarket& m, std::size_t hot) {
+  std::vector<ShardSignal> s(m.shard_count());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i].used_mb = m.quota_mb(i) * 0.30;  // everyone cold by default
+  }
+  s[hot].used_mb = m.quota_mb(hot) * 0.99;
+  s[hot].capacity_evictions = 12;
+  return s;
+}
+
+TEST(CapacityMarket, TotalQuotaExactlyConservedAcrossEpochs) {
+  CapacityMarket market(tight_config(), {4096.0, 1024.0, 2048.0, 512.0});
+  const double total = market.total_quota_mb();
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    // Rotate the hot shard so quota keeps moving.
+    (void)market.rebalance(hot_cold(market, static_cast<std::size_t>(epoch) % 4));
+    ASSERT_EQ(market.total_quota_mb(), total) << "epoch " << epoch;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < 4; ++s) sum += market.quota_mb(s);
+    // Per-shard quotas are exact multiples of the fixed-point unit, so the
+    // sum reconstructs the total exactly as well.
+    ASSERT_EQ(sum, total) << "epoch " << epoch;
+  }
+  EXPECT_EQ(market.epochs(), 50u);
+}
+
+TEST(CapacityMarket, MovesQuotaFromColdToStarved) {
+  CapacityMarket market(tight_config(), {2048.0, 2048.0});
+  const std::vector<QuotaTransfer> trades = market.rebalance(hot_cold(market, 1));
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].donor, 0u);
+  EXPECT_EQ(trades[0].recipient, 1u);
+  EXPECT_GT(trades[0].mb, 0.0);
+  EXPECT_LT(market.quota_mb(0), 2048.0);
+  EXPECT_GT(market.quota_mb(1), 2048.0);
+  EXPECT_EQ(market.transfers(), 1u);
+  EXPECT_DOUBLE_EQ(market.quota_moved_mb(), trades[0].mb);
+}
+
+TEST(CapacityMarket, NoTradesWhenEveryShardIsInBand) {
+  CapacityMarket market(tight_config(), {2048.0, 2048.0, 2048.0});
+  std::vector<ShardSignal> signals(3);
+  for (std::size_t s = 0; s < 3; ++s) signals[s].used_mb = 2048.0 * 0.75;  // mid-band
+  EXPECT_TRUE(market.rebalance(signals).empty());
+  EXPECT_EQ(market.transfers(), 0u);
+}
+
+TEST(CapacityMarket, DonorNeverFallsBelowMinQuota) {
+  MarketConfig config = tight_config();
+  config.min_quota_mb = 1000.0;
+  config.transfer_fraction = 1.0;  // as aggressive as allowed
+  CapacityMarket market(config, {1100.0, 1100.0});
+  std::vector<ShardSignal> signals(2);
+  signals[0].used_mb = 0.0;  // idle donor
+  signals[1].used_mb = 1099.0;
+  signals[1].capacity_evictions = 100;
+  for (int epoch = 0; epoch < 10; ++epoch) (void)market.rebalance(signals);
+  EXPECT_GE(market.quota_mb(0), config.min_quota_mb);
+}
+
+TEST(CapacityMarket, CooldownBlocksRoleReversal) {
+  CapacityMarket market(tight_config(), {2048.0, 2048.0});
+  // Epoch 1: shard 0 donates.
+  ASSERT_EQ(market.rebalance(hot_cold(market, 1)).size(), 1u);
+  // Epochs 2-3: the roles invert in the signals, but both shards are still
+  // cooling down, so no quota sloshes back.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    EXPECT_TRUE(market.rebalance(hot_cold(market, 0)).empty()) << "epoch " << market.epochs();
+  }
+  // Epoch 4: cooldown expired, the reversed trade is allowed.
+  EXPECT_EQ(market.rebalance(hot_cold(market, 0)).size(), 1u);
+}
+
+TEST(CapacityMarket, RepeatingTheSameRoleIsAllowedDuringCooldown) {
+  CapacityMarket market(tight_config(), {4096.0, 1024.0});
+  ASSERT_FALSE(market.rebalance(hot_cold(market, 1)).empty());
+  // Sustained pressure on the same shard keeps attracting quota.
+  EXPECT_FALSE(market.rebalance(hot_cold(market, 1)).empty());
+}
+
+TEST(CapacityMarket, DeterministicForIdenticalSignalSequences) {
+  CapacityMarket a(tight_config(), {4096.0, 1024.0, 2048.0, 512.0});
+  CapacityMarket b(tight_config(), {4096.0, 1024.0, 2048.0, 512.0});
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const auto signals = hot_cold(a, static_cast<std::size_t>(epoch) % 4);
+    const auto ta = a.rebalance(signals);
+    const auto tb = b.rebalance(signals);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].donor, tb[i].donor);
+      EXPECT_EQ(ta[i].recipient, tb[i].recipient);
+      EXPECT_EQ(ta[i].mb, tb[i].mb);
+    }
+  }
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(a.quota_mb(s), b.quota_mb(s));
+}
+
+TEST(CapacityMarket, RejectsInvalidInputs) {
+  MarketConfig bad = tight_config();
+  bad.high_watermark = 0.5;  // below the low watermark
+  EXPECT_THROW(CapacityMarket(bad, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CapacityMarket(tight_config(), {}), std::invalid_argument);
+  EXPECT_THROW(CapacityMarket(tight_config(), {-1.0}), std::invalid_argument);
+
+  CapacityMarket market(tight_config(), {100.0, 100.0});
+  EXPECT_THROW((void)market.rebalance(std::vector<ShardSignal>(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulse::cluster

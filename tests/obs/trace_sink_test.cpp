@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "policies/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
 namespace pulse::obs {
 namespace {
 
@@ -34,6 +38,7 @@ TEST(EventType, StableNames) {
   EXPECT_STREQ(to_string(EventType::kCapacityPressure), "capacity_pressure");
   EXPECT_STREQ(to_string(EventType::kPolicyDecision), "policy_decision");
   EXPECT_STREQ(to_string(EventType::kPrewarm), "prewarm");
+  EXPECT_STREQ(to_string(EventType::kRebalance), "rebalance");
 }
 
 TEST(RingBufferSink, RecordsInOrderBelowCapacity) {
@@ -102,6 +107,48 @@ TEST(RingBufferSink, EventPayloadRoundTrips) {
   EXPECT_STREQ(out.detail, "flatten_peak");
 }
 
+// PULSE emits one kPolicyDecision per variant-selection pass: function =
+// the function decided for, variant = the choice for the next minute,
+// value = the keep-alive window covered, detail = "variant_selection".
+// Exactly one pass runs per minute-with-invocations of each function.
+TEST(PolicyDecisionEvents, PulseEmitsOnePerVariantSelection) {
+  trace::WorkloadConfig wc;
+  wc.function_count = 8;
+  wc.duration = 360;
+  wc.seed = 11;
+  const trace::Workload workload = trace::build_azure_like_workload(wc);
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment = sim::Deployment::round_robin(zoo, wc.function_count);
+
+  RingBufferSink sink(1 << 16);
+  sim::EngineConfig config;
+  config.seed = 29;
+  config.observer.sink = &sink;
+  sim::SimulationEngine engine(deployment, workload.trace, config);
+  auto policy = policies::make_policy("pulse");
+  (void)engine.run(*policy);
+
+  std::uint64_t invocation_minutes = 0;
+  for (trace::FunctionId f = 0; f < wc.function_count; ++f) {
+    invocation_minutes += workload.trace.invocation_minutes(f).size();
+  }
+  ASSERT_GT(invocation_minutes, 0u);
+
+  std::uint64_t decisions = 0;
+  for (const TraceEvent& e : sink.events()) {
+    if (e.type != EventType::kPolicyDecision) continue;
+    ++decisions;
+    ASSERT_NE(e.function, TraceEvent::kNoFunction);
+    EXPECT_LT(e.function, wc.function_count);
+    EXPECT_GE(e.variant, 0);
+    EXPECT_LT(e.variant,
+              static_cast<std::int32_t>(deployment.family_of(e.function).variant_count()));
+    EXPECT_GE(e.value, 1.0);  // the window always covers at least one minute
+    EXPECT_STREQ(e.detail, "variant_selection");
+  }
+  EXPECT_EQ(decisions, invocation_minutes);
+}
+
 class JsonlFileSinkTest : public ::testing::Test {
  protected:
   void TearDown() override {
@@ -153,6 +200,32 @@ TEST_F(JsonlFileSinkTest, WritesOneJsonObjectPerLine) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
   }
+}
+
+// The kRebalance schema the cluster capacity market emits: function =
+// recipient shard, variant = donor shard, value = MB moved, minute = the
+// epoch boundary. Pinned here so JSONL consumers can rely on it.
+TEST_F(JsonlFileSinkTest, RebalanceEventSchema) {
+  const std::string path = temp_path();
+  {
+    JsonlFileSink sink(path);
+    TraceEvent e;
+    e.type = EventType::kRebalance;
+    e.minute = 15;
+    e.function = 2;  // recipient shard
+    e.variant = 5;   // donor shard
+    e.value = 128.0;
+    e.detail = "quota_transfer";
+    sink.record(e);
+    sink.flush();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"rebalance\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"minute\":15"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"function\":2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"variant\":5"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"detail\":\"quota_transfer\""), std::string::npos);
 }
 
 TEST_F(JsonlFileSinkTest, UnopenablePathThrows) {
