@@ -3,27 +3,207 @@
 // The paper's replay is fault-free; this bench answers the production
 // question it leaves open — what happens to cost/service-time/accuracy when
 // containers crash, cold starts fail, and invocations time out?
-//   (1) Zero-fault equivalence: a zero-rate injector reproduces the
+//   (1) Shard-fault cluster sweep: whole worker shards crash and recover
+//       by checkpoint-replay while the capacity market runs degraded;
+//       keep-alive cost and SLO violations vs shard MTBF, per policy, with
+//       an exact quota-conservation acceptance gate. Writes
+//       BENCH_fault_resilience.json.
+//   (2) Zero-fault equivalence: a zero-rate injector reproduces the
 //       fault-free numbers exactly (the invariant the tests pin down).
-//   (2) Crash/cold-start/timeout sweeps: cost & accuracy degradation
+//   (3) Crash/cold-start/timeout sweeps: cost & accuracy degradation
 //       curves per policy, with the new RunResult fault counters.
-//   (3) Guard demonstration: a diverging predictor kills an unguarded run;
+//   (4) Guard demonstration: a diverging predictor kills an unguarded run;
 //       the same policy under fault::GuardedPolicy completes with the
 //       incident counted and fixed-keep-alive fallback behaviour.
+//
+// Usage: bench_fault_resilience [--quick] [--out <path>]
+//                               [google-benchmark flags]
+// --quick trims the shard-fault sweep for CI and skips everything else.
 
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "cluster/cluster_engine.hpp"
 #include "fault/diverging_policy.hpp"
 #include "fault/guarded_policy.hpp"
 #include "fault/injector.hpp"
 #include "policies/factory.hpp"
 #include "sim/engine.hpp"
+#include "trace/workload.hpp"
 
 namespace {
 
 using namespace pulse;
+
+// ---------------------------------------------------------------------------
+// Shard-fault cluster sweep
+// ---------------------------------------------------------------------------
+
+struct ShardFaultRow {
+  const char* policy = "pulse";
+  double crash_rate = 0.0;  // per shard-minute; MTBF = 1/rate minutes
+  double cost_usd = 0.0;
+  std::uint64_t invocations = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t warm_lost = 0;
+  double total_quota_mb = 0.0;
+  /// Latency SLO misses (cold starts) plus availability misses (failed
+  /// arrivals during shard outages).
+  [[nodiscard]] std::uint64_t slo_violations() const { return cold_starts + failed; }
+  [[nodiscard]] double mtbf_minutes() const {
+    return crash_rate > 0.0 ? 1.0 / crash_rate : 0.0;  // 0 = never
+  }
+};
+
+ShardFaultRow run_shard_fault_point(const trace::Workload& workload,
+                                    const sim::Deployment& deployment,
+                                    const char* policy, double crash_rate) {
+  cluster::ClusterConfig cc;
+  cc.shards = 4;
+  cc.engine.seed = 42;
+  cc.engine.hashed_rng = true;
+  cc.engine.memory_capacity_mb = deployment.peak_highest_memory_mb() * 0.35;
+  cc.market.rebalance_interval = 30;
+  cc.shard_faults.crash_rate = crash_rate;
+  cc.shard_faults.recovery_epochs = 2;
+  cc.shard_faults.stall_rate = 0.02;
+
+  cluster::ClusterEngine engine(deployment, workload.trace, cc);
+  const cluster::ClusterResult result =
+      engine.run([policy] { return policies::make_policy(policy); });
+
+  ShardFaultRow row;
+  row.policy = policy;
+  row.crash_rate = crash_rate;
+  row.cost_usd = result.total_keepalive_cost_usd();
+  row.invocations = result.invocations();
+  row.cold_starts = result.cold_starts();
+  row.failed = result.fault_counters().failed_invocations;
+  row.crashes = result.shard_crashes;
+  row.recoveries = result.shard_recoveries;
+  row.total_quota_mb = result.total_quota_mb;
+  for (const cluster::ShardFailure& f : result.failures) row.warm_lost += f.warm_lost;
+  return row;
+}
+
+void write_fault_json(const std::string& path, bool quick,
+                      const std::vector<ShardFaultRow>& rows, bool conserved,
+                      bool crashes_fired) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"fault_resilience\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ShardFaultRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"policy\": \"%s\", \"crash_rate\": %.17g, "
+                 "\"mtbf_minutes\": %.17g,\n"
+                 "     \"cost_usd\": %.17g, \"invocations\": %llu, "
+                 "\"cold_starts\": %llu, \"failed_invocations\": %llu,\n"
+                 "     \"slo_violations\": %llu, \"shard_crashes\": %llu, "
+                 "\"shard_recoveries\": %llu, \"warm_lost\": %llu,\n"
+                 "     \"total_quota_mb\": %.17g}%s\n",
+                 r.policy, r.crash_rate, r.mtbf_minutes(), r.cost_usd,
+                 static_cast<unsigned long long>(r.invocations),
+                 static_cast<unsigned long long>(r.cold_starts),
+                 static_cast<unsigned long long>(r.failed),
+                 static_cast<unsigned long long>(r.slo_violations()),
+                 static_cast<unsigned long long>(r.crashes),
+                 static_cast<unsigned long long>(r.recoveries),
+                 static_cast<unsigned long long>(r.warm_lost), r.total_quota_mb,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  // Acceptance: the conserved market total must be bit-identical across
+  // every run of the sweep — same partition, same capacity, so any
+  // difference means the degraded-mode market minted or leaked quota
+  // somewhere in a crash/recover sequence. Hard gate; CI fails on it.
+  std::fprintf(out,
+               "  \"acceptance\": {\"quota_conserved_exact\": %s, "
+               "\"crashes_fired\": %s, \"pass\": %s}\n",
+               conserved ? "true" : "false", crashes_fired ? "true" : "false",
+               conserved && crashes_fired ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run_shard_fault_sweep(bool quick, const std::string& out_path) {
+  bench::print_heading("Shard-fault resilience — crashes, checkpoint-replay recovery,"
+                       " degraded market",
+                       "keep-alive cost and SLO violations vs shard MTBF");
+
+  std::vector<double> rates;
+  std::vector<const char*> sweep_policies;
+  std::size_t functions = 0;
+  trace::Minute duration = 0;
+  if (quick) {
+    rates = {0.0, 1.0 / 720.0};
+    sweep_policies = {"pulse", "openwhisk"};
+    functions = 2000;
+    duration = 360;
+  } else {
+    rates = {0.0, 1.0 / 2880.0, 1.0 / 1440.0, 1.0 / 360.0};
+    sweep_policies = {"pulse", "openwhisk", "icebreaker"};
+    functions = 10000;
+    duration = 1440;
+  }
+
+  trace::WorkloadConfig wc;
+  wc.function_count = functions;
+  wc.duration = duration;
+  wc.seed = 11;
+  const trace::Workload workload = trace::build_azure_like_workload(wc);
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment = sim::Deployment::round_robin(zoo, functions);
+
+  std::printf("%zu functions, %lld minutes, 4 shards, market interval 30,"
+              " recovery 2 epochs\n\n",
+              functions, static_cast<long long>(duration));
+  std::printf("%12s %12s %10s %12s %12s %8s %8s %10s\n", "policy", "MTBF(min)",
+              "cost ($)", "cold", "failed", "crashes", "recover", "slo_viol");
+
+  std::vector<ShardFaultRow> rows;
+  bool conserved = true;
+  bool crashes_fired = false;
+  for (const char* policy : sweep_policies) {
+    for (const double rate : rates) {
+      const ShardFaultRow row = run_shard_fault_point(workload, deployment, policy, rate);
+      std::printf("%12s %12.0f %10.2f %12llu %12llu %8llu %8llu %10llu\n", row.policy,
+                  row.mtbf_minutes(), row.cost_usd,
+                  static_cast<unsigned long long>(row.cold_starts),
+                  static_cast<unsigned long long>(row.failed),
+                  static_cast<unsigned long long>(row.crashes),
+                  static_cast<unsigned long long>(row.recoveries),
+                  static_cast<unsigned long long>(row.slo_violations()));
+      crashes_fired = crashes_fired || row.crashes > 0;
+      rows.push_back(row);
+    }
+  }
+  // Exact conservation across the whole sweep: every run starts from the
+  // same split, so every conserved total must compare bit-equal.
+  for (const ShardFaultRow& row : rows) {
+    if (row.total_quota_mb != rows[0].total_quota_mb) conserved = false;
+  }
+
+  std::printf("\nacceptance: quota conservation %s, crashes %s -> %s\n",
+              conserved ? "EXACT" : "VIOLATED", crashes_fired ? "fired" : "missing",
+              conserved && crashes_fired ? "PASS" : "FAIL");
+  write_fault_json(out_path, quick, rows, conserved, crashes_fired);
+  return conserved && crashes_fired ? 0 : 1;
+}
 
 sim::RunResult run_with_faults(const exp::Scenario& scenario, const std::string& policy_name,
                                const fault::FaultConfig& faults) {
@@ -185,6 +365,26 @@ BENCHMARK(BM_EngineMinuteWithFaults)->Arg(0)->Arg(1);
 
 int main(int argc, char** argv) {
   using namespace pulse;
+
+  bool quick = false;
+  std::string out_path = "BENCH_fault_resilience.json";
+  // Strip our flags; everything else passes through to google-benchmark.
+  std::vector<char*> bench_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  const int fault_rc = run_shard_fault_sweep(quick, out_path);
+  if (fault_rc != 0 || quick) return fault_rc;  // quick mode: CI artifact only
+
   bench::print_heading("Fault resilience — policy degradation under injected faults",
                        "beyond the paper: production fault model (crashes, retries, SLOs)");
   exp::ScenarioConfig config;
@@ -197,5 +397,6 @@ int main(int argc, char** argv) {
   print_cold_start_sweep(scenario);
   print_timeout_sweep(scenario);
   print_guard_demonstration(scenario);
-  return bench::run_microbenchmarks(argc, argv);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  return bench::run_microbenchmarks(bench_argc, bench_argv.data());
 }

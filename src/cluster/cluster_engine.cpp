@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -78,6 +79,9 @@ ClusterEngine::ClusterEngine(const sim::Deployment& deployment, const trace::Tra
   if (!config_.market.valid()) {
     throw std::invalid_argument("ClusterEngine: invalid MarketConfig");
   }
+  if (!config_.shard_faults.valid()) {
+    throw std::invalid_argument("ClusterEngine: invalid ShardFaultConfig");
+  }
   partition_ = Partition::make(trace.function_count(), config_.shards);
   shard_traces_.reserve(config_.shards);
   shard_deployments_.reserve(config_.shards);
@@ -150,37 +154,184 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
 
   std::vector<std::uint64_t> prev_evictions(n, 0);
   std::vector<std::uint64_t> prev_cold(n, 0);
-  const trace::Minute interval = market_on ? config_.market.rebalance_interval : duration_;
+
+  // Shard-fault machinery. With all rates zero nothing below runs: no
+  // checkpoints are taken, detection never scans, and — unless the market
+  // is on — the whole trace is one epoch, so the loop is bitwise-identical
+  // to the pre-fault engine (the golden 1-shard identity path).
+  const fault::ShardFaultInjector injector(config_.shard_faults);
+  const bool crash_on = config_.shard_faults.crash_rate > 0.0;
+  const bool stall_on = config_.shard_faults.stall_rate > 0.0;
+  const bool barriers_on = market_on || config_.shard_faults.enabled();
+  const trace::Minute interval =
+      barriers_on ? config_.market.rebalance_interval : duration_;
+
+  // KeepAliveSchedule (inside RunCheckpoint) has no default constructor, so
+  // the per-shard epoch checkpoints live behind std::optional.
+  std::vector<std::optional<sim::RunCheckpoint>> checkpoints(n);
+  std::vector<std::uint8_t> down(n, 0);
+  std::vector<std::size_t> down_epochs_left(n, 0);
+  // Ledger entry of each shard's ongoing outage (index into result.failures).
+  std::vector<std::size_t> open_failure(n, 0);
+  std::uint64_t epoch_index = 0;
 
   for (trace::Minute t0 = 0; t0 < duration_;) {
+    const trace::Minute e0 = t0;
     const trace::Minute t1 = std::min<trace::Minute>(t0 + std::max<trace::Minute>(interval, 1),
                                                      duration_);
-    pool.parallel_for(n, [&](std::size_t s) { runs[s]->run_until(t1); });
-    t0 = t1;
 
-    if (!market_on || t1 >= duration_) continue;
+    // Epoch-start checkpoints bound replay work to one epoch; only live
+    // shards need one (a down shard's state is frozen at its crash minute).
+    if (crash_on) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (down[s] == 0) checkpoints[s] = runs[s]->checkpoint();
+      }
+    }
+    std::vector<std::uint8_t> stalled(n, 0);
+    if (stall_on) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (down[s] == 0 && injector.shard_stalls(s, epoch_index)) stalled[s] = 1;
+      }
+    }
+
+    pool.parallel_for(n, [&](std::size_t s) {
+      if (down[s] == 0) runs[s]->run_until(t1);
+    });
+    t0 = t1;
+    ++epoch_index;
+    const bool last_barrier = t1 >= duration_;
+
+    // Everything past the barrier is single-threaded coordinator work in
+    // shard order — the thread-count-determinism discipline.
+    std::vector<std::uint8_t> fresh(n, 0);  // crashed or recovered this barrier
+
+    if (crash_on) {
+      // Crash detection. The shard already simulated to t1 under the
+      // illusion it survived; rewind to the epoch checkpoint, deterministic
+      // silent replay up to the crash minute, then lose the warm pool.
+      for (std::size_t s = 0; s < n; ++s) {
+        if (down[s] != 0) continue;
+        const trace::Minute tc = injector.first_crash_in(s, e0, t1);
+        if (tc < 0) continue;
+        runs[s]->restore(*checkpoints[s]);
+        runs[s]->replay_until(tc);
+        const std::uint64_t warm_lost = runs[s]->lose_warm_pool(tc);
+        down[s] = 1;
+        fresh[s] = 1;
+        down_epochs_left[s] = config_.shard_faults.recovery_epochs;
+        const double reclaimed = market_on ? market.set_offline(s) : 0.0;
+        open_failure[s] = result.failures.size();
+        ShardFailure fail;
+        fail.shard = s;
+        fail.crash_minute = tc;
+        fail.detected_minute = t1;
+        fail.warm_lost = warm_lost;
+        fail.replayed_minutes = tc - e0;
+        fail.reclaimed_quota_mb = reclaimed;
+        result.failures.push_back(fail);
+        ++result.shard_crashes;
+        user_obs.emit({obs::EventType::kShardCrash, tc, s, -1,
+                       static_cast<double>(warm_lost), "shard_crash"});
+        if (user_obs.metrics != nullptr) {
+          user_obs.metrics->counter("cluster.failures.crashes").add(1);
+          user_obs.metrics->counter("cluster.failures.warm_lost").add(warm_lost);
+          user_obs.metrics->gauge("cluster.failures.reclaimed_mb").add(reclaimed);
+        }
+      }
+      // Recovery. A shard sits out `recovery_epochs` full epochs after the
+      // barrier that detected its crash, then the outage span is accounted
+      // (failed arrivals, degraded minutes) and it rejoins, clawing its
+      // quota back. Outages crossing the end of the trace settle after the
+      // loop with recovery_minute = -1.
+      for (std::size_t s = 0; s < n; ++s) {
+        if (down[s] == 0 || fresh[s] != 0) continue;
+        if (down_epochs_left[s] > 0) --down_epochs_left[s];
+        if (down_epochs_left[s] != 0 || last_barrier) continue;
+        const std::uint64_t failed = runs[s]->run_outage(t1);
+        down[s] = 0;
+        fresh[s] = 1;
+        ShardFailure& fail = result.failures[open_failure[s]];
+        fail.recovery_minute = t1;
+        fail.failed_invocations = failed;
+        ++result.shard_recoveries;
+        if (market_on) {
+          const std::vector<QuotaTransfer> clawbacks = market.set_online(s);
+          for (const QuotaTransfer& cb : clawbacks) {
+            const bool from_reserve = cb.donor == CapacityMarket::kReserveShard;
+            if (!from_reserve) {
+              runs[cb.donor]->set_memory_capacity_mb(market.quota_mb(cb.donor));
+            }
+            user_obs.emit({obs::EventType::kRebalance, t1, cb.recipient,
+                           from_reserve ? -2 : static_cast<std::int32_t>(cb.donor),
+                           cb.mb, "quota_clawback"});
+            if (user_obs.metrics != nullptr) {
+              user_obs.metrics->counter("cluster.transfers").add(1);
+              user_obs.metrics->gauge("cluster.quota_moved_mb").add(cb.mb);
+            }
+          }
+          runs[s]->set_memory_capacity_mb(market.quota_mb(s));
+        }
+        const trace::Minute latency = t1 - fail.crash_minute;
+        user_obs.emit({obs::EventType::kShardRecover, t1, s, -1,
+                       static_cast<double>(latency), "shard_recover"});
+        if (user_obs.metrics != nullptr) {
+          user_obs.metrics->counter("cluster.failures.recoveries").add(1);
+          user_obs.metrics->histogram("cluster.failures.recovery_latency_minutes", 256)
+              .add(static_cast<std::size_t>(std::max<trace::Minute>(latency, 0)));
+        }
+      }
+    }
+    if (stall_on) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (stalled[s] == 0) continue;
+        ++result.stalled_epochs;
+        if (user_obs.metrics != nullptr) {
+          user_obs.metrics->counter("cluster.failures.stalled_epochs").add(1);
+        }
+      }
+    }
+
+    if (!market_on || last_barrier) continue;
 
     // Between barriers, single-threaded: gather signals, trade, re-quota.
+    // Down shards report nothing (the market holds them offline); shards
+    // that stalled or just crashed/recovered report stale signals and are
+    // skipped for the epoch.
     std::vector<ShardSignal> signals(n);
     for (std::size_t s = 0; s < n; ++s) {
-      signals[s].used_mb = runs[s]->keepalive_memory_mb(t1 - 1);
       const sim::RunResult& p = runs[s]->partial();
       signals[s].capacity_evictions = p.capacity_evictions - prev_evictions[s];
       signals[s].cold_starts = p.cold_starts - prev_cold[s];
       prev_evictions[s] = p.capacity_evictions;
       prev_cold[s] = p.cold_starts;
+      signals[s].stalled = stalled[s] != 0 || fresh[s] != 0;
+      if (down[s] == 0 && fresh[s] == 0) {
+        signals[s].used_mb = runs[s]->keepalive_memory_mb(t1 - 1);
+      }
     }
     const std::vector<QuotaTransfer> trades = market.rebalance(signals);
     for (const QuotaTransfer& trade : trades) {
-      runs[trade.donor]->set_memory_capacity_mb(market.quota_mb(trade.donor));
+      const bool from_reserve = trade.donor == CapacityMarket::kReserveShard;
+      if (!from_reserve) {
+        runs[trade.donor]->set_memory_capacity_mb(market.quota_mb(trade.donor));
+      }
       runs[trade.recipient]->set_memory_capacity_mb(market.quota_mb(trade.recipient));
       user_obs.emit({obs::EventType::kRebalance, t1, trade.recipient,
-                     static_cast<std::int32_t>(trade.donor), trade.mb, "quota_transfer"});
+                     from_reserve ? -2 : static_cast<std::int32_t>(trade.donor),
+                     trade.mb, from_reserve ? "reserve_grant" : "quota_transfer"});
       if (user_obs.metrics != nullptr) {
         user_obs.metrics->counter("cluster.transfers").add(1);
         user_obs.metrics->gauge("cluster.quota_moved_mb").add(trade.mb);
       }
     }
+  }
+
+  // Outages that the trace ended inside: account the failed span so shard
+  // results stay complete, but the ledger keeps recovery_minute = -1.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (down[s] == 0) continue;
+    const std::uint64_t failed = runs[s]->run_outage(duration_);
+    result.failures[open_failure[s]].failed_invocations = failed;
   }
 
   pool.parallel_for(n, [&](std::size_t s) { result.shards[s] = runs[s]->finish(); });

@@ -38,6 +38,7 @@
 
 #include "cluster/market.hpp"
 #include "cluster/partition.hpp"
+#include "fault/shard_faults.hpp"
 #include "obs/metrics_registry.hpp"
 #include "sim/deployment.hpp"
 #include "sim/engine.hpp"
@@ -63,6 +64,37 @@ struct ClusterConfig {
   sim::EngineConfig engine{};
 
   MarketConfig market{};
+
+  /// Shard-level fault injection (crashes with checkpoint-replay recovery,
+  /// stall epochs). All rates default to zero, in which case the epoch loop
+  /// is bitwise-identical to one without the fault machinery — no
+  /// checkpoints are taken and no detection scan runs. Crashes are detected
+  /// at rebalance barriers, so market.rebalance_interval is also the
+  /// detection cadence even when the market itself is off.
+  fault::ShardFaultConfig shard_faults{};
+};
+
+/// One shard crash and its recovery, as the cluster engine observed them.
+struct ShardFailure {
+  std::size_t shard = 0;
+  /// Minute the crash fired (hash-derived; state up to here was replayed).
+  trace::Minute crash_minute = 0;
+  /// Barrier minute the crash was detected at (end of the crash epoch).
+  trace::Minute detected_minute = 0;
+  /// Barrier minute the shard was re-admitted; -1 when the trace ended
+  /// while the shard was still down.
+  trace::Minute recovery_minute = -1;
+  /// Containers alive at the crash minute, lost with the warm pool and
+  /// charged as crash evictions (cold restarts after recovery).
+  std::uint64_t warm_lost = 0;
+  /// Arrivals routed to the shard during the outage; all failed.
+  std::uint64_t failed_invocations = 0;
+  /// Minutes re-executed from the epoch checkpoint to reach the crash
+  /// minute (the deterministic-replay length).
+  trace::Minute replayed_minutes = 0;
+  /// Quota reclaimed into the market reserve at detection (0 with the
+  /// market off).
+  double reclaimed_quota_mb = 0.0;
 };
 
 struct ClusterResult {
@@ -80,6 +112,13 @@ struct ClusterResult {
   /// Conserved cluster capacity (0 when the market never ran). Exactly
   /// equal to the initial total at every epoch.
   double total_quota_mb = 0.0;
+
+  /// Failure ledger: one entry per shard crash, in detection order.
+  std::vector<ShardFailure> failures;
+  std::uint64_t shard_crashes = 0;
+  std::uint64_t shard_recoveries = 0;
+  /// Epochs a live shard spent stalled (market skipped it).
+  std::uint64_t stalled_epochs = 0;
 
   /// Snapshot of the user's registry after per-shard merges and cluster.*
   /// metrics; empty when no registry was attached.

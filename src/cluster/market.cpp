@@ -39,6 +39,8 @@ CapacityMarket::CapacityMarket(MarketConfig config, const std::vector<double>& i
   }
   last_role_.assign(quota_units_.size(), Role::kNone);
   last_trade_epoch_.assign(quota_units_.size(), 0);
+  offline_.assign(quota_units_.size(), 0);
+  reclaimed_units_.assign(quota_units_.size(), 0);
 }
 
 CapacityMarket::Units CapacityMarket::to_units(double mb) noexcept {
@@ -54,7 +56,9 @@ double CapacityMarket::quota_mb(std::size_t shard) const {
 }
 
 double CapacityMarket::total_quota_mb() const noexcept {
-  Units total = 0;
+  // The reserve is still cluster capacity — merely unassigned while its
+  // owner is down — so the conserved total includes it.
+  Units total = reserve_units_;
   for (const Units u : quota_units_) total += u;
   return to_mb(total);
 }
@@ -85,6 +89,9 @@ std::vector<QuotaTransfer> CapacityMarket::rebalance(const std::vector<ShardSign
   std::vector<Units> want(quota_units_.size(), 0);
 
   for (std::size_t s = 0; s < quota_units_.size(); ++s) {
+    // Offline shards hold no quota and report nothing; stalled shards (and
+    // just-recovered ones) report stale signals. Neither trades this epoch.
+    if (offline_[s] != 0 || signals[s].stalled) continue;
     const Units quota = quota_units_[s];
     const Units used = std::clamp<Units>(to_units(signals[s].used_mb), 0,
                                          std::numeric_limits<Units>::max());
@@ -126,9 +133,26 @@ std::vector<QuotaTransfer> CapacityMarket::rebalance(const std::vector<ShardSign
     }
   }
 
-  if (donors.empty() || recipients.empty()) return out;
+  if (recipients.empty() || (donors.empty() && reserve_units_ <= 0)) return out;
   sort_candidates(donors);
   sort_candidates(recipients);
+
+  // Degraded-mode grants: quota reclaimed from dead shards is earning
+  // nothing, so it satisfies starved shards before any live donor is
+  // tapped — same pressure order as the regular matching below.
+  for (const Candidate& r : recipients) {
+    if (reserve_units_ <= 0) break;
+    const Units moved = std::min(want[r.shard], reserve_units_);
+    if (moved <= 0) continue;
+    reserve_units_ -= moved;
+    want[r.shard] -= moved;
+    quota_units_[r.shard] += moved;
+    moved_units_ += moved;
+    ++transfers_;
+    last_role_[r.shard] = Role::kRecipient;
+    last_trade_epoch_[r.shard] = epoch_;
+    out.push_back({kReserveShard, r.shard, to_mb(moved)});
+  }
 
   for (const Candidate& r : recipients) {
     for (const Candidate& d : donors) {
@@ -148,6 +172,87 @@ std::vector<QuotaTransfer> CapacityMarket::rebalance(const std::vector<ShardSign
       out.push_back({d.shard, r.shard, to_mb(moved)});
     }
   }
+  return out;
+}
+
+double CapacityMarket::set_offline(std::size_t shard) {
+  if (offline_.at(shard) != 0) return 0.0;
+  offline_[shard] = 1;
+  const Units reclaimed = quota_units_[shard];
+  reclaimed_units_[shard] = reclaimed;
+  reserve_units_ += reclaimed;
+  quota_units_[shard] = 0;
+  // A dead shard has no market role; re-admission starts with clean
+  // hysteresis state.
+  last_role_[shard] = Role::kNone;
+  return to_mb(reclaimed);
+}
+
+std::vector<QuotaTransfer> CapacityMarket::set_online(std::size_t shard) {
+  std::vector<QuotaTransfer> out;
+  if (offline_.at(shard) == 0) return out;
+  offline_[shard] = 0;
+  const Units need = reclaimed_units_[shard];
+  reclaimed_units_[shard] = 0;
+  if (need <= 0) return out;
+
+  // Unspent reserve goes back first — it is the shard's own capacity that
+  // was never granted to anyone.
+  const Units from_reserve = std::min(need, reserve_units_);
+  if (from_reserve > 0) {
+    reserve_units_ -= from_reserve;
+    quota_units_[shard] += from_reserve;
+    moved_units_ += from_reserve;
+    ++transfers_;
+    out.push_back({kReserveShard, shard, to_mb(from_reserve)});
+  }
+
+  Units remaining = need - from_reserve;
+  if (remaining > 0) {
+    // Claw the rest back proportionally from the online shards' current
+    // quotas. Conservation guarantees the pool covers it: the total never
+    // changed, so what the reserve lacks the online shards received.
+    Units pool = 0;
+    for (std::size_t s = 0; s < quota_units_.size(); ++s) {
+      if (s == shard || offline_[s] != 0) continue;
+      pool += quota_units_[s];
+    }
+    remaining = std::min(remaining, pool);
+    if (remaining > 0) {
+      std::vector<Units> take(quota_units_.size(), 0);
+      Units taken = 0;
+      for (std::size_t s = 0; s < quota_units_.size(); ++s) {
+        if (s == shard || offline_[s] != 0 || quota_units_[s] <= 0) continue;
+        const Units share = static_cast<Units>(
+            static_cast<double>(remaining) *
+            (static_cast<double>(quota_units_[s]) / static_cast<double>(pool)));
+        take[s] = std::min(share, quota_units_[s]);
+        taken += take[s];
+      }
+      // Double rounding leaves the sum a few units off the exact target;
+      // correct one unit at a time in shard order (clamped per shard) so
+      // the claw-back is integer-exact and deterministic.
+      for (std::size_t s = 0; taken != remaining; s = (s + 1) % take.size()) {
+        if (s == shard || offline_[s] != 0) continue;
+        if (taken < remaining && take[s] < quota_units_[s]) {
+          ++take[s];
+          ++taken;
+        } else if (taken > remaining && take[s] > 0) {
+          --take[s];
+          --taken;
+        }
+      }
+      for (std::size_t s = 0; s < take.size(); ++s) {
+        if (take[s] <= 0) continue;
+        quota_units_[s] -= take[s];
+        quota_units_[shard] += take[s];
+        moved_units_ += take[s];
+        ++transfers_;
+        out.push_back({s, shard, to_mb(take[s])});
+      }
+    }
+  }
+  last_trade_epoch_[shard] = epoch_;
   return out;
 }
 

@@ -22,6 +22,16 @@
 //      `cooldown_epochs` epochs, so quota does not slosh back and forth
 //      between two shards that straddle a watermark. Repeating the same
 //      role is allowed — sustained pressure keeps attracting quota.
+//
+// Degraded mode (shard crashes): set_offline() reclaims a dead shard's
+// whole quota into a market reserve. The reserve is idle capacity, so each
+// rebalance() grants it to starved shards ahead of any live donor, through
+// the same pressure-sorted recipient matching. set_online() claws the
+// shard's pre-crash quota back — reserve first, then proportionally from
+// the online shards — so re-admission never mints or destroys capacity:
+// sum(quotas) + reserve is bit-identical to the initial total across any
+// crash/recover sequence (the conservation invariant the cluster fault
+// tests ASSERT_EQ).
 
 #include <cstddef>
 #include <cstdint>
@@ -68,6 +78,10 @@ struct ShardSignal {
 
   /// Cold starts during the epoch (not cumulative).
   std::uint64_t cold_starts = 0;
+
+  /// The shard spent the epoch as a straggler (or just recovered): its
+  /// signals are stale, so the market leaves it out of this epoch entirely.
+  bool stalled = false;
 };
 
 /// One quota movement decided by the broker.
@@ -102,6 +116,31 @@ class CapacityMarket {
   [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
   [[nodiscard]] double quota_moved_mb() const noexcept;
 
+  /// Sentinel donor id marking the degraded-mode reserve in transfers
+  /// returned by rebalance() (reserve grants) and set_online() (claw-back
+  /// drawn from the unspent reserve).
+  static constexpr std::size_t kReserveShard = static_cast<std::size_t>(-1);
+
+  /// Takes `shard` offline (shard crash): its whole quota moves into the
+  /// market reserve, from which later rebalance() epochs grant starved
+  /// shards capacity. Returns the MB reclaimed (0 when already offline).
+  /// Throws std::out_of_range on a bad shard id.
+  double set_offline(std::size_t shard);
+
+  /// Brings `shard` back online and claws its pre-crash quota back: first
+  /// from the unspent reserve, the remainder proportionally from the online
+  /// shards' current quotas (largest shares pay most; exact to the unit by
+  /// deterministic shard-order rounding correction). Always fully
+  /// satisfiable — the reclaimed amount never exceeds reserve + online
+  /// quota, because the total is conserved. Returns the claw-back transfers
+  /// (recipient = `shard`; donor kReserveShard marks the reserve's part).
+  std::vector<QuotaTransfer> set_online(std::size_t shard);
+
+  [[nodiscard]] bool offline(std::size_t shard) const { return offline_.at(shard) != 0; }
+
+  /// Reclaimed quota not yet granted to any shard, MB.
+  [[nodiscard]] double reserve_mb() const noexcept { return to_mb(reserve_units_); }
+
  private:
   // 1/1024 MB per unit: fine enough that rounding is invisible next to MB
   // sized quotas, coarse enough that ~2^43 MB of cluster memory stays well
@@ -119,6 +158,9 @@ class CapacityMarket {
   std::vector<Units> quota_units_;
   std::vector<Role> last_role_;
   std::vector<std::uint64_t> last_trade_epoch_;
+  std::vector<std::uint8_t> offline_;
+  std::vector<Units> reclaimed_units_;  // quota owed back to an offline shard
+  Units reserve_units_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t transfers_ = 0;
   Units moved_units_ = 0;

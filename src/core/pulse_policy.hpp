@@ -74,6 +74,9 @@ class PulsePolicy : public sim::KeepAlivePolicy {
 
   [[nodiscard]] std::uint64_t downgrade_count() const override;
 
+  [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
+  void restore(const sim::PolicyCheckpoint* snapshot) override;
+
   /// Introspection for tests and benches.
   [[nodiscard]] const std::vector<InterArrivalTracker>& trackers() const noexcept {
     return trackers_;

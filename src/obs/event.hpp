@@ -47,8 +47,18 @@ enum class EventType : std::uint8_t {
   /// The cluster capacity market moved keep-alive quota between two worker
   /// shards at a rebalance epoch. Shard coordinates ride the function /
   /// variant fields: `function` is the recipient shard, `variant` the donor
-  /// shard, `value` the MB moved. `minute` is the epoch boundary.
+  /// shard (-2 = the degraded-mode reserve), `value` the MB moved. `minute`
+  /// is the epoch boundary; `detail` is "quota_transfer", "reserve_grant"
+  /// or "quota_clawback".
   kRebalance,
+  /// A worker shard crashed: its warm pool and in-memory engine state are
+  /// lost, and arrivals routed to it fail until recovery. `function` is the
+  /// shard id, `minute` the crash minute, `value` the warm containers lost.
+  kShardCrash,
+  /// A crashed shard was restored (checkpoint + deterministic replay) and
+  /// re-admitted to the cluster. `function` is the shard id, `minute` the
+  /// recovery barrier, `value` the outage length in minutes.
+  kShardRecover,
 };
 
 /// Stable lower-snake-case name of the event type (the JSONL `type` field).

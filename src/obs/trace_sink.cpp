@@ -16,12 +16,14 @@ const char* to_string(EventType type) noexcept {
     case EventType::kPolicyDecision: return "policy_decision";
     case EventType::kPrewarm: return "prewarm";
     case EventType::kRebalance: return "rebalance";
+    case EventType::kShardCrash: return "shard_crash";
+    case EventType::kShardRecover: return "shard_recover";
   }
   return "?";
 }
 
 namespace {
-constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kRebalance) + 1;
+constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kShardRecover) + 1;
 }  // namespace
 
 RingBufferSink::RingBufferSink(std::size_t capacity)

@@ -1,11 +1,29 @@
 #include "policies/icebreaker.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "predict/divergence.hpp"
 #include "predict/fft.hpp"
 
 namespace pulse::policies {
+
+namespace {
+
+/// IceBreaker's post-initialize state: the per-function count series and
+/// the accumulator of the minute in flight.
+struct IceBreakerCheckpoint : sim::PolicyCheckpoint {
+  std::vector<std::vector<double>> history;
+  std::vector<std::uint32_t> current_minute_count;
+};
+
+/// IceBreaker+PULSE adds the inter-arrival trackers and global optimizer.
+struct IceBreakerPulseCheckpoint final : IceBreakerCheckpoint {
+  std::vector<core::InterArrivalTracker> trackers;
+  std::unique_ptr<core::GlobalOptimizer> optimizer;
+};
+
+}  // namespace
 
 void IceBreakerPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
                                   sim::KeepAliveSchedule& schedule) {
@@ -69,6 +87,22 @@ void IceBreakerPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& sc
     if (history_[f].empty()) continue;
     apply_forecast(f, t, forecast(f), schedule);
   }
+}
+
+std::unique_ptr<sim::PolicyCheckpoint> IceBreakerPolicy::checkpoint() const {
+  auto snap = std::make_unique<IceBreakerCheckpoint>();
+  snap->history = history_;
+  snap->current_minute_count = current_minute_count_;
+  return snap;
+}
+
+void IceBreakerPolicy::restore(const sim::PolicyCheckpoint* snapshot) {
+  const auto* snap = dynamic_cast<const IceBreakerCheckpoint*>(snapshot);
+  if (snap == nullptr) {
+    throw std::invalid_argument("IceBreakerPolicy::restore: wrong snapshot type");
+  }
+  history_ = snap->history;
+  current_minute_count_ = snap->current_minute_count;
 }
 
 IceBreakerPulsePolicy::IceBreakerPulsePolicy() : IceBreakerPulsePolicy(Config{}) {}
@@ -136,6 +170,28 @@ std::size_t IceBreakerPulsePolicy::cold_start_variant(
 
 std::uint64_t IceBreakerPulsePolicy::downgrade_count() const {
   return optimizer_ ? optimizer_->total_downgrades() : 0;
+}
+
+std::unique_ptr<sim::PolicyCheckpoint> IceBreakerPulsePolicy::checkpoint() const {
+  auto snap = std::make_unique<IceBreakerPulseCheckpoint>();
+  snap->history = history_;
+  snap->current_minute_count = current_minute_count_;
+  snap->trackers = trackers_;
+  if (optimizer_) snap->optimizer = std::make_unique<core::GlobalOptimizer>(*optimizer_);
+  return snap;
+}
+
+void IceBreakerPulsePolicy::restore(const sim::PolicyCheckpoint* snapshot) {
+  const auto* snap = dynamic_cast<const IceBreakerPulseCheckpoint*>(snapshot);
+  if (snap == nullptr) {
+    throw std::invalid_argument("IceBreakerPulsePolicy::restore: wrong snapshot type");
+  }
+  history_ = snap->history;
+  current_minute_count_ = snap->current_minute_count;
+  trackers_ = snap->trackers;
+  optimizer_ = snap->optimizer ? std::make_unique<core::GlobalOptimizer>(*snap->optimizer)
+                               : nullptr;
+  if (optimizer_) optimizer_->set_observer(observer());
 }
 
 }  // namespace pulse::policies

@@ -52,6 +52,9 @@ class IceBreakerPolicy : public sim::KeepAlivePolicy {
   void end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
                      const sim::MemoryHistory& history) override;
 
+  [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
+  void restore(const sim::PolicyCheckpoint* snapshot) override;
+
  protected:
   /// Predicted invocation intensity of f for the next refresh interval.
   [[nodiscard]] std::vector<double> forecast(trace::FunctionId f) const;
@@ -96,6 +99,9 @@ class IceBreakerPulsePolicy : public IceBreakerPolicy {
                                                const sim::Deployment& deployment) const override;
 
   [[nodiscard]] std::uint64_t downgrade_count() const override;
+
+  [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
+  void restore(const sim::PolicyCheckpoint* snapshot) override;
 
  protected:
   void apply_forecast(trace::FunctionId f, trace::Minute t,

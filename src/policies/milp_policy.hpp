@@ -56,6 +56,9 @@ class MilpPolicy : public sim::KeepAlivePolicy {
   /// diagnostics).
   [[nodiscard]] std::uint64_t solver_nodes() const noexcept { return solver_nodes_; }
 
+  [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
+  void restore(const sim::PolicyCheckpoint* snapshot) override;
+
  private:
   Config config_;
   std::vector<core::InterArrivalTracker> trackers_;

@@ -1,8 +1,24 @@
 #include "policies/wild.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pulse::policies {
+
+namespace {
+
+/// Wild's only post-initialize state: the per-function hybrid histograms.
+struct WildCheckpoint : sim::PolicyCheckpoint {
+  std::vector<predict::HybridHistogramPredictor> predictors;
+};
+
+/// Wild+PULSE adds the inter-arrival trackers and the global optimizer.
+struct WildPulseCheckpoint final : WildCheckpoint {
+  std::vector<core::InterArrivalTracker> trackers;
+  std::unique_ptr<core::GlobalOptimizer> optimizer;
+};
+
+}  // namespace
 
 void WildPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
                             sim::KeepAliveSchedule& schedule) {
@@ -38,6 +54,20 @@ void WildPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
   schedule.clear_from(f, t + 1);
   schedule.fill(f, t + 1 + w.prewarm_offset, t + 1 + w.keepalive_until,
                 static_cast<int>(schedule.variant_count_of(f)) - 1);
+}
+
+std::unique_ptr<sim::PolicyCheckpoint> WildPolicy::checkpoint() const {
+  auto snap = std::make_unique<WildCheckpoint>();
+  snap->predictors = predictors_;
+  return snap;
+}
+
+void WildPolicy::restore(const sim::PolicyCheckpoint* snapshot) {
+  const auto* snap = dynamic_cast<const WildCheckpoint*>(snapshot);
+  if (snap == nullptr) {
+    throw std::invalid_argument("WildPolicy::restore: wrong snapshot type");
+  }
+  predictors_ = snap->predictors;
 }
 
 WildPulsePolicy::WildPulsePolicy() : WildPulsePolicy(Config{}) {}
@@ -100,6 +130,26 @@ std::size_t WildPulsePolicy::cold_start_variant(trace::FunctionId f, trace::Minu
 
 std::uint64_t WildPulsePolicy::downgrade_count() const {
   return optimizer_ ? optimizer_->total_downgrades() : 0;
+}
+
+std::unique_ptr<sim::PolicyCheckpoint> WildPulsePolicy::checkpoint() const {
+  auto snap = std::make_unique<WildPulseCheckpoint>();
+  snap->predictors = predictors_;
+  snap->trackers = trackers_;
+  if (optimizer_) snap->optimizer = std::make_unique<core::GlobalOptimizer>(*optimizer_);
+  return snap;
+}
+
+void WildPulsePolicy::restore(const sim::PolicyCheckpoint* snapshot) {
+  const auto* snap = dynamic_cast<const WildPulseCheckpoint*>(snapshot);
+  if (snap == nullptr) {
+    throw std::invalid_argument("WildPulsePolicy::restore: wrong snapshot type");
+  }
+  predictors_ = snap->predictors;
+  trackers_ = snap->trackers;
+  optimizer_ = snap->optimizer ? std::make_unique<core::GlobalOptimizer>(*snap->optimizer)
+                               : nullptr;
+  if (optimizer_) optimizer_->set_observer(observer());
 }
 
 }  // namespace pulse::policies

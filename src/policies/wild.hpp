@@ -49,6 +49,9 @@ class WildPolicy : public sim::KeepAlivePolicy {
     return predictors_.at(f);
   }
 
+  [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
+  void restore(const sim::PolicyCheckpoint* snapshot) override;
+
  protected:
   /// Clamped prediction for f's window after an invocation at t.
   [[nodiscard]] predict::WindowPrediction predict_window(trace::FunctionId f,
@@ -87,6 +90,9 @@ class WildPulsePolicy : public WildPolicy {
                                                const sim::Deployment& deployment) const override;
 
   [[nodiscard]] std::uint64_t downgrade_count() const override;
+
+  [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
+  void restore(const sim::PolicyCheckpoint* snapshot) override;
 
  private:
   Config pulse_config_;

@@ -370,6 +370,106 @@ void SteppedRun::step_minute() {
   }
 }
 
+RunCheckpoint SteppedRun::checkpoint() const {
+  return RunCheckpoint{next_minute_,  config_.memory_capacity_mb,
+                       result_,       schedule_,
+                       memory_record_, latency_rng_,
+                       accuracy_rng_, eviction_rng_,
+                       policy_->checkpoint()};
+}
+
+void SteppedRun::restore(const RunCheckpoint& snapshot) {
+  if (finished_) {
+    throw std::logic_error("SteppedRun::restore: run already finished");
+  }
+  next_minute_ = snapshot.minute;
+  config_.memory_capacity_mb = snapshot.memory_capacity_mb;
+  result_ = snapshot.result;
+  schedule_ = snapshot.schedule;
+  memory_record_ = snapshot.memory_record;
+  latency_rng_ = snapshot.latency_rng;
+  accuracy_rng_ = snapshot.accuracy_rng;
+  eviction_rng_ = snapshot.eviction_rng;
+  policy_->restore(snapshot.policy.get());
+}
+
+void SteppedRun::replay_until(trace::Minute end) {
+  // The policy (and helpers like the PULSE optimizer) hold pointers to
+  // config_.observer itself, so muting the struct in place silences their
+  // emission too — no duplicated events or double-counted metrics from the
+  // replayed span.
+  const obs::Observer saved_observer = config_.observer;
+  util::IntHistogram* const saved_hist = alive_hist_;
+  config_.observer = obs::Observer{};
+  alive_hist_ = nullptr;
+  try {
+    run_until(end);
+  } catch (...) {
+    config_.observer = saved_observer;
+    alive_hist_ = saved_hist;
+    throw;
+  }
+  config_.observer = saved_observer;
+  alive_hist_ = saved_hist;
+}
+
+std::uint64_t SteppedRun::lose_warm_pool(trace::Minute t) {
+  std::uint64_t lost = 0;
+  schedule_.for_each_alive(t, [&](trace::FunctionId, std::size_t) { ++lost; });
+  // Everything scheduled from t onward dies with the shard: the alive
+  // containers (charged as crash evictions) and any planned keep-alive.
+  for (trace::FunctionId f = 0; f < trace_->function_count(); ++f) {
+    schedule_.clear_from(f, t);
+  }
+  result_.crash_evictions += lost;
+  return lost;
+}
+
+std::uint64_t SteppedRun::run_outage(trace::Minute end) {
+  const trace::Trace& tr = *trace_;
+  const trace::Minute stop = std::min(end, tr.duration());
+  const std::vector<trace::FunctionId>* const gids = config_.global_ids;
+  obs::TraceSink* const sink = config_.observer.sink;
+  std::uint64_t failed = 0;
+
+  while (next_minute_ < stop) {
+    const trace::Minute t = next_minute_;
+    double ideal_cost_t = 0.0;
+    for (trace::FunctionId f = 0; f < tr.function_count(); ++f) {
+      const std::uint32_t count = tr.count(f, t);
+      if (count == 0) continue;
+      // The ideal reference is fault-free by definition, so outage minutes
+      // still accrue it — exactly like failed minutes in step_minute().
+      ideal_cost_t += config_.cost_model.keepalive_cost_usd(
+          deployment_->family_of(f).highest().memory_mb, 1.0);
+      result_.failed_invocations += count;
+      failed += count;
+      if (sink != nullptr) {
+        sink->record({obs::EventType::kFault, t, gids != nullptr ? (*gids)[f] : f, -1,
+                      static_cast<double>(count), "shard_outage"});
+      }
+    }
+    ++result_.degraded_minutes;
+
+    // The control plane outlives the worker: minute-indexed policy state
+    // (demand histories, forecast periods) stays aligned with the clock,
+    // and windows it schedules past the outage become recovery pre-warms.
+    // Arrivals were lost, so on_invocation is never called.
+    policy_->end_of_minute(t, schedule_, *history_);
+
+    // A dead shard holds nothing warm: zero memory, zero keep-alive cost.
+    memory_record_.push_back(0.0);
+    if (alive_hist_ != nullptr) alive_hist_->add(0);
+    if (config_.record_series) {
+      result_.keepalive_memory_mb.push_back(0.0);
+      result_.keepalive_cost_usd.push_back(0.0);
+      result_.ideal_cost_usd.push_back(ideal_cost_t);
+    }
+    ++next_minute_;
+  }
+  return failed;
+}
+
 RunResult SteppedRun::finish() {
   if (finished_) {
     throw std::logic_error("SteppedRun::finish: already finished");

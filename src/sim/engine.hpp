@@ -96,6 +96,24 @@ struct EngineConfig {
   const std::vector<trace::FunctionId>* global_ids = nullptr;
 };
 
+/// Snapshot of a SteppedRun at a minute boundary: schedule, capacity,
+/// partial result, memory record, the sequential RNG positions, and the
+/// policy's own state. Everything a bit-exact replay needs — hashed draws
+/// (EngineConfig::hashed_rng) and fault decisions are pure functions of
+/// coordinates and need no saved position. Move-only (it owns the policy
+/// snapshot); only valid for the SteppedRun that produced it.
+struct RunCheckpoint {
+  trace::Minute minute = 0;
+  double memory_capacity_mb = 0.0;
+  RunResult result;
+  KeepAliveSchedule schedule;
+  std::vector<double> memory_record;
+  util::Pcg32 latency_rng;
+  util::Pcg32 accuracy_rng;
+  util::Pcg32 eviction_rng;
+  std::unique_ptr<PolicyCheckpoint> policy;
+};
+
 /// Minute-stepped execution of one simulation run.
 ///
 /// Exactly the replay SimulationEngine::run performs, exposed as an object
@@ -143,6 +161,34 @@ class SteppedRun {
   /// Runs any remaining minutes, folds end-of-run counters and metrics, and
   /// returns the final result. Call at most once.
   RunResult finish();
+
+  /// Snapshot of the run at the current minute boundary. restore() on this
+  /// same SteppedRun rolls back to it and replay_until() re-executes the
+  /// rolled-back span bit-exactly — the cluster engine's crash-recovery
+  /// path, and the seed for long-run resumability. Cost is O(state): one
+  /// copy of the schedule, result, memory record and policy state.
+  [[nodiscard]] RunCheckpoint checkpoint() const;
+
+  /// Rolls the run back to `snapshot` (which must come from this run).
+  /// Throws std::logic_error once finish() was called.
+  void restore(const RunCheckpoint& snapshot);
+
+  /// run_until(end) with all observability emission suppressed: a replay
+  /// after restore() re-executes minutes whose events and metrics the
+  /// original pass already emitted, so it must stay silent to keep sinks
+  /// and registries single-counted.
+  void replay_until(trace::Minute end);
+
+  /// Shard crash at minute t: every container alive at t — and everything
+  /// scheduled after it — is lost with the shard. Counts the alive
+  /// containers as crash evictions and returns how many were lost.
+  std::uint64_t lose_warm_pool(trace::Minute t);
+
+  /// Advances through [next_minute(), min(end, duration())) as a dead-shard
+  /// outage: every arrival fails, no memory is held and no cost accrues,
+  /// but minute-indexed policy bookkeeping (end_of_minute) stays aligned
+  /// with the clock. Returns the failed invocations added.
+  std::uint64_t run_outage(trace::Minute end);
 
  private:
   void step_minute();

@@ -7,6 +7,7 @@
 // a minute's invocations it calls end_of_minute(), where cross-function
 // policies (PULSE's global optimizer, MILP) flatten keep-alive memory peaks.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,14 @@
 #include "trace/trace.hpp"
 
 namespace pulse::sim {
+
+/// Opaque snapshot of a policy's mutable state. Each stateful policy
+/// derives its own snapshot type in its implementation file; the engine
+/// only moves these around (see KeepAlivePolicy::checkpoint).
+class PolicyCheckpoint {
+ public:
+  virtual ~PolicyCheckpoint() = default;
+};
 
 /// Read-only view of the per-minute keep-alive memory history that the
 /// engine has recorded so far. memory_at(t) is valid for t < now; the
@@ -78,6 +87,21 @@ class KeepAlivePolicy {
   /// the incidents it caught; plain policies return 0). The engine copies
   /// this into RunResult::guard_incidents.
   [[nodiscard]] virtual std::uint64_t incident_count() const { return 0; }
+
+  /// Snapshot of every piece of state this policy mutates after
+  /// initialize(). SteppedRun::checkpoint() packages it with the engine
+  /// state so a cluster shard can be rolled back and replayed bit-exactly
+  /// after a crash. Policies whose behaviour is fixed once initialize() ran
+  /// (fixed windows, oracles, pure hash draws) keep the default: nullptr
+  /// means "nothing to restore".
+  [[nodiscard]] virtual std::unique_ptr<PolicyCheckpoint> checkpoint() const {
+    return nullptr;
+  }
+
+  /// Restores state captured by checkpoint() on this same policy instance
+  /// (nullptr restores the stateless default). Stateful overrides throw
+  /// std::invalid_argument when handed a snapshot of another policy type.
+  virtual void restore(const PolicyCheckpoint* snapshot) { (void)snapshot; }
 
   /// Attaches the observability context (nullptr = disabled, the default).
   /// The engine calls this before initialize(); wrapper policies forward to

@@ -130,5 +130,146 @@ TEST(CapacityMarket, RejectsInvalidInputs) {
   EXPECT_THROW((void)market.rebalance(std::vector<ShardSignal>(3)), std::invalid_argument);
 }
 
+TEST(CapacityMarket, OfflineReclaimsQuotaIntoTheReserve) {
+  CapacityMarket market(tight_config(), {4096.0, 1024.0, 2048.0});
+  const double total = market.total_quota_mb();
+
+  const double reclaimed = market.set_offline(1);
+  EXPECT_EQ(reclaimed, 1024.0);
+  EXPECT_TRUE(market.offline(1));
+  EXPECT_EQ(market.quota_mb(1), 0.0);
+  EXPECT_EQ(market.reserve_mb(), 1024.0);
+  ASSERT_EQ(market.total_quota_mb(), total);
+
+  // Idempotent: a second offline call reclaims nothing.
+  EXPECT_EQ(market.set_offline(1), 0.0);
+  ASSERT_EQ(market.total_quota_mb(), total);
+}
+
+TEST(CapacityMarket, ReserveGrantsFeedStarvedShardsBeforeDonors) {
+  CapacityMarket market(tight_config(), {2048.0, 2048.0, 2048.0});
+  const double total = market.total_quota_mb();
+  (void)market.set_offline(0);
+
+  // Shard 2 is starved; shard 1 is cold (an eligible donor). The reserve
+  // must satisfy shard 2 first, leaving the donor untouched.
+  std::vector<ShardSignal> s(3);
+  s[1].used_mb = market.quota_mb(1) * 0.30;
+  s[2].used_mb = market.quota_mb(2) * 0.99;
+  s[2].capacity_evictions = 5;
+  const std::vector<QuotaTransfer> trades = market.rebalance(s);
+  ASSERT_FALSE(trades.empty());
+  EXPECT_EQ(trades[0].donor, CapacityMarket::kReserveShard);
+  EXPECT_EQ(trades[0].recipient, 2u);
+  EXPECT_GT(trades[0].mb, 0.0);
+  EXPECT_EQ(market.quota_mb(1), 2048.0) << "live donor tapped before the reserve";
+  ASSERT_EQ(market.total_quota_mb(), total);
+}
+
+TEST(CapacityMarket, OnlineClawsTheExactPreCrashQuotaBack) {
+  CapacityMarket market(tight_config(), {4096.0, 1024.0, 2048.0});
+  const double total = market.total_quota_mb();
+  (void)market.set_offline(1);
+
+  // Drain the whole reserve into starved shards so the claw-back has to
+  // come out of live quotas.
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    std::vector<ShardSignal> s(3);
+    s[0].used_mb = market.quota_mb(0) * 0.99;
+    s[0].capacity_evictions = 9;
+    s[2].used_mb = market.quota_mb(2) * 0.99;
+    s[2].capacity_evictions = 9;
+    (void)market.rebalance(s);
+    ASSERT_EQ(market.total_quota_mb(), total) << "epoch " << epoch;
+  }
+  EXPECT_EQ(market.reserve_mb(), 0.0) << "starved shards should drain the reserve";
+
+  const std::vector<QuotaTransfer> clawbacks = market.set_online(1);
+  ASSERT_FALSE(clawbacks.empty());
+  EXPECT_FALSE(market.offline(1));
+  EXPECT_EQ(market.quota_mb(1), 1024.0) << "exactly the pre-crash quota returns";
+  double clawed = 0.0;
+  for (const QuotaTransfer& t : clawbacks) {
+    EXPECT_EQ(t.recipient, 1u);
+    EXPECT_NE(t.donor, CapacityMarket::kReserveShard) << "reserve was empty";
+    clawed += t.mb;
+  }
+  EXPECT_EQ(clawed, 1024.0);
+  ASSERT_EQ(market.total_quota_mb(), total);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < 3; ++s) sum += market.quota_mb(s);
+  ASSERT_EQ(sum + market.reserve_mb(), total);
+}
+
+TEST(CapacityMarket, AdversarialCrashRecoverySequencesConserveExactly) {
+  // Awkward quotas (not unit multiples), overlapping outages, recoveries
+  // into drained reserves, double offline/online calls — the int64
+  // fixed-point total must survive all of it to the exact unit.
+  CapacityMarket market(tight_config(), {1000.3, 777.7, 4095.9, 64.0, 512.5});
+  const double total = market.total_quota_mb();
+
+  std::uint64_t step = 0;
+  const auto churn = [&](std::size_t hot) {
+    std::vector<ShardSignal> s(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (market.offline(i)) continue;
+      s[i].used_mb = market.quota_mb(i) * 0.30;
+    }
+    if (!market.offline(hot)) {
+      s[hot].used_mb = market.quota_mb(hot) * 0.99;
+      s[hot].capacity_evictions = 3;
+    }
+    (void)market.rebalance(s);
+    ASSERT_EQ(market.total_quota_mb(), total) << "step " << step;
+  };
+
+  for (std::size_t victim = 0; victim < 5; ++victim) {
+    const std::size_t other = (victim + 2) % 5;
+    (void)market.set_offline(victim);
+    ASSERT_EQ(market.total_quota_mb(), total);
+    churn((victim + 1) % 5);
+    (void)market.set_offline(other);  // overlapping outage
+    ASSERT_EQ(market.total_quota_mb(), total);
+    churn((victim + 3) % 5);
+    churn((victim + 4) % 5);
+    (void)market.set_online(victim);
+    ASSERT_EQ(market.total_quota_mb(), total);
+    (void)market.set_online(victim);  // idempotent
+    ASSERT_EQ(market.total_quota_mb(), total);
+    churn((victim + 1) % 5);
+    (void)market.set_online(other);
+    ASSERT_EQ(market.total_quota_mb(), total);
+    double sum = 0.0;
+    for (std::size_t s = 0; s < 5; ++s) sum += market.quota_mb(s);
+    ASSERT_EQ(sum + market.reserve_mb(), total) << "victim " << victim;
+    ++step;
+  }
+}
+
+TEST(CapacityMarket, OfflineShardsNeverTrade) {
+  CapacityMarket market(tight_config(), {2048.0, 2048.0, 2048.0});
+  (void)market.set_offline(0);
+
+  // Shard 0's signal claims starvation, but offline shards are skipped.
+  std::vector<ShardSignal> s(3);
+  s[0].used_mb = 4000.0;
+  s[0].capacity_evictions = 50;
+  s[1].used_mb = market.quota_mb(1) * 0.30;
+  for (const QuotaTransfer& t : market.rebalance(s)) {
+    EXPECT_NE(t.recipient, 0u);
+    EXPECT_NE(t.donor, 0u);
+  }
+  EXPECT_EQ(market.quota_mb(0), 0.0);
+}
+
+TEST(CapacityMarket, StalledShardsSitOutTheEpoch) {
+  CapacityMarket market(tight_config(), {2048.0, 2048.0});
+  std::vector<ShardSignal> s = hot_cold(market, 1);
+  s[1].stalled = true;  // the starved shard is a straggler this epoch
+  EXPECT_TRUE(market.rebalance(s).empty());
+  s[1].stalled = false;
+  EXPECT_FALSE(market.rebalance(s).empty());
+}
+
 }  // namespace
 }  // namespace pulse::cluster

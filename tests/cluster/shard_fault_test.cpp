@@ -1,0 +1,234 @@
+// Shard-level fault tolerance in ClusterEngine: ledger consistency,
+// checkpoint-replay accounting, thread-count invariance with faults on, the
+// degraded-mode market's exact conservation, and a threaded crash/recover
+// run for the sanitizer jobs (TSan in particular).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_engine.hpp"
+#include "policies/factory.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::cluster {
+namespace {
+
+class Fingerprint {
+ public:
+  void add_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_double(double v) noexcept { add_u64(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t fingerprint(const sim::RunResult& r) {
+  Fingerprint fp;
+  fp.add_double(r.total_service_time_s);
+  fp.add_double(r.total_keepalive_cost_usd);
+  fp.add_double(r.accuracy_pct_sum);
+  fp.add_u64(r.invocations);
+  fp.add_u64(r.warm_starts);
+  fp.add_u64(r.cold_starts);
+  fp.add_u64(r.downgrades);
+  fp.add_u64(r.capacity_evictions);
+  fp.add_u64(r.failed_invocations);
+  fp.add_u64(r.retries);
+  fp.add_u64(r.timeouts);
+  fp.add_u64(r.crash_evictions);
+  fp.add_u64(r.degraded_minutes);
+  fp.add_u64(r.guard_incidents);
+  for (double v : r.keepalive_memory_mb) fp.add_double(v);
+  for (double v : r.keepalive_cost_usd) fp.add_double(v);
+  for (double v : r.ideal_cost_usd) fp.add_double(v);
+  return fp.value();
+}
+
+struct Fixture {
+  trace::Workload workload;
+  models::ModelZoo zoo;
+  sim::Deployment deployment;
+};
+
+Fixture make_fixture(std::size_t functions, trace::Minute duration, std::uint64_t seed) {
+  trace::WorkloadConfig wc;
+  wc.function_count = functions;
+  wc.duration = duration;
+  wc.seed = seed;
+  Fixture fx{trace::build_azure_like_workload(wc), models::ModelZoo::builtin(), {}};
+  fx.deployment = sim::Deployment::round_robin(fx.zoo, functions);
+  return fx;
+}
+
+// Container-level faults stay OFF so every crash eviction, failed
+// invocation and degraded minute in the results is attributable to the
+// shard-fault stream alone.
+ClusterConfig faulty_config(const Fixture& fx, std::size_t shards, std::size_t threads) {
+  ClusterConfig cc;
+  cc.shards = shards;
+  cc.threads = threads;
+  cc.engine.seed = 99;
+  cc.engine.hashed_rng = true;
+  cc.engine.memory_capacity_mb = fx.deployment.peak_highest_memory_mb() * 0.35;
+  cc.market.rebalance_interval = 30;
+  cc.shard_faults.crash_rate = 0.004;
+  cc.shard_faults.recovery_epochs = 2;
+  cc.shard_faults.stall_rate = 0.05;
+  return cc;
+}
+
+ClusterResult run_cluster(const Fixture& fx, const ClusterConfig& cc, const char* policy) {
+  ClusterEngine cluster(fx.deployment, fx.workload.trace, cc);
+  return cluster.run([&] { return policies::make_policy(policy); });
+}
+
+TEST(ShardFaultCluster, FailureLedgerIsConsistent) {
+  const Fixture fx = make_fixture(48, 720, 13);
+  const ClusterConfig cc = faulty_config(fx, 4, 0);
+  const ClusterResult r = run_cluster(fx, cc, "pulse");
+
+  ASSERT_GT(r.shard_crashes, 0u) << "fixture should produce at least one crash";
+  EXPECT_EQ(r.failures.size(), r.shard_crashes);
+  EXPECT_LE(r.shard_recoveries, r.shard_crashes);
+
+  std::uint64_t warm_lost = 0, failed = 0, outage_minutes = 0;
+  for (const ShardFailure& f : r.failures) {
+    EXPECT_LT(f.shard, 4u);
+    EXPECT_GE(f.crash_minute, 0);
+    EXPECT_LT(f.crash_minute, 720);
+    EXPECT_GT(f.detected_minute, f.crash_minute);
+    EXPECT_GE(f.replayed_minutes, 0);
+    EXPECT_LT(f.replayed_minutes, cc.market.rebalance_interval);
+    EXPECT_GT(f.reclaimed_quota_mb, 0.0) << "market on: a crash reclaims quota";
+    const trace::Minute end = f.recovery_minute >= 0 ? f.recovery_minute : 720;
+    EXPECT_GE(end, f.detected_minute);
+    warm_lost += f.warm_lost;
+    failed += f.failed_invocations;
+    outage_minutes += static_cast<std::uint64_t>(end - f.crash_minute);
+  }
+
+  // With container faults off, shard crashes are the only source of these
+  // counters — the ledger must reconcile exactly with the shard results.
+  const sim::FaultCounters counters = r.fault_counters();
+  EXPECT_EQ(counters.crash_evictions, warm_lost);
+  EXPECT_EQ(counters.failed_invocations, failed);
+  EXPECT_EQ(counters.degraded_minutes, outage_minutes);
+  EXPECT_GT(failed, 0u) << "an outage over live traffic should fail arrivals";
+}
+
+TEST(ShardFaultCluster, IdenticalAcrossThreadCountsWithFaultsOn) {
+  const Fixture fx = make_fixture(48, 720, 13);
+  const ClusterResult one = run_cluster(fx, faulty_config(fx, 4, 1), "pulse");
+  const ClusterResult two = run_cluster(fx, faulty_config(fx, 4, 2), "pulse");
+  const ClusterResult many = run_cluster(fx, faulty_config(fx, 4, 0), "pulse");
+
+  ASSERT_GT(one.shard_crashes, 0u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(fingerprint(two.shards[s]), fingerprint(one.shards[s])) << "shard " << s;
+    EXPECT_EQ(fingerprint(many.shards[s]), fingerprint(one.shards[s])) << "shard " << s;
+  }
+  for (const ClusterResult* r : {&two, &many}) {
+    EXPECT_EQ(r->shard_crashes, one.shard_crashes);
+    EXPECT_EQ(r->shard_recoveries, one.shard_recoveries);
+    EXPECT_EQ(r->stalled_epochs, one.stalled_epochs);
+    EXPECT_EQ(r->transfers, one.transfers);
+    EXPECT_EQ(r->quota_moved_mb, one.quota_moved_mb);
+    ASSERT_EQ(r->failures.size(), one.failures.size());
+    for (std::size_t i = 0; i < one.failures.size(); ++i) {
+      EXPECT_EQ(r->failures[i].shard, one.failures[i].shard);
+      EXPECT_EQ(r->failures[i].crash_minute, one.failures[i].crash_minute);
+      EXPECT_EQ(r->failures[i].recovery_minute, one.failures[i].recovery_minute);
+      EXPECT_EQ(r->failures[i].warm_lost, one.failures[i].warm_lost);
+      EXPECT_EQ(r->failures[i].failed_invocations, one.failures[i].failed_invocations);
+      EXPECT_EQ(r->failures[i].reclaimed_quota_mb, one.failures[i].reclaimed_quota_mb);
+    }
+  }
+}
+
+TEST(ShardFaultCluster, FaultCountersSumOverShardsWithFaultsOn) {
+  const Fixture fx = make_fixture(48, 720, 13);
+  const ClusterResult r = run_cluster(fx, faulty_config(fx, 4, 0), "pulse");
+
+  sim::FaultCounters manual;
+  for (const sim::RunResult& shard : r.shards) {
+    const sim::FaultCounters c = shard.fault_counters();
+    manual.failed_invocations += c.failed_invocations;
+    manual.retries += c.retries;
+    manual.timeouts += c.timeouts;
+    manual.crash_evictions += c.crash_evictions;
+    manual.capacity_evictions += c.capacity_evictions;
+    manual.degraded_minutes += c.degraded_minutes;
+    manual.guard_incidents += c.guard_incidents;
+  }
+  EXPECT_EQ(r.fault_counters(), manual);
+}
+
+TEST(ShardFaultCluster, DegradedMarketConservesClusterCapacity) {
+  const Fixture fx = make_fixture(48, 1440, 21);
+  ClusterConfig cc = faulty_config(fx, 4, 0);
+  cc.shard_faults.crash_rate = 0.01;  // many crash/recover cycles
+  const ClusterResult r = run_cluster(fx, cc, "openwhisk");
+
+  ASSERT_GT(r.shard_crashes, 1u);
+  ASSERT_GT(r.shard_recoveries, 0u);
+  // The conserved total (assigned quota + degraded-mode reserve) survives
+  // every crash, reserve grant and claw-back to the exact unit.
+  const double capacity = fx.deployment.peak_highest_memory_mb() * 0.35;
+  EXPECT_NEAR(r.total_quota_mb, capacity, 4.0 / 1024.0);
+}
+
+TEST(ShardFaultCluster, ZeroRatesMatchFaultFreeClusterBitwise) {
+  const Fixture fx = make_fixture(24, 360, 7);
+  ClusterConfig plain;
+  plain.shards = 3;
+  plain.engine.seed = 5;
+  plain.engine.hashed_rng = true;
+  plain.engine.memory_capacity_mb = fx.deployment.peak_highest_memory_mb() * 0.35;
+
+  ClusterConfig zeroed = plain;
+  zeroed.shard_faults.seed = 0x1234;  // config present, rates zero
+
+  const ClusterResult a = run_cluster(fx, plain, "pulse");
+  const ClusterResult b = run_cluster(fx, zeroed, "pulse");
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(fingerprint(b.shards[s]), fingerprint(a.shards[s])) << "shard " << s;
+  }
+  EXPECT_EQ(b.transfers, a.transfers);
+  EXPECT_EQ(a.shard_crashes, 0u);
+  EXPECT_EQ(b.shard_crashes, 0u);
+  EXPECT_TRUE(b.failures.empty());
+}
+
+// The sanitizer target: shards crash, replay and recover while peers step
+// concurrently on a real thread pool. Asserts only coarse invariants — the
+// value of the test is TSan/ASan coverage of the barrier handoffs.
+TEST(ShardFaultCluster, ThreadedCrashRecoverRunIsClean) {
+  const Fixture fx = make_fixture(64, 720, 31);
+  ClusterConfig cc = faulty_config(fx, 8, 4);
+  cc.shard_faults.crash_rate = 0.006;
+  const ClusterResult r = run_cluster(fx, cc, "pulse");
+
+  EXPECT_EQ(r.shards.size(), 8u);
+  EXPECT_GT(r.invocations(), 0u);
+  EXPECT_GT(r.shard_crashes, 0u);
+  EXPECT_EQ(r.failures.size(), r.shard_crashes);
+}
+
+TEST(ShardFaultCluster, RejectsInvalidShardFaultConfig) {
+  const Fixture fx = make_fixture(8, 60, 1);
+  ClusterConfig cc;
+  cc.shard_faults.crash_rate = 2.0;
+  EXPECT_THROW(ClusterEngine(fx.deployment, fx.workload.trace, cc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulse::cluster

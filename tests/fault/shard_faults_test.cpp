@@ -1,0 +1,112 @@
+// ShardFaultInjector: pure-function determinism, rate edge cases, and the
+// barrier detection scan (first_crash_in).
+
+#include "fault/shard_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pulse::fault {
+namespace {
+
+TEST(ShardFaults, DefaultConfigIsValidAndDisabled) {
+  const ShardFaultConfig config;
+  EXPECT_TRUE(config.valid());
+  EXPECT_FALSE(config.enabled());
+}
+
+TEST(ShardFaults, ValidRejectsOutOfRangeRates) {
+  ShardFaultConfig config;
+  config.crash_rate = 1.5;
+  EXPECT_FALSE(config.valid());
+  config.crash_rate = -0.1;
+  EXPECT_FALSE(config.valid());
+  config.crash_rate = 0.5;
+  config.stall_rate = 2.0;
+  EXPECT_FALSE(config.valid());
+  config.stall_rate = 0.5;
+  config.recovery_epochs = 0;
+  EXPECT_FALSE(config.valid());
+  config.recovery_epochs = 3;
+  EXPECT_TRUE(config.valid());
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(ShardFaults, ZeroRatesNeverFire) {
+  const ShardFaultInjector injector{ShardFaultConfig{}};
+  for (std::size_t s = 0; s < 8; ++s) {
+    for (trace::Minute t = 0; t < 500; ++t) {
+      EXPECT_FALSE(injector.shard_crashes(s, t));
+    }
+    EXPECT_EQ(injector.first_crash_in(s, 0, 500), -1);
+    EXPECT_FALSE(injector.shard_stalls(s, 17));
+  }
+}
+
+TEST(ShardFaults, DecisionsAreDeterministicPerSeed) {
+  ShardFaultConfig config;
+  config.crash_rate = 0.01;
+  config.stall_rate = 0.1;
+  const ShardFaultInjector a(config);
+  const ShardFaultInjector b(config);
+  config.seed ^= 0xdead;
+  const ShardFaultInjector c(config);
+
+  bool any_crash = false;
+  bool diverged = false;
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (trace::Minute t = 0; t < 2000; ++t) {
+      EXPECT_EQ(a.shard_crashes(s, t), b.shard_crashes(s, t));
+      any_crash = any_crash || a.shard_crashes(s, t);
+      diverged = diverged || (a.shard_crashes(s, t) != c.shard_crashes(s, t));
+    }
+    for (std::uint64_t e = 0; e < 200; ++e) {
+      EXPECT_EQ(a.shard_stalls(s, e), b.shard_stalls(s, e));
+    }
+  }
+  EXPECT_TRUE(any_crash) << "rate 0.01 over 8000 shard-minutes should fire";
+  EXPECT_TRUE(diverged) << "different seeds should give different patterns";
+}
+
+TEST(ShardFaults, ShardsDrawIndependentStreams) {
+  ShardFaultConfig config;
+  config.crash_rate = 0.05;
+  const ShardFaultInjector injector(config);
+  // Two shards must not share a crash pattern (distinct hash coordinates).
+  bool differ = false;
+  for (trace::Minute t = 0; t < 1000 && !differ; ++t) {
+    differ = injector.shard_crashes(0, t) != injector.shard_crashes(1, t);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ShardFaults, FirstCrashInReturnsTheEarliestMinute) {
+  ShardFaultConfig config;
+  config.crash_rate = 0.02;
+  const ShardFaultInjector injector(config);
+
+  for (std::size_t s = 0; s < 4; ++s) {
+    const trace::Minute tc = injector.first_crash_in(s, 0, 4000);
+    ASSERT_GE(tc, 0) << "rate 0.02 over 4000 minutes should fire";
+    EXPECT_TRUE(injector.shard_crashes(s, tc));
+    for (trace::Minute t = 0; t < tc; ++t) {
+      EXPECT_FALSE(injector.shard_crashes(s, t)) << "minute " << t;
+    }
+    // Scanning past the crash returns the same minute; scanning after it
+    // skips it.
+    EXPECT_EQ(injector.first_crash_in(s, 0, tc + 1), tc);
+    EXPECT_EQ(injector.first_crash_in(s, 0, tc), -1);
+    EXPECT_GT(injector.first_crash_in(s, tc + 1, tc + 100000), tc);
+  }
+}
+
+TEST(ShardFaults, RateOneCrashesImmediately) {
+  ShardFaultConfig config;
+  config.crash_rate = 1.0;
+  const ShardFaultInjector injector(config);
+  EXPECT_EQ(injector.first_crash_in(3, 42, 100), 42);
+}
+
+}  // namespace
+}  // namespace pulse::fault

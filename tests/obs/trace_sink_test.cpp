@@ -39,6 +39,8 @@ TEST(EventType, StableNames) {
   EXPECT_STREQ(to_string(EventType::kPolicyDecision), "policy_decision");
   EXPECT_STREQ(to_string(EventType::kPrewarm), "prewarm");
   EXPECT_STREQ(to_string(EventType::kRebalance), "rebalance");
+  EXPECT_STREQ(to_string(EventType::kShardCrash), "shard_crash");
+  EXPECT_STREQ(to_string(EventType::kShardRecover), "shard_recover");
 }
 
 TEST(RingBufferSink, RecordsInOrderBelowCapacity) {
@@ -226,6 +228,58 @@ TEST_F(JsonlFileSinkTest, RebalanceEventSchema) {
   EXPECT_NE(lines[0].find("\"function\":2"), std::string::npos);
   EXPECT_NE(lines[0].find("\"variant\":5"), std::string::npos);
   EXPECT_NE(lines[0].find("\"detail\":\"quota_transfer\""), std::string::npos);
+}
+
+// Shard-fault schema: kShardCrash carries function = crashed shard,
+// minute = the crash minute (not the detection barrier), value = warm
+// containers lost; kShardRecover carries function = shard, minute = the
+// recovery barrier, value = outage minutes. Variant is -1 (omitted) for
+// both. Pinned so JSONL consumers can rely on it.
+TEST_F(JsonlFileSinkTest, ShardCrashEventSchema) {
+  const std::string path = temp_path();
+  {
+    JsonlFileSink sink(path);
+    TraceEvent e;
+    e.type = EventType::kShardCrash;
+    e.minute = 47;    // crash minute
+    e.function = 3;   // crashed shard
+    e.variant = -1;
+    e.value = 96.0;   // warm containers lost
+    e.detail = "shard_crash";
+    sink.record(e);
+    sink.flush();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"shard_crash\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"minute\":47"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"function\":3"), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"variant\""), std::string::npos) << "variant -1 omitted";
+  EXPECT_NE(lines[0].find("\"value\":96"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"detail\":\"shard_crash\""), std::string::npos);
+}
+
+TEST_F(JsonlFileSinkTest, ShardRecoverEventSchema) {
+  const std::string path = temp_path();
+  {
+    JsonlFileSink sink(path);
+    TraceEvent e;
+    e.type = EventType::kShardRecover;
+    e.minute = 90;    // recovery barrier
+    e.function = 3;   // recovered shard
+    e.variant = -1;
+    e.value = 43.0;   // outage minutes (recovery - crash)
+    e.detail = "shard_recover";
+    sink.record(e);
+    sink.flush();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"shard_recover\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"minute\":90"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"function\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"value\":43"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"detail\":\"shard_recover\""), std::string::npos);
 }
 
 TEST_F(JsonlFileSinkTest, UnopenablePathThrows) {

@@ -1,0 +1,250 @@
+// SteppedRun checkpoint/restore contracts: a restore followed by replay is
+// bit-exact against an uninterrupted run for every stateful policy, replay
+// stays silent on the observability plane, and the shard-crash primitives
+// (lose_warm_pool / run_outage) account losses the way the cluster engine
+// relies on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_sink.hpp"
+#include "policies/factory.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::sim {
+namespace {
+
+class Fingerprint {
+ public:
+  void add_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_double(double v) noexcept { add_u64(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t fingerprint(const RunResult& r) {
+  Fingerprint fp;
+  fp.add_double(r.total_service_time_s);
+  fp.add_double(r.total_keepalive_cost_usd);
+  fp.add_double(r.accuracy_pct_sum);
+  fp.add_u64(r.invocations);
+  fp.add_u64(r.warm_starts);
+  fp.add_u64(r.cold_starts);
+  fp.add_u64(r.downgrades);
+  fp.add_u64(r.capacity_evictions);
+  fp.add_u64(r.failed_invocations);
+  fp.add_u64(r.retries);
+  fp.add_u64(r.timeouts);
+  fp.add_u64(r.crash_evictions);
+  fp.add_u64(r.degraded_minutes);
+  fp.add_u64(r.guard_incidents);
+  for (double v : r.keepalive_memory_mb) fp.add_double(v);
+  for (double v : r.keepalive_cost_usd) fp.add_double(v);
+  for (double v : r.ideal_cost_usd) fp.add_double(v);
+  for (const FunctionMetrics& m : r.per_function) {
+    fp.add_u64(m.invocations);
+    fp.add_u64(m.warm_starts);
+    fp.add_u64(m.cold_starts);
+    fp.add_double(m.service_time_s);
+    fp.add_double(m.accuracy_pct_sum);
+  }
+  return fp.value();
+}
+
+struct Fixture {
+  trace::Workload workload;
+  models::ModelZoo zoo;
+  Deployment deployment;
+};
+
+Fixture make_fixture(std::size_t functions, trace::Minute duration, std::uint64_t seed) {
+  trace::WorkloadConfig wc;
+  wc.function_count = functions;
+  wc.duration = duration;
+  wc.seed = seed;
+  Fixture fx{trace::build_azure_like_workload(wc), models::ModelZoo::builtin(), {}};
+  fx.deployment = Deployment::round_robin(fx.zoo, functions);
+  return fx;
+}
+
+EngineConfig stressed_config(const Deployment& deployment) {
+  EngineConfig config;
+  config.seed = 4242;
+  config.record_series = true;
+  config.record_per_function = true;
+  config.bernoulli_accuracy = true;
+  config.memory_capacity_mb = deployment.peak_highest_memory_mb() * 0.35;
+  config.faults.crash_rate = 0.02;
+  config.faults.cold_start_failure_rate = 0.10;
+  config.faults.slo_multiplier = 3.0;
+  return config;
+}
+
+// Every builtin with checkpoint-relevant internal state, plus a guarded
+// wrapper (forwards to the inner snapshot) and a stateless baseline (the
+// default nullptr checkpoint path).
+const char* const kPolicies[] = {
+    "pulse", "wild+pulse", "icebreaker+pulse", "milp", "guarded:pulse", "openwhisk",
+};
+
+TEST(Checkpoint, RestoreAndRerunIsBitExact) {
+  const Fixture fx = make_fixture(16, 480, 11);
+  const EngineConfig config = stressed_config(fx.deployment);
+
+  for (const char* name : kPolicies) {
+    SCOPED_TRACE(name);
+
+    auto straight_policy = policies::make_policy(name);
+    SteppedRun straight(fx.deployment, fx.workload.trace, config, *straight_policy);
+    straight.run_until(fx.workload.trace.duration());
+    const RunResult expected = straight.finish();
+
+    auto policy = policies::make_policy(name);
+    SteppedRun run(fx.deployment, fx.workload.trace, config, *policy);
+    run.run_until(120);
+    const RunCheckpoint snap = run.checkpoint();
+    // Speculative work past the checkpoint must leave no residue.
+    run.run_until(300);
+    run.restore(snap);
+    EXPECT_EQ(run.next_minute(), 120);
+    run.run_until(fx.workload.trace.duration());
+    const RunResult actual = run.finish();
+
+    EXPECT_EQ(fingerprint(actual), fingerprint(expected));
+  }
+}
+
+TEST(Checkpoint, ReplayAfterRestoreIsBitExact) {
+  const Fixture fx = make_fixture(16, 480, 23);
+  const EngineConfig config = stressed_config(fx.deployment);
+
+  auto straight_policy = policies::make_policy("pulse");
+  SteppedRun straight(fx.deployment, fx.workload.trace, config, *straight_policy);
+  straight.run_until(fx.workload.trace.duration());
+  const RunResult expected = straight.finish();
+
+  auto policy = policies::make_policy("pulse");
+  SteppedRun run(fx.deployment, fx.workload.trace, config, *policy);
+  run.run_until(200);
+  const RunCheckpoint snap = run.checkpoint();
+  run.run_until(350);
+  run.restore(snap);
+  run.replay_until(350);  // silent re-execution of the rolled-back span
+  run.run_until(fx.workload.trace.duration());
+  const RunResult actual = run.finish();
+
+  EXPECT_EQ(fingerprint(actual), fingerprint(expected));
+}
+
+TEST(Checkpoint, ReplayEmitsNoEventsOrMetrics) {
+  const Fixture fx = make_fixture(12, 360, 5);
+
+  // Reference: events and metrics from an uninterrupted observed run.
+  obs::RingBufferSink straight_sink(1u << 16);
+  obs::MetricsRegistry straight_metrics;
+  EngineConfig config = stressed_config(fx.deployment);
+  config.observer.sink = &straight_sink;
+  config.observer.metrics = &straight_metrics;
+  auto straight_policy = policies::make_policy("pulse");
+  SteppedRun straight(fx.deployment, fx.workload.trace, config, *straight_policy);
+  straight.run_until(fx.workload.trace.duration());
+  const RunResult expected = straight.finish();
+
+  // Same run with a restore + replay in the middle: the replayed minutes
+  // were already emitted once, so the sink and the registry must end up
+  // identical to the uninterrupted run.
+  obs::RingBufferSink sink(1u << 16);
+  obs::MetricsRegistry metrics;
+  config.observer.sink = &sink;
+  config.observer.metrics = &metrics;
+  auto policy = policies::make_policy("pulse");
+  SteppedRun run(fx.deployment, fx.workload.trace, config, *policy);
+  run.run_until(120);
+  const RunCheckpoint snap = run.checkpoint();
+  run.run_until(240);
+  const std::uint64_t recorded_before = sink.recorded();
+  run.restore(snap);
+  run.replay_until(240);
+  EXPECT_EQ(sink.recorded(), recorded_before) << "replay leaked events";
+  run.run_until(fx.workload.trace.duration());
+  const RunResult actual = run.finish();
+
+  EXPECT_EQ(fingerprint(actual), fingerprint(expected));
+  EXPECT_EQ(sink.recorded(), straight_sink.recorded());
+  EXPECT_EQ(metrics.snapshot().counters, straight_metrics.snapshot().counters);
+}
+
+TEST(Checkpoint, LoseWarmPoolCountsAliveContainersAsCrashEvictions) {
+  const Fixture fx = make_fixture(16, 240, 9);
+  EngineConfig config;
+  config.seed = 7;
+  auto policy = policies::make_policy("openwhisk");  // 10-minute windows stay warm
+  SteppedRun run(fx.deployment, fx.workload.trace, config, *policy);
+  run.run_until(120);
+
+  const std::uint64_t before = run.partial().crash_evictions;
+  const std::uint64_t lost = run.lose_warm_pool(120);
+  EXPECT_GT(lost, 0u) << "fixture should have a warm pool at minute 120";
+  EXPECT_EQ(run.partial().crash_evictions, before + lost);
+  // The whole schedule from the crash minute on is gone, not just minute 120.
+  const std::uint64_t again = run.lose_warm_pool(120);
+  EXPECT_EQ(again, 0u);
+}
+
+TEST(Checkpoint, RunOutageFailsEveryArrivalAndHoldsNoMemory) {
+  const Fixture fx = make_fixture(16, 240, 9);
+  EngineConfig config;
+  config.seed = 7;
+  config.record_series = true;
+  auto policy = policies::make_policy("pulse");
+  SteppedRun run(fx.deployment, fx.workload.trace, config, *policy);
+  run.run_until(100);
+  run.lose_warm_pool(100);
+
+  std::uint64_t arrivals = 0;
+  for (trace::Minute t = 100; t < 160; ++t) arrivals += fx.workload.trace.invocations_at(t);
+  ASSERT_GT(arrivals, 0u);
+
+  const std::uint64_t failed_before = run.partial().failed_invocations;
+  const std::uint64_t degraded_before = run.partial().degraded_minutes;
+  const std::uint64_t failed = run.run_outage(160);
+  EXPECT_EQ(failed, arrivals);
+  EXPECT_EQ(run.partial().failed_invocations, failed_before + failed);
+  EXPECT_EQ(run.partial().degraded_minutes, degraded_before + 60);
+  EXPECT_EQ(run.next_minute(), 160);
+  for (trace::Minute t = 100; t < 160; ++t) {
+    EXPECT_EQ(run.keepalive_memory_mb(t), 0.0) << "minute " << t;
+  }
+  // The run continues normally after the outage.
+  run.run_until(fx.workload.trace.duration());
+  const RunResult r = run.finish();
+  EXPECT_GT(r.invocations, 0u);
+}
+
+TEST(Checkpoint, RestoreAfterFinishThrows) {
+  const Fixture fx = make_fixture(8, 60, 3);
+  auto policy = policies::make_policy("pulse");
+  SteppedRun run(fx.deployment, fx.workload.trace, EngineConfig{}, *policy);
+  const RunCheckpoint snap = run.checkpoint();
+  run.run_until(60);
+  (void)run.finish();
+  EXPECT_THROW(run.restore(snap), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pulse::sim
