@@ -8,15 +8,22 @@
 // layer fully attached (ring-buffer event sink + metrics registry + phase
 // profiler) and prints where the policy spends its time, the engine/policy
 // counters, and the event mix. --events additionally streams every event
-// to a JSONL file for external tooling.
+// (plus per-minute kMinuteSample anchors) to a JSONL file for external
+// tooling.
+//
+// --replay reverses --events: it reconstructs the run's per-minute cost and
+// cold-start curves from a JSONL event file alone — no trace, no
+// simulation — and prints the replayed totals.
 //
 //   ./trace_explorer [--days=3] [--seed=42] [--load=trace.csv] [--save=trace.csv]
 //                    [--validate] [--profile] [--events=events.jsonl]
+//   ./trace_explorer --replay=events.jsonl
 
 #include <cstdio>
 #include <memory>
 
 #include "core/pulse_policy.hpp"
+#include "exp/replay.hpp"
 #include "models/zoo.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
@@ -53,6 +60,9 @@ int run_profile(const pulse::trace::Trace& tr, const std::string& events_path) {
                                    : static_cast<obs::TraceSink*>(&ring);
   config.observer.metrics = &registry;
   config.observer.profiler = &profiler;
+  // A JSONL export should be replayable (--replay), so emit the per-minute
+  // anchors the replayer reconstructs the cost curve from.
+  config.emit_minute_samples = file_sink != nullptr;
 
   sim::SimulationEngine engine(deployment, tr, config);
   core::PulsePolicy policy;
@@ -111,6 +121,54 @@ int run_profile(const pulse::trace::Trace& tr, const std::string& events_path) {
   return 0;
 }
 
+// Reconstructs a run from a JSONL event file (the --events output) and
+// prints the replayed curves — the offline half of the observability layer.
+int run_replay(const std::string& path) {
+  using namespace pulse;
+
+  exp::ReplayResult replay;
+  try {
+    replay = exp::replay_events_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("replayed %llu events over %lld minutes from %s\n",
+              static_cast<unsigned long long>(replay.events),
+              static_cast<long long>(replay.duration), path.c_str());
+  if (replay.skipped_lines > 0) {
+    std::printf("  (%llu malformed/unknown lines skipped)\n",
+                static_cast<unsigned long long>(replay.skipped_lines));
+  }
+
+  util::TextTable events({"Event", "Count"});
+  for (std::size_t i = 0; i < replay.counts_by_type.size(); ++i) {
+    if (replay.counts_by_type[i] == 0) continue;
+    events.add_row({std::string(obs::to_string(static_cast<obs::EventType>(i))),
+                    std::to_string(replay.counts_by_type[i])});
+  }
+  std::printf("\n%s", events.render().c_str());
+
+  std::printf("\nreconstruction:\n");
+  std::printf("  cold starts: %llu\n",
+              static_cast<unsigned long long>(replay.total_cold_starts()));
+  if (replay.minute_samples > 0) {
+    std::printf("  keep-alive cost (default cost model): $%.4f\n",
+                replay.total_keepalive_cost_usd());
+    std::printf("  peak keep-alive memory: %.1f MB\n", replay.peak_memory_mb());
+    if (replay.minute_samples < static_cast<std::uint64_t>(replay.duration)) {
+      std::printf("  (%llu of %lld minutes carried a sample; unsampled minutes cost $0)\n",
+                  static_cast<unsigned long long>(replay.minute_samples),
+                  static_cast<long long>(replay.duration));
+    }
+  } else {
+    std::printf("  (no minute_sample events: cost curve unavailable — export with\n"
+                "   --profile --events, which enables per-minute anchors)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +184,7 @@ int main(int argc, char** argv) {
   cli.add_switch("validate", "run the ingestion validation pass and report issues");
   cli.add_switch("profile", "simulate PULSE over the trace with the observability layer on");
   cli.add_flag("events", "", "with --profile: stream events to this JSONL file");
+  cli.add_flag("replay", "", "reconstruct a run from a JSONL event file and exit");
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
     return 1;
@@ -133,6 +192,11 @@ int main(int argc, char** argv) {
   if (cli.help_requested()) {
     std::printf("%s", cli.usage().c_str());
     return 0;
+  }
+
+  // Replay mode needs no trace at all: the event stream is the input.
+  if (const std::string path = cli.get_string("replay"); !path.empty()) {
+    return run_replay(path);
   }
 
   trace::Trace tr;

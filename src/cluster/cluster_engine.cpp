@@ -10,6 +10,45 @@
 
 namespace pulse::cluster {
 
+namespace {
+
+/// Pre-resolved cluster.* handle bundle (metrics_registry.hpp): names are
+/// looked up once per run, the coordinator bumps plain POD fields during an
+/// epoch, and flush() folds them into the user registry at each barrier.
+struct ClusterMetricHandles {
+  obs::CounterHandle crashes;
+  obs::CounterHandle warm_lost;
+  obs::CounterHandle recoveries;
+  obs::CounterHandle stalled_epochs;
+  obs::CounterHandle transfers;
+  obs::GaugeHandle reclaimed_mb;
+  obs::GaugeHandle quota_moved_mb;
+  obs::HistogramHandle recovery_latency;  // buckets directly, no pending
+
+  void bind(obs::MetricsRegistry& m) {
+    crashes.bind(m, "cluster.failures.crashes");
+    warm_lost.bind(m, "cluster.failures.warm_lost");
+    recoveries.bind(m, "cluster.failures.recoveries");
+    stalled_epochs.bind(m, "cluster.failures.stalled_epochs");
+    transfers.bind(m, "cluster.transfers");
+    reclaimed_mb.bind(m, "cluster.failures.reclaimed_mb");
+    quota_moved_mb.bind(m, "cluster.quota_moved_mb");
+    recovery_latency.bind(m, "cluster.failures.recovery_latency_minutes", 256);
+  }
+
+  void flush() {
+    crashes.flush();
+    warm_lost.flush();
+    recoveries.flush();
+    stalled_epochs.flush();
+    transfers.flush();
+    reclaimed_mb.flush();
+    quota_moved_mb.flush();
+  }
+};
+
+}  // namespace
+
 double ClusterResult::total_service_time_s() const noexcept {
   double total = 0.0;
   for (const auto& r : shards) total += r.total_service_time_s;
@@ -124,10 +163,21 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
   CapacityMarket market(config_.market,
                         market_on ? initial_quota : std::vector<double>{0.0});
 
-  // Per-shard observability state: the sink is shared (synchronized),
-  // metrics/profilers are per-shard and merged after the pool joins.
+  // Per-shard observability state: metrics/profilers are per-shard and
+  // merged after the pool joins. An attached sink goes behind the lock-free
+  // collector — lane s for shard s, lane n for the coordinator's own
+  // events — so shard threads never contend on the sink, and the fixed
+  // shard→lane mapping keeps the canonical drain (and with it any
+  // RingBufferSink retained window) thread-count deterministic.
   std::vector<obs::MetricsRegistry> shard_metrics(user_obs.metrics != nullptr ? n : 0);
   std::vector<obs::PhaseProfiler> shard_profilers(user_obs.profiler != nullptr ? n : 0);
+  std::unique_ptr<obs::EventCollector> collector;
+  obs::Observer coord_obs = user_obs;  // coordinator-side emits (crash/rebalance)
+  if (user_obs.sink != nullptr && config_.lock_free_sink) {
+    collector = std::make_unique<obs::EventCollector>(*user_obs.sink, n + 1, config_.obs);
+    for (std::size_t s = 0; s <= n; ++s) collector->lane(s).begin_stream(s);
+    coord_obs.sink = &collector->lane(n);
+  }
 
   std::vector<std::unique_ptr<sim::KeepAlivePolicy>> policies;
   std::vector<std::unique_ptr<sim::SteppedRun>> runs;
@@ -140,6 +190,7 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
                                               : config_.engine.memory_capacity_mb;
     if (user_obs.metrics != nullptr) configs[s].observer.metrics = &shard_metrics[s];
     if (user_obs.profiler != nullptr) configs[s].observer.profiler = &shard_profilers[s];
+    if (collector) configs[s].observer.sink = &collector->lane(s);
     policies.push_back(factory());
     if (policies.back() == nullptr) {
       throw std::invalid_argument("ClusterEngine::run: factory returned null policy");
@@ -154,6 +205,9 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
 
   std::vector<std::uint64_t> prev_evictions(n, 0);
   std::vector<std::uint64_t> prev_cold(n, 0);
+
+  ClusterMetricHandles cm;
+  if (user_obs.metrics != nullptr) cm.bind(*user_obs.metrics);
 
   // Shard-fault machinery. With all rates zero nothing below runs: no
   // checkpoints are taken, detection never scans, and — unless the market
@@ -230,13 +284,11 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
         fail.reclaimed_quota_mb = reclaimed;
         result.failures.push_back(fail);
         ++result.shard_crashes;
-        user_obs.emit({obs::EventType::kShardCrash, tc, s, -1,
+        coord_obs.emit({obs::EventType::kShardCrash, tc, s, -1,
                        static_cast<double>(warm_lost), "shard_crash"});
-        if (user_obs.metrics != nullptr) {
-          user_obs.metrics->counter("cluster.failures.crashes").add(1);
-          user_obs.metrics->counter("cluster.failures.warm_lost").add(warm_lost);
-          user_obs.metrics->gauge("cluster.failures.reclaimed_mb").add(reclaimed);
-        }
+        cm.crashes.bump();
+        cm.warm_lost.bump(warm_lost);
+        cm.reclaimed_mb.bump(reclaimed);
       }
       // Recovery. A shard sits out `recovery_epochs` full epochs after the
       // barrier that detected its crash, then the outage span is accounted
@@ -261,37 +313,33 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
             if (!from_reserve) {
               runs[cb.donor]->set_memory_capacity_mb(market.quota_mb(cb.donor));
             }
-            user_obs.emit({obs::EventType::kRebalance, t1, cb.recipient,
+            coord_obs.emit({obs::EventType::kRebalance, t1, cb.recipient,
                            from_reserve ? -2 : static_cast<std::int32_t>(cb.donor),
                            cb.mb, "quota_clawback"});
-            if (user_obs.metrics != nullptr) {
-              user_obs.metrics->counter("cluster.transfers").add(1);
-              user_obs.metrics->gauge("cluster.quota_moved_mb").add(cb.mb);
-            }
+            cm.transfers.bump();
+            cm.quota_moved_mb.bump(cb.mb);
           }
           runs[s]->set_memory_capacity_mb(market.quota_mb(s));
         }
         const trace::Minute latency = t1 - fail.crash_minute;
-        user_obs.emit({obs::EventType::kShardRecover, t1, s, -1,
+        coord_obs.emit({obs::EventType::kShardRecover, t1, s, -1,
                        static_cast<double>(latency), "shard_recover"});
-        if (user_obs.metrics != nullptr) {
-          user_obs.metrics->counter("cluster.failures.recoveries").add(1);
-          user_obs.metrics->histogram("cluster.failures.recovery_latency_minutes", 256)
-              .add(static_cast<std::size_t>(std::max<trace::Minute>(latency, 0)));
-        }
+        cm.recoveries.bump();
+        cm.recovery_latency.record(static_cast<std::size_t>(std::max<trace::Minute>(latency, 0)));
       }
     }
     if (stall_on) {
       for (std::size_t s = 0; s < n; ++s) {
         if (stalled[s] == 0) continue;
         ++result.stalled_epochs;
-        if (user_obs.metrics != nullptr) {
-          user_obs.metrics->counter("cluster.failures.stalled_epochs").add(1);
-        }
+        cm.stalled_epochs.bump();
       }
     }
 
-    if (!market_on || last_barrier) continue;
+    if (!market_on || last_barrier) {
+      cm.flush();  // epoch barrier: fold this epoch's deltas
+      continue;
+    }
 
     // Between barriers, single-threaded: gather signals, trade, re-quota.
     // Down shards report nothing (the market holds them offline); shards
@@ -316,14 +364,13 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
         runs[trade.donor]->set_memory_capacity_mb(market.quota_mb(trade.donor));
       }
       runs[trade.recipient]->set_memory_capacity_mb(market.quota_mb(trade.recipient));
-      user_obs.emit({obs::EventType::kRebalance, t1, trade.recipient,
+      coord_obs.emit({obs::EventType::kRebalance, t1, trade.recipient,
                      from_reserve ? -2 : static_cast<std::int32_t>(trade.donor),
                      trade.mb, from_reserve ? "reserve_grant" : "quota_transfer"});
-      if (user_obs.metrics != nullptr) {
-        user_obs.metrics->counter("cluster.transfers").add(1);
-        user_obs.metrics->gauge("cluster.quota_moved_mb").add(trade.mb);
-      }
+      cm.transfers.bump();
+      cm.quota_moved_mb.bump(trade.mb);
     }
+    cm.flush();  // epoch barrier: fold this epoch's deltas
   }
 
   // Outages that the trace ended inside: account the failed span so shard
@@ -335,6 +382,11 @@ ClusterResult ClusterEngine::run(const sim::PolicyFactory& factory) {
   }
 
   pool.parallel_for(n, [&](std::size_t s) { result.shards[s] = runs[s]->finish(); });
+
+  // All producers (shard runs and coordinator) are quiescent: drain the
+  // lanes and feed canonical sinks their retained tails before the sink is
+  // read or the snapshot is taken.
+  if (collector) collector->finish();
 
   if (user_obs.metrics != nullptr) {
     for (const auto& reg : shard_metrics) user_obs.metrics->merge(reg);

@@ -25,12 +25,16 @@
 //     invariant to the shard count as well (capacity effects excepted —
 //     quota partitioning is visible by design).
 //
-// Observability: the user's TraceSink is shared by all shards (the
-// built-in sinks are internally synchronized; a custom sink must be
-// thread-safe too). Metrics registries and profilers are per-shard and
-// merged into the user's after the pool joins — the single-writer
-// discipline the ensemble runner established. Market decisions emit
-// kRebalance events and cluster.* metrics.
+// Observability: with ClusterConfig::lock_free_sink (default) an attached
+// TraceSink sits behind an obs::EventCollector — one SPSC lane per shard
+// plus one for the coordinator's own events — so no simulation thread ever
+// takes the sink's lock, and because the shard→lane mapping is fixed, the
+// canonical (lane, sequence) drain makes the retained event stream fully
+// deterministic for a fixed shard count. With the flag off the sink is
+// shared directly (it must be internally synchronized). Metrics registries
+// and profilers are per-shard and merged into the user's after the pool
+// joins — the single-writer discipline the ensemble runner established.
+// Market decisions emit kRebalance events and cluster.* metrics.
 
 #include <cstddef>
 #include <cstdint>
@@ -39,6 +43,7 @@
 #include "cluster/market.hpp"
 #include "cluster/partition.hpp"
 #include "fault/shard_faults.hpp"
+#include "obs/collector.hpp"
 #include "obs/metrics_registry.hpp"
 #include "sim/deployment.hpp"
 #include "sim/engine.hpp"
@@ -72,6 +77,17 @@ struct ClusterConfig {
   /// at rebalance barriers, so market.rebalance_interval is also the
   /// detection cadence even when the market itself is off.
   fault::ShardFaultConfig shard_faults{};
+
+  /// Route an attached TraceSink through an obs::EventCollector: lane s
+  /// carries shard s's events, lane `shards` carries the coordinator's
+  /// (crash / recovery / rebalance). Shard→lane mapping is fixed, so the
+  /// canonical drain order — and therefore a RingBufferSink's retained
+  /// window — is identical for any thread count.
+  bool lock_free_sink = true;
+
+  /// Transport sizing and the deterministic sampling knob for the collector
+  /// (ignored unless a sink is attached and lock_free_sink is on).
+  obs::ObsConfig obs{};
 };
 
 /// One shard crash and its recovery, as the cluster engine observed them.

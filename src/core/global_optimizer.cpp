@@ -87,11 +87,24 @@ std::size_t GlobalOptimizer::flatten_peak(trace::Minute t, sim::KeepAliveSchedul
                     static_cast<double>(*prev - 1), "flatten_peak"});
     }
   }
-  if (obs_ != nullptr && obs_->metrics != nullptr && downgrades > 0) {
-    obs_->metrics->counter("optimizer.peak_minutes").add(1);
-    obs_->metrics->counter("optimizer.downgrades").add(downgrades);
+  if (downgrades > 0) {
+    // Minute boundary: fold this minute's deltas into the registry through
+    // the pre-resolved handles (unbound handles make this a no-op).
+    metrics_.peak_minutes.bump();
+    metrics_.downgrades.bump(downgrades);
+    metrics_.peak_minutes.flush();
+    metrics_.downgrades.flush();
   }
   return downgrades;
+}
+
+void GlobalOptimizer::set_observer(const obs::Observer* observer) {
+  obs_ = observer;
+  metrics_ = Metrics{};
+  if (observer != nullptr && observer->metrics != nullptr) {
+    metrics_.peak_minutes.bind(*observer->metrics, "optimizer.peak_minutes");
+    metrics_.downgrades.bind(*observer->metrics, "optimizer.downgrades");
+  }
 }
 
 }  // namespace pulse::core

@@ -74,10 +74,18 @@ class GlobalOptimizer {
                                         const std::vector<double>& normalized_priority,
                                         const std::vector<InterArrivalTracker>& trackers) const;
 
+  /// Pre-resolved optimizer.* handle bundle (metrics_registry.hpp): bound
+  /// once in set_observer, bumped on the flatten path, flushed at the
+  /// flatten_peak minute boundary — no name lookup per peak minute.
+  struct Metrics {
+    obs::CounterHandle peak_minutes;
+    obs::CounterHandle downgrades;
+  };
+
   /// Attaches the observability context (nullptr = disabled). The owning
   /// policy forwards what the engine handed it; the optimizer then emits a
   /// kDowngrade event per downgrade and keeps optimizer.* counters.
-  void set_observer(const obs::Observer* observer) noexcept { obs_ = observer; }
+  void set_observer(const obs::Observer* observer);
 
   [[nodiscard]] std::uint64_t total_downgrades() const noexcept {
     return priority_.total_downgrades();
@@ -92,6 +100,7 @@ class GlobalOptimizer {
   PriorityStructure priority_;
   DemandHistory demand_;
   const obs::Observer* obs_ = nullptr;
+  Metrics metrics_;
 
   /// Reused across flatten_peak rounds (allocation-free hot path).
   std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer_;

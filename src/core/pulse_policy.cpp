@@ -50,6 +50,11 @@ void PulsePolicy::initialize(const sim::Deployment& deployment, const trace::Tra
   optimizer_->set_observer(observer());
 }
 
+void PulsePolicy::attach_observer(const obs::Observer* observer) {
+  sim::KeepAlivePolicy::attach_observer(observer);
+  if (optimizer_) optimizer_->set_observer(observer);
+}
+
 trace::Minute PulsePolicy::window_for(trace::FunctionId f) const {
   if (!config_.adaptive_window) return config_.keepalive_window;
   const auto tail = trackers_.at(f).gap_percentile(config_.adaptive_window_percentile);
@@ -70,19 +75,20 @@ void PulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,
   const trace::Minute window = window_for(f);
   // Clear any longer window a previous (adaptive) decision left behind.
   if (config_.adaptive_window) schedule.clear_from(f, t + 1);
+  std::size_t next_v = 0;  // variant chosen for the first window minute
   for (trace::Minute d = 1; d <= window; ++d) {
     const double p = tracker.probability(static_cast<std::size_t>(d), t);
     const std::size_t v = select_variant(p, variants, config_.technique);
+    if (d == 1) next_v = v;
     schedule.set(f, t + d, static_cast<int>(v));
   }
 
   // One kPolicyDecision per variant-selection pass: the variant chosen for
   // the first window minute (the decision that resolves the next warm
-  // start) and the window length it covers. Recomputed inside the guard so
-  // disabled runs pay nothing.
+  // start) and the window length it covers. `next_v` is hoisted from the
+  // d == 1 loop iteration above — attached runs must not pay a second
+  // probability + select_variant pass per invocation.
   if (obs::TraceSink* s = sink(); s != nullptr) {
-    const std::size_t next_v =
-        select_variant(tracker.probability(1, t), variants, config_.technique);
     s->record({obs::EventType::kPolicyDecision, t, f, static_cast<std::int32_t>(next_v),
                static_cast<double>(window), "variant_selection"});
   }

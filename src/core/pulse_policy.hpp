@@ -58,6 +58,11 @@ class PulsePolicy : public sim::KeepAlivePolicy {
   void initialize(const sim::Deployment& deployment, const trace::Trace& trace,
                   sim::KeepAliveSchedule& schedule) override;
 
+  /// The optimizer binds metric handles when an observer is attached;
+  /// forwarding keeps those bindings in sync when the engine detaches or
+  /// re-attaches mid-run (e.g. around a silent checkpoint replay).
+  void attach_observer(const obs::Observer* observer) override;
+
   void on_invocation(trace::FunctionId f, trace::Minute t,
                      sim::KeepAliveSchedule& schedule) override;
 

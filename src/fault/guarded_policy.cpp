@@ -36,6 +36,10 @@ std::string GuardedPolicy::name() const {
 void GuardedPolicy::attach_observer(const obs::Observer* observer) {
   sim::KeepAlivePolicy::attach_observer(observer);
   inner_->attach_observer(observer);
+  incident_counter_ = {};
+  if (obs::MetricsRegistry* const m = metrics()) {
+    incident_counter_.bind(*m, "guard.incidents");
+  }
 }
 
 void GuardedPolicy::record_incident(trace::Minute t, const char* what) const {
@@ -51,7 +55,10 @@ void GuardedPolicy::record_incident(trace::Minute t, const char* what) const {
     s->record({obs::EventType::kFault, t, obs::TraceEvent::kNoFunction, -1,
                static_cast<double>(incidents_), "guard_incident"});
   }
-  if (obs::MetricsRegistry* const m = metrics()) m->counter("guard.incidents").add(1);
+  // Incidents are rare and must be visible immediately (a snapshot can be
+  // taken mid-run after a crash), so bump and flush in one step.
+  incident_counter_.bump();
+  incident_counter_.flush();
 }
 
 void GuardedPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,

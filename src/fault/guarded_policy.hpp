@@ -73,6 +73,7 @@ class GuardedPolicy : public sim::KeepAlivePolicy {
   mutable bool degraded_ = false;
   mutable trace::Minute degraded_since_ = -1;
   mutable std::string first_incident_;
+  mutable obs::CounterHandle incident_counter_;  // guard.incidents
 };
 
 }  // namespace pulse::fault

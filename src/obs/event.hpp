@@ -8,6 +8,7 @@
 // decision without re-running it. Emission is strictly opt-in: with no sink
 // attached, no event is ever constructed (see obs/observer.hpp).
 
+#include <cstddef>
 #include <cstdint>
 
 #include "trace/trace.hpp"
@@ -59,7 +60,17 @@ enum class EventType : std::uint8_t {
   /// re-admitted to the cluster. `function` is the shard id, `minute` the
   /// recovery barrier, `value` the outage length in minutes.
   kShardRecover,
+  /// End-of-minute aggregate sample (opt-in via
+  /// EngineConfig::emit_minute_samples): `value` is the keep-alive memory in
+  /// MB at the end of minute `minute`, `variant` the alive container count.
+  /// One per simulated minute — the anchor the JSONL replayer uses to
+  /// reconstruct the cost curve without re-running the simulation.
+  kMinuteSample,
 };
+
+/// Number of EventType values (sizes per-type count arrays).
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kMinuteSample) + 1;
 
 /// Stable lower-snake-case name of the event type (the JSONL `type` field).
 [[nodiscard]] const char* to_string(EventType type) noexcept;

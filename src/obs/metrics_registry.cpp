@@ -21,7 +21,13 @@ double MetricsSnapshot::gauge_or(std::string_view name, double fallback) const n
 
 Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& MetricsRegistry::gauge(const std::string& name, GaugeMerge merge) {
+  const auto [it, inserted] = gauges_.try_emplace(name);
+  // Latch non-default modes: a peak gauge stays kMax even when another call
+  // site touched the name first with the default argument.
+  if (inserted || merge != GaugeMerge::kSum) it->second.set_merge(merge);
+  return it->second;
+}
 
 util::IntHistogram& MetricsRegistry::histogram(const std::string& name, std::size_t capacity) {
   const auto it = histograms_.find(name);
@@ -50,7 +56,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
-  for (const auto& [name, g] : other.gauges_) gauges_[name].add(g.value());
+  for (const auto& [name, g] : other.gauges_) {
+    const auto [it, inserted] = gauges_.try_emplace(name);
+    if (inserted) it->second.set_merge(g.merge_mode());
+    if (g.merge_mode() == GaugeMerge::kMax) {
+      it->second.max_with(g.value());
+    } else {
+      it->second.add(g.value());
+    }
+  }
   for (const auto& [name, h] : other.histograms_) {
     const auto it = histograms_.find(name);
     if (it == histograms_.end()) {

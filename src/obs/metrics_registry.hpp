@@ -31,6 +31,11 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// How MetricsRegistry::merge combines a gauge across per-slot registries.
+/// Accumulated totals (cost, service time) sum; high-water marks (peaks)
+/// must take the max — summing them double-counts every slot's peak.
+enum class GaugeMerge : std::uint8_t { kSum, kMax };
+
 class Gauge {
  public:
   void set(double v) noexcept { value_ = v; }
@@ -40,8 +45,12 @@ class Gauge {
   }
   [[nodiscard]] double value() const noexcept { return value_; }
 
+  void set_merge(GaugeMerge mode) noexcept { merge_ = mode; }
+  [[nodiscard]] GaugeMerge merge_mode() const noexcept { return merge_; }
+
  private:
   double value_ = 0.0;
+  GaugeMerge merge_ = GaugeMerge::kSum;
 };
 
 /// Collapsed view of one IntHistogram for snapshots.
@@ -78,13 +87,16 @@ class MetricsRegistry {
   /// valid for the registry's lifetime (node-based storage), so hot paths
   /// can look up once and keep the pointer.
   Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  /// `merge` applies on creation (and latches when non-default, so the
+  /// registration order of call sites cannot flip a peak gauge to kSum).
+  Gauge& gauge(const std::string& name, GaugeMerge merge = GaugeMerge::kSum);
   util::IntHistogram& histogram(const std::string& name, std::size_t capacity = 240);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
-  /// Adds every metric of `other` into this registry: counters and
-  /// histograms sum, gauges sum (create-if-missing). Used to aggregate
+  /// Folds every metric of `other` into this registry (create-if-missing):
+  /// counters and histograms sum; gauges combine per their merge mode —
+  /// kSum gauges add, kMax gauges take the maximum. Used to aggregate
   /// per-slot ensemble registries.
   void merge(const MetricsRegistry& other);
 
@@ -98,6 +110,88 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, util::IntHistogram, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Pre-resolved hot-path handles.
+//
+// The registry's name lookup is a std::map walk plus string compare — fine
+// at finish(), hostile inside a per-invocation or per-minute loop. Hot paths
+// instead resolve each name ONCE into a handle (the registry's node-based
+// storage keeps the pointer valid), bump a plain POD field per event, and
+// fold the pending delta into the registry at a minute boundary or at
+// finish. Components group their handles into a plain bundle struct (see
+// e.g. GlobalOptimizer::Metrics) so attaching observability stays one
+// bind() pass. An unbound handle (observability disabled) makes bump() and
+// flush() no-ops, so call sites need no null guards.
+
+struct CounterHandle {
+  void bind(MetricsRegistry& registry, const std::string& name) {
+    counter_ = &registry.counter(name);
+  }
+  void bump(std::uint64_t n = 1) noexcept { pending_ += n; }
+  [[nodiscard]] bool bound() const noexcept { return counter_ != nullptr; }
+  [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
+  void flush() noexcept {
+    if (counter_ != nullptr && pending_ != 0) {
+      counter_->add(pending_);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  Counter* counter_ = nullptr;
+  std::uint64_t pending_ = 0;
+};
+
+/// Accumulates per the gauge's merge semantics: bump() adds for kSum
+/// gauges and tracks a local high-water mark for kMax gauges.
+struct GaugeHandle {
+  void bind(MetricsRegistry& registry, const std::string& name,
+            GaugeMerge merge = GaugeMerge::kSum) {
+    gauge_ = &registry.gauge(name, merge);
+    merge_ = merge;
+  }
+  void bump(double v) noexcept {
+    if (merge_ == GaugeMerge::kMax) {
+      if (v > pending_) pending_ = v;
+    } else {
+      pending_ += v;
+    }
+    dirty_ = true;
+  }
+  [[nodiscard]] bool bound() const noexcept { return gauge_ != nullptr; }
+  void flush() noexcept {
+    if (gauge_ == nullptr || !dirty_) return;
+    if (merge_ == GaugeMerge::kMax) {
+      gauge_->max_with(pending_);
+    } else {
+      gauge_->add(pending_);
+      pending_ = 0.0;
+    }
+    dirty_ = false;
+  }
+
+ private:
+  Gauge* gauge_ = nullptr;
+  double pending_ = 0.0;
+  GaugeMerge merge_ = GaugeMerge::kSum;
+  bool dirty_ = false;
+};
+
+/// Histograms bucket on add, so the handle only caches the resolved node;
+/// record() is one array increment away from the pending-field handles.
+struct HistogramHandle {
+  void bind(MetricsRegistry& registry, const std::string& name, std::size_t capacity = 240) {
+    histogram_ = &registry.histogram(name, capacity);
+  }
+  void record(std::size_t value, std::uint64_t weight = 1) {
+    if (histogram_ != nullptr) histogram_->add(value, weight);
+  }
+  [[nodiscard]] bool bound() const noexcept { return histogram_ != nullptr; }
+
+ private:
+  util::IntHistogram* histogram_ = nullptr;
 };
 
 }  // namespace pulse::obs

@@ -1,0 +1,133 @@
+#pragma once
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// The transport under the observability collector: each emitting thread
+// (engine slot, cluster shard) owns the producer side of one ring, the
+// background EventCollector owns the consumer side of all of them. The
+// design is the classic bounded SPSC queue (cache-line-padded head/tail,
+// acquire/release publication, producer- and consumer-local index caches so
+// the uncontended fast path touches no foreign cache line):
+//
+//   - try_push publishes the slot write with a release store of tail; the
+//     consumer's acquire load of tail makes the slot contents visible.
+//   - pop_batch publishes slot reuse with a release store of head; the
+//     producer's acquire load of head makes the free space visible.
+//
+// Capacity is rounded up to a power of two so wrapping is a mask, and the
+// head/tail counters are free-running 64-bit (no wrap handling needed at
+// any realistic event rate). The queue is lossless by construction: a full
+// ring refuses the push and the caller decides (the EventLane spins, which
+// is what makes the collector path deterministic — no timing-dependent
+// drops in the transport).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pulse::obs {
+
+namespace detail {
+/// Hardware destructive-interference distance. 64 bytes on every target we
+/// build for; std::hardware_destructive_interference_size is deliberately
+/// not used (gcc warns that its value is ABI-fragile).
+inline constexpr std::size_t kCacheLine = 64;
+
+[[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace detail
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2 slots).
+  explicit SpscRing(std::size_t min_capacity)
+      : capacity_(detail::round_up_pow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Producer side. Returns false when the ring is full (caller retries or
+  /// back-pressures); never overwrites unconsumed slots.
+  [[nodiscard]] bool try_push(const T& value) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: copies up to `max` pending items into `out`, oldest
+  /// first, and frees their slots. Returns the number copied (0 = empty).
+  std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t n = static_cast<std::size_t>(cached_tail_ - head);
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = slots_[static_cast<std::size_t>(head + i) & mask_];
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side: visits up to `max` pending items oldest-first in place
+  /// (no copy-out), then frees their slots. Returns the number visited.
+  template <typename Fn>
+  std::size_t consume_batch(Fn&& fn, std::size_t max) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t n = static_cast<std::size_t>(cached_tail_ - head);
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(slots_[static_cast<std::size_t>(head + i) & mask_]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Pending item count (exact from the consumer thread, or once the
+  /// producer has quiesced).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_relaxed));
+  }
+
+  /// Consumer-side emptiness probe (exact once the producer has quiesced).
+  [[nodiscard]] bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer-owned line: consume position plus the consumer's cached view
+  // of the producer position.
+  alignas(detail::kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+
+  // Producer-owned line: publish position plus the producer's cached view
+  // of the consume position.
+  alignas(detail::kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+};
+
+}  // namespace pulse::obs

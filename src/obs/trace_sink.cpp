@@ -1,5 +1,7 @@
 #include "obs/trace_sink.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace pulse::obs {
@@ -18,21 +20,17 @@ const char* to_string(EventType type) noexcept {
     case EventType::kRebalance: return "rebalance";
     case EventType::kShardCrash: return "shard_crash";
     case EventType::kShardRecover: return "shard_recover";
+    case EventType::kMinuteSample: return "minute_sample";
   }
   return "?";
 }
-
-namespace {
-constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::kShardRecover) + 1;
-}  // namespace
 
 RingBufferSink::RingBufferSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), type_counts_(kEventTypeCount, 0) {
   buffer_.reserve(capacity_);
 }
 
-void RingBufferSink::record(const TraceEvent& event) {
-  std::lock_guard lock(mutex_);
+void RingBufferSink::record_locked(const TraceEvent& event) {
   ++recorded_;
   ++type_counts_[static_cast<std::size_t>(event.type)];
   if (buffer_.size() < capacity_) {
@@ -41,6 +39,26 @@ void RingBufferSink::record(const TraceEvent& event) {
   }
   buffer_[head_] = event;
   head_ = (head_ + 1) % capacity_;
+}
+
+void RingBufferSink::record(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  record_locked(event);
+}
+
+void RingBufferSink::record_batch(const TraceEvent* events, std::size_t count) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < count; ++i) record_locked(events[i]);
+}
+
+void RingBufferSink::account_overwritten(const std::uint64_t* by_type,
+                                         std::size_t type_count) {
+  std::lock_guard lock(mutex_);
+  if (type_count > type_counts_.size()) type_count = type_counts_.size();
+  for (std::size_t i = 0; i < type_count; ++i) {
+    type_counts_[i] += by_type[i];
+    recorded_ += by_type[i];
+  }
 }
 
 std::vector<TraceEvent> RingBufferSink::events() const {
@@ -77,6 +95,24 @@ void RingBufferSink::clear() {
   type_counts_.assign(kEventTypeCount, 0);
 }
 
+std::size_t format_event_jsonl(const TraceEvent& event, char* buf, std::size_t cap) {
+  std::size_t n = static_cast<std::size_t>(
+      std::snprintf(buf, cap, "{\"type\":\"%s\",\"minute\":%lld", to_string(event.type),
+                    static_cast<long long>(event.minute)));
+  if (event.function != TraceEvent::kNoFunction) {
+    n += static_cast<std::size_t>(
+        std::snprintf(buf + n, cap - n, ",\"function\":%zu", event.function));
+  }
+  if (event.variant >= 0) {
+    n += static_cast<std::size_t>(
+        std::snprintf(buf + n, cap - n, ",\"variant\":%d", event.variant));
+  }
+  n += static_cast<std::size_t>(std::snprintf(buf + n, cap - n,
+                                              ",\"value\":%.17g,\"detail\":\"%s\"}\n",
+                                              event.value, event.detail));
+  return n;
+}
+
 JsonlFileSink::JsonlFileSink(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
   if (file_ == nullptr) {
     throw std::runtime_error("JsonlFileSink: cannot open " + path + " for writing");
@@ -88,17 +124,31 @@ JsonlFileSink::~JsonlFileSink() {
 }
 
 void JsonlFileSink::record(const TraceEvent& event) {
+  // Format on the caller's stack; the lock covers only the write + counter.
+  char line[kJsonlMaxLine];
+  const std::size_t n = format_event_jsonl(event, line, sizeof line);
   std::lock_guard lock(mutex_);
-  std::fprintf(file_, "{\"type\":\"%s\",\"minute\":%lld", to_string(event.type),
-               static_cast<long long>(event.minute));
-  if (event.function != TraceEvent::kNoFunction) {
-    std::fprintf(file_, ",\"function\":%zu", event.function);
-  }
-  if (event.variant >= 0) {
-    std::fprintf(file_, ",\"variant\":%d", event.variant);
-  }
-  std::fprintf(file_, ",\"value\":%.17g,\"detail\":\"%s\"}\n", event.value, event.detail);
+  std::fwrite(line, 1, n, file_);
   ++lines_;
+}
+
+void JsonlFileSink::record_batch(const TraceEvent* events, std::size_t count) {
+  // One buffered chunk, one fwrite, one lock acquisition per chunk — the
+  // collector drain path. 64 lines per chunk keeps the buffer on the stack.
+  constexpr std::size_t kChunkLines = 64;
+  char chunk[kChunkLines * kJsonlMaxLine];
+  std::size_t i = 0;
+  while (i < count) {
+    const std::size_t lines = std::min(kChunkLines, count - i);
+    std::size_t n = 0;
+    for (std::size_t j = 0; j < lines; ++j) {
+      n += format_event_jsonl(events[i + j], chunk + n, kJsonlMaxLine);
+    }
+    std::lock_guard lock(mutex_);
+    std::fwrite(chunk, 1, n, file_);
+    lines_ += lines;
+    i += lines;
+  }
 }
 
 std::uint64_t JsonlFileSink::lines_written() const {

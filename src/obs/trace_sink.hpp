@@ -4,7 +4,11 @@
 // The engine and the policies never talk to a concrete sink — they emit
 // through obs::Observer, which is a null check when nothing is attached.
 // Both provided implementations are internally synchronized so one sink can
-// be shared across ensemble worker threads.
+// be shared across ensemble worker threads; the cheap attached path,
+// however, is to put an obs::EventCollector in front (see collector.hpp):
+// producers then push into lock-free SPSC rings and a background thread
+// drains them into the sink in batches through record_batch(), so the
+// per-event mutex never sits on the simulation hot path.
 
 #include <cstdint>
 #include <cstdio>
@@ -20,8 +24,39 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
 
+  /// How an EventCollector hands drained events to this sink.
+  ///   kStream    — forward each drained batch immediately (file/streaming
+  ///                sinks; line order across lanes is drain-cycle order).
+  ///   kCanonical — the collector retains bounded per-lane tails and feeds
+  ///                the sink exactly once, at finish(), in canonical
+  ///                (lane id, sequence) order, so the retained window and
+  ///                all drop accounting are independent of drain timing.
+  enum class DrainMode : std::uint8_t { kStream, kCanonical };
+
   /// Records one event. Must be safe to call from multiple threads.
   virtual void record(const TraceEvent& event) = 0;
+
+  /// Records `count` events in one call (the collector drain path). The
+  /// default loops over record(); synchronized sinks override it to take
+  /// their lock once per batch.
+  virtual void record_batch(const TraceEvent* events, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) record(events[i]);
+  }
+
+  [[nodiscard]] virtual DrainMode drain_mode() const noexcept { return DrainMode::kStream; }
+
+  /// Retained-window capacity a canonical collector should mirror per lane.
+  /// Only meaningful when drain_mode() is kCanonical.
+  [[nodiscard]] virtual std::size_t canonical_capacity() const noexcept { return 0; }
+
+  /// Folds events that were overwritten upstream (a canonical collector's
+  /// bounded per-lane tails) into this sink's totals without storing them:
+  /// `by_type[t]` events of type t were recorded and already dropped.
+  /// Default ignores them (streaming sinks saw every event).
+  virtual void account_overwritten(const std::uint64_t* by_type, std::size_t type_count) {
+    (void)by_type;
+    (void)type_count;
+  }
 };
 
 /// Fixed-capacity ring buffer: keeps the most recent `capacity` events and
@@ -31,6 +66,17 @@ class RingBufferSink final : public TraceSink {
   explicit RingBufferSink(std::size_t capacity = 4096);
 
   void record(const TraceEvent& event) override;
+  void record_batch(const TraceEvent* events, std::size_t count) override;
+
+  /// Canonical drain: an EventCollector feeds this sink once, at finish, in
+  /// (lane id, sequence) order — deterministic for any thread count.
+  [[nodiscard]] DrainMode drain_mode() const noexcept override {
+    return DrainMode::kCanonical;
+  }
+  [[nodiscard]] std::size_t canonical_capacity() const noexcept override {
+    return capacity_;
+  }
+  void account_overwritten(const std::uint64_t* by_type, std::size_t type_count) override;
 
   /// All retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -38,7 +84,8 @@ class RingBufferSink final : public TraceSink {
   /// Total events ever recorded (retained + overwritten).
   [[nodiscard]] std::uint64_t recorded() const;
 
-  /// Events overwritten because the buffer was full.
+  /// Events overwritten because the buffer was full (ring overwrites; the
+  /// sampling knob's drops are counted at the lane, never here).
   [[nodiscard]] std::uint64_t dropped() const;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -49,6 +96,8 @@ class RingBufferSink final : public TraceSink {
   void clear();
 
  private:
+  void record_locked(const TraceEvent& event);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> buffer_;  // ring storage, wraps at capacity_
@@ -57,10 +106,19 @@ class RingBufferSink final : public TraceSink {
   std::vector<std::uint64_t> type_counts_;
 };
 
+/// Formats `event` as its JSONL line (without trailing newline) into `buf`.
+/// Returns the length written; `cap` must be >= kJsonlMaxLine.
+inline constexpr std::size_t kJsonlMaxLine = 256;
+std::size_t format_event_jsonl(const TraceEvent& event, char* buf, std::size_t cap);
+
 /// Streams every event as one JSON object per line (JSONL). Schema:
 ///   {"type":"cold_start","minute":17,"function":3,"variant":2,
 ///    "value":4,"detail":""}
 /// `function` is omitted for aggregate events and `variant` when -1.
+///
+/// Formatting happens outside the lock (per-call stack buffer); the lock
+/// only covers the fwrite, and record_batch() formats the whole batch into
+/// one buffer and writes it with a single fwrite.
 class JsonlFileSink final : public TraceSink {
  public:
   /// Opens `path` for writing (truncates). Throws std::runtime_error when
@@ -72,6 +130,7 @@ class JsonlFileSink final : public TraceSink {
   JsonlFileSink& operator=(const JsonlFileSink&) = delete;
 
   void record(const TraceEvent& event) override;
+  void record_batch(const TraceEvent* events, std::size_t count) override;
 
   [[nodiscard]] std::uint64_t lines_written() const;
 

@@ -91,9 +91,8 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
   std::vector<std::vector<Container>> pool(tr.function_count());
   std::size_t live_containers = 0;
 
-  util::IntHistogram* live_hist =
-      obs.metrics != nullptr ? &obs.metrics->histogram("platform.live_containers", 512)
-                             : nullptr;
+  obs::HistogramHandle live_hist;  // resolved once; per-minute updates are pointer adds
+  if (obs.metrics != nullptr) live_hist.bind(*obs.metrics, "platform.live_containers", 512);
 
   auto memory_of = [&](const Container& c, trace::FunctionId f) {
     return dep.family_of(f).variant(c.variant).memory_mb;
@@ -359,7 +358,7 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
     const double mem = total_memory();
     history.push(mem);
     if (config_.record_series) result.memory_mb.push_back(mem);
-    if (live_hist != nullptr) live_hist->add(live_containers);
+    live_hist.record(live_containers);
   }
 
   // Flush the remaining containers' cost at the horizon.
@@ -392,7 +391,9 @@ PlatformResult PlatformSimulator::run(sim::KeepAlivePolicy& policy) {
     reg.counter("platform.guard_incidents").add(result.faults.guard_incidents);
     reg.gauge("platform.service_time_s").add(result.total_service_time_s);
     reg.gauge("platform.cost_usd").add(result.total_cost_usd);
-    reg.gauge("platform.peak_containers")
+    // Peak gauge: kMax so merging per-slot registries takes the maximum
+    // instead of summing every slot's peak.
+    reg.gauge("platform.peak_containers", obs::GaugeMerge::kMax)
         .max_with(static_cast<double>(result.peak_containers));
     result.metrics = reg.snapshot();
   }

@@ -33,6 +33,14 @@ void IceBreakerPolicy::initialize(const sim::Deployment& deployment, const trace
   current_minute_count_.assign(deployment.function_count(), 0);
 }
 
+void IceBreakerPolicy::attach_observer(const obs::Observer* observer) {
+  sim::KeepAlivePolicy::attach_observer(observer);
+  refreshes_ = {};
+  if (obs::MetricsRegistry* const m = metrics()) {
+    refreshes_.bind(*m, "icebreaker.refreshes");
+  }
+}
+
 void IceBreakerPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                      sim::KeepAliveSchedule& schedule) {
   (void)t;
@@ -78,7 +86,8 @@ void IceBreakerPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& sc
 
   // At period boundaries, forecast and schedule the next period.
   if ((t + 1) % config_.refresh_interval != 0) return;
-  if (obs::MetricsRegistry* const m = metrics()) m->counter("icebreaker.refreshes").add(1);
+  refreshes_.bump();
+  refreshes_.flush();  // refresh boundary == minute boundary
   if (obs::TraceSink* const s = sink()) {
     s->record({obs::EventType::kPolicyDecision, t, obs::TraceEvent::kNoFunction, -1,
                static_cast<double>(history_.size()), "forecast_refresh"});
@@ -124,6 +133,11 @@ void IceBreakerPulsePolicy::initialize(const sim::Deployment& deployment,
   opt_config.peak.local_window = pulse_config_.local_window;
   optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
   optimizer_->set_observer(observer());
+}
+
+void IceBreakerPulsePolicy::attach_observer(const obs::Observer* observer) {
+  IceBreakerPolicy::attach_observer(observer);
+  if (optimizer_) optimizer_->set_observer(observer);
 }
 
 void IceBreakerPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,

@@ -55,6 +55,9 @@ class IceBreakerPolicy : public sim::KeepAlivePolicy {
   [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
   void restore(const sim::PolicyCheckpoint* snapshot) override;
 
+  /// Binds the icebreaker.* handle bundle (no name lookup per refresh).
+  void attach_observer(const obs::Observer* observer) override;
+
  protected:
   /// Predicted invocation intensity of f for the next refresh interval.
   [[nodiscard]] std::vector<double> forecast(trace::FunctionId f) const;
@@ -68,6 +71,7 @@ class IceBreakerPolicy : public sim::KeepAlivePolicy {
   Config config_;
   std::vector<std::vector<double>> history_;        // per function per-minute counts
   std::vector<std::uint32_t> current_minute_count_;  // accumulating minute t
+  obs::CounterHandle refreshes_;                     // icebreaker.refreshes
 };
 
 class IceBreakerPulsePolicy : public IceBreakerPolicy {
@@ -92,6 +96,10 @@ class IceBreakerPulsePolicy : public IceBreakerPolicy {
 
   void end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
                      const sim::MemoryHistory& history) override;
+
+  /// Forwards to the optimizer so its metric-handle bundle follows engine
+  /// detach/re-attach (e.g. around a silent checkpoint replay).
+  void attach_observer(const obs::Observer* observer) override;
 
   /// Drop-induced cold starts inside the recent-invocation window serve the
   /// lowest variant (the downgrade's decision); fresh ones the highest.

@@ -36,6 +36,16 @@ void MilpPolicy::initialize(const sim::Deployment& deployment, const trace::Trac
   priority_ = std::make_unique<core::PriorityStructure>(deployment.function_count());
 }
 
+void MilpPolicy::attach_observer(const obs::Observer* observer) {
+  sim::KeepAlivePolicy::attach_observer(observer);
+  metrics_handles_ = {};
+  if (obs::MetricsRegistry* const m = metrics()) {
+    metrics_handles_.solves.bind(*m, "milp.solves");
+    metrics_handles_.solver_nodes.bind(*m, "milp.solver_nodes");
+    metrics_handles_.downgrades.bind(*m, "milp.downgrades");
+  }
+}
+
 void MilpPolicy::on_invocation(trace::FunctionId f, trace::Minute t,
                                sim::KeepAliveSchedule& schedule) {
   // Same function-centric optimization as PULSE: the comparison isolates
@@ -141,11 +151,14 @@ void MilpPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule
                  static_cast<double>(chosen), "milp"});
     }
   }
-  if (obs::MetricsRegistry* const m = metrics()) {
-    m->counter("milp.solves").add(1);
-    m->counter("milp.solver_nodes").add(solution.nodes_explored);
-    if (applied > 0) m->counter("milp.downgrades").add(applied);
-  }
+  // Solve boundary == minute boundary: fold the pending deltas through the
+  // pre-resolved handles (no-ops when observability is disabled).
+  metrics_handles_.solves.bump();
+  metrics_handles_.solver_nodes.bump(solution.nodes_explored);
+  if (applied > 0) metrics_handles_.downgrades.bump(applied);
+  metrics_handles_.solves.flush();
+  metrics_handles_.solver_nodes.flush();
+  metrics_handles_.downgrades.flush();
 }
 
 std::unique_ptr<sim::PolicyCheckpoint> MilpPolicy::checkpoint() const {

@@ -59,6 +59,9 @@ class MilpPolicy : public sim::KeepAlivePolicy {
   [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
   void restore(const sim::PolicyCheckpoint* snapshot) override;
 
+  /// Binds the milp.* handle bundle (no name lookup per solve).
+  void attach_observer(const obs::Observer* observer) override;
+
  private:
   Config config_;
   std::vector<core::InterArrivalTracker> trackers_;
@@ -67,6 +70,14 @@ class MilpPolicy : public sim::KeepAlivePolicy {
   core::DemandHistory demand_;
   std::uint64_t downgrades_ = 0;
   std::uint64_t solver_nodes_ = 0;
+
+  /// Pre-resolved milp.* handles, flushed at each solve (a minute boundary).
+  struct Metrics {
+    obs::CounterHandle solves;
+    obs::CounterHandle solver_nodes;
+    obs::CounterHandle downgrades;
+  };
+  Metrics metrics_handles_;
 
   /// Reused across peak minutes (allocation-free hot path).
   std::vector<std::pair<trace::FunctionId, std::size_t>> kept_buffer_;

@@ -28,6 +28,14 @@ void WildPolicy::initialize(const sim::Deployment& deployment, const trace::Trac
                      predict::HybridHistogramPredictor(config_.predictor));
 }
 
+void WildPolicy::attach_observer(const obs::Observer* observer) {
+  sim::KeepAlivePolicy::attach_observer(observer);
+  horizon_hist_ = {};
+  if (obs::MetricsRegistry* const m = metrics()) {
+    horizon_hist_.bind(*m, "wild.keepalive_horizon", 64);
+  }
+}
+
 predict::WindowPrediction WildPolicy::predict_window(trace::FunctionId f, trace::Minute t) {
   const obs::PhaseTimer timer(profiler(), obs::Phase::kPredict);
   auto& predictor = predictors_.at(f);
@@ -35,10 +43,7 @@ predict::WindowPrediction WildPolicy::predict_window(trace::FunctionId f, trace:
   predict::WindowPrediction w = predictor.predict();
   w.keepalive_until = std::clamp<trace::Minute>(w.keepalive_until, 1, config_.max_horizon);
   w.prewarm_offset = std::clamp<trace::Minute>(w.prewarm_offset, 0, w.keepalive_until - 1);
-  if (obs::MetricsRegistry* const m = metrics()) {
-    m->histogram("wild.keepalive_horizon", 64)
-        .add(static_cast<std::uint64_t>(w.keepalive_until));
-  }
+  horizon_hist_.record(static_cast<std::size_t>(w.keepalive_until));
   return w;
 }
 
@@ -88,6 +93,11 @@ void WildPulsePolicy::initialize(const sim::Deployment& deployment, const trace:
   opt_config.peak.local_window = pulse_config_.local_window;
   optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
   optimizer_->set_observer(observer());
+}
+
+void WildPulsePolicy::attach_observer(const obs::Observer* observer) {
+  WildPolicy::attach_observer(observer);
+  if (optimizer_) optimizer_->set_observer(observer);
 }
 
 void WildPulsePolicy::on_invocation(trace::FunctionId f, trace::Minute t,

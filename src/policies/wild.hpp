@@ -52,6 +52,10 @@ class WildPolicy : public sim::KeepAlivePolicy {
   [[nodiscard]] std::unique_ptr<sim::PolicyCheckpoint> checkpoint() const override;
   void restore(const sim::PolicyCheckpoint* snapshot) override;
 
+  /// Binds the wild.* handle bundle; per-invocation emission then never
+  /// resolves a metric name.
+  void attach_observer(const obs::Observer* observer) override;
+
  protected:
   /// Clamped prediction for f's window after an invocation at t.
   [[nodiscard]] predict::WindowPrediction predict_window(trace::FunctionId f,
@@ -59,6 +63,7 @@ class WildPolicy : public sim::KeepAlivePolicy {
 
   Config config_;
   std::vector<predict::HybridHistogramPredictor> predictors_;
+  obs::HistogramHandle horizon_hist_;  // wild.keepalive_horizon
 };
 
 class WildPulsePolicy : public WildPolicy {
@@ -83,6 +88,10 @@ class WildPulsePolicy : public WildPolicy {
 
   void end_of_minute(trace::Minute t, sim::KeepAliveSchedule& schedule,
                      const sim::MemoryHistory& history) override;
+
+  /// Forwards to the optimizer so its metric-handle bundle follows engine
+  /// detach/re-attach (e.g. around a silent checkpoint replay).
+  void attach_observer(const obs::Observer* observer) override;
 
   /// Drop-induced cold starts inside the recent-invocation window serve the
   /// lowest variant (the downgrade's decision); fresh ones the highest.

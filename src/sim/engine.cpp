@@ -99,6 +99,32 @@ SteppedRun::SteppedRun(const Deployment& deployment, const trace::Trace& trace,
                     ? &obs.metrics->histogram("engine.alive_containers", 512)
                     : nullptr;
 
+  // Same discipline for the finish-time fold: every engine.* name resolves
+  // here, exactly once, into the handle bundle.
+  if (obs.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs.metrics;
+    metric_handles_.runs.bind(m, "engine.runs");
+    metric_handles_.invocations.bind(m, "engine.invocations");
+    metric_handles_.warm_starts.bind(m, "engine.warm_starts");
+    metric_handles_.cold_starts.bind(m, "engine.cold_starts");
+    metric_handles_.downgrades.bind(m, "engine.downgrades");
+    metric_handles_.capacity_evictions.bind(m, "engine.capacity_evictions");
+    metric_handles_.crash_evictions.bind(m, "engine.crash_evictions");
+    metric_handles_.failed_invocations.bind(m, "engine.failed_invocations");
+    metric_handles_.retries.bind(m, "engine.retries");
+    metric_handles_.timeouts.bind(m, "engine.timeouts");
+    metric_handles_.degraded_minutes.bind(m, "engine.degraded_minutes");
+    metric_handles_.guard_incidents.bind(m, "engine.guard_incidents");
+    metric_handles_.service_time_s.bind(m, "engine.service_time_s");
+    metric_handles_.keepalive_cost_usd.bind(m, "engine.keepalive_cost_usd");
+    metric_handles_.peak_keepalive_memory_mb.bind(m, "engine.peak_keepalive_memory_mb",
+                                                  obs::GaugeMerge::kMax);
+    if (config_.top_k_function_metrics > 0) {
+      fn_cold_starts_.assign(trace.function_count(), 0);
+      fn_evictions_.assign(trace.function_count(), 0);
+    }
+  }
+
   policy_->initialize(deployment, trace, schedule_);
 }
 
@@ -150,6 +176,7 @@ void SteppedRun::step_minute() {
       if (injector.container_crashes(gf, t)) {
         schedule.evict_from(f, t);
         ++result.crash_evictions;
+        if (!fn_evictions_.empty()) ++fn_evictions_[f];
         minute_degraded = true;
         if (sink != nullptr) {
           sink->record({obs::EventType::kCrashEviction, t, gf,
@@ -267,6 +294,7 @@ void SteppedRun::step_minute() {
         ++result.invocations;
         if (cold) {
           ++result.cold_starts;
+          if (!fn_cold_starts_.empty()) ++fn_cold_starts_[f];
         } else {
           ++result.warm_starts;
         }
@@ -347,6 +375,7 @@ void SteppedRun::step_minute() {
       schedule.evict_from(victim.first, t);
       kept_buffer_.erase(kept_buffer_.begin() + idx);
       ++result.capacity_evictions;
+      if (!fn_evictions_.empty()) ++fn_evictions_[victim.first];
       if (sink != nullptr) {
         sink->record({obs::EventType::kEviction, t,
                       gids != nullptr ? (*gids)[victim.first] : victim.first,
@@ -361,7 +390,18 @@ void SteppedRun::step_minute() {
   const double cost_t = config_.cost_model.keepalive_cost_usd(memory_t, 1.0);
   result.total_keepalive_cost_usd += cost_t;
   memory_record_.push_back(memory_t);
-  if (alive_hist_ != nullptr) alive_hist_->add(schedule.alive_count_at(t));
+  const bool sample_minute = sink != nullptr && config_.emit_minute_samples;
+  if (alive_hist_ != nullptr || sample_minute) {
+    const std::size_t alive_n = schedule.alive_count_at(t);
+    if (alive_hist_ != nullptr) alive_hist_->add(alive_n);
+    if (sample_minute) {
+      // End-of-minute aggregate: the replayer's cost-curve anchor. value
+      // carries the exact memory double (%.17g survives the JSONL round
+      // trip), variant the alive container count.
+      sink->record({obs::EventType::kMinuteSample, t, obs::TraceEvent::kNoFunction,
+                    static_cast<std::int32_t>(alive_n), memory_t, ""});
+    }
+  }
 
   if (config_.record_series) {
     result.keepalive_memory_mb.push_back(memory_t);
@@ -394,23 +434,36 @@ void SteppedRun::restore(const RunCheckpoint& snapshot) {
 }
 
 void SteppedRun::replay_until(trace::Minute end) {
-  // The policy (and helpers like the PULSE optimizer) hold pointers to
-  // config_.observer itself, so muting the struct in place silences their
-  // emission too — no duplicated events or double-counted metrics from the
-  // replayed span.
+  // Muting config_.observer in place silences the engine's own emission,
+  // but policies (and helpers like the PULSE optimizer) bind metric-handle
+  // bundles at attach time — their resolved registry pointers outlive any
+  // in-place mute. Detach for the replayed span and re-attach after, so
+  // the handles unbind and the replay double-counts nothing.
   const obs::Observer saved_observer = config_.observer;
   util::IntHistogram* const saved_hist = alive_hist_;
+  // The top-K tallies counted the rolled-back span in the original pass,
+  // so they go quiet with the rest of the emission during replay.
+  std::vector<std::uint64_t> saved_cold = std::move(fn_cold_starts_);
+  std::vector<std::uint64_t> saved_evict = std::move(fn_evictions_);
   config_.observer = obs::Observer{};
   alive_hist_ = nullptr;
+  fn_cold_starts_.clear();
+  fn_evictions_.clear();
+  policy_->attach_observer(nullptr);
+  const auto reattach = [&] {
+    config_.observer = saved_observer;
+    alive_hist_ = saved_hist;
+    fn_cold_starts_ = std::move(saved_cold);
+    fn_evictions_ = std::move(saved_evict);
+    policy_->attach_observer(config_.observer.any() ? &config_.observer : nullptr);
+  };
   try {
     run_until(end);
   } catch (...) {
-    config_.observer = saved_observer;
-    alive_hist_ = saved_hist;
+    reattach();
     throw;
   }
-  config_.observer = saved_observer;
-  alive_hist_ = saved_hist;
+  reattach();
 }
 
 std::uint64_t SteppedRun::lose_warm_pool(trace::Minute t) {
@@ -460,6 +513,10 @@ std::uint64_t SteppedRun::run_outage(trace::Minute end) {
     // A dead shard holds nothing warm: zero memory, zero keep-alive cost.
     memory_record_.push_back(0.0);
     if (alive_hist_ != nullptr) alive_hist_->add(0);
+    if (sink != nullptr && config_.emit_minute_samples) {
+      sink->record({obs::EventType::kMinuteSample, t, obs::TraceEvent::kNoFunction, 0, 0.0,
+                    ""});
+    }
     if (config_.record_series) {
       result_.keepalive_memory_mb.push_back(0.0);
       result_.keepalive_cost_usd.push_back(0.0);
@@ -482,30 +539,72 @@ RunResult SteppedRun::finish() {
   result.guard_incidents = policy_->incident_count();
 
   // Fold the run's aggregates into the registry (zero hot-path cost: one
-  // batch of adds at the end) and snapshot it into the result.
+  // batch of pointer adds through the pre-resolved handle bundle) and
+  // snapshot it into the result.
   const obs::Observer& obs = config_.observer;
   if (obs.metrics != nullptr) {
-    obs::MetricsRegistry& m = *obs.metrics;
-    m.counter("engine.runs").add(1);
-    m.counter("engine.invocations").add(result.invocations);
-    m.counter("engine.warm_starts").add(result.warm_starts);
-    m.counter("engine.cold_starts").add(result.cold_starts);
-    m.counter("engine.downgrades").add(result.downgrades);
-    m.counter("engine.capacity_evictions").add(result.capacity_evictions);
-    m.counter("engine.crash_evictions").add(result.crash_evictions);
-    m.counter("engine.failed_invocations").add(result.failed_invocations);
-    m.counter("engine.retries").add(result.retries);
-    m.counter("engine.timeouts").add(result.timeouts);
-    m.counter("engine.degraded_minutes").add(result.degraded_minutes);
-    m.counter("engine.guard_incidents").add(result.guard_incidents);
-    m.gauge("engine.service_time_s").add(result.total_service_time_s);
-    m.gauge("engine.keepalive_cost_usd").add(result.total_keepalive_cost_usd);
+    MetricsHandles& h = metric_handles_;
+    h.runs.bump();
+    h.invocations.bump(result.invocations);
+    h.warm_starts.bump(result.warm_starts);
+    h.cold_starts.bump(result.cold_starts);
+    h.downgrades.bump(result.downgrades);
+    h.capacity_evictions.bump(result.capacity_evictions);
+    h.crash_evictions.bump(result.crash_evictions);
+    h.failed_invocations.bump(result.failed_invocations);
+    h.retries.bump(result.retries);
+    h.timeouts.bump(result.timeouts);
+    h.degraded_minutes.bump(result.degraded_minutes);
+    h.guard_incidents.bump(result.guard_incidents);
+    h.service_time_s.bump(result.total_service_time_s);
+    h.keepalive_cost_usd.bump(result.total_keepalive_cost_usd);
     double peak = 0.0;
     for (const double v : memory_record_) peak = std::max(peak, v);
-    m.gauge("engine.peak_keepalive_memory_mb").max_with(peak);
-    result.metrics = m.snapshot();
+    h.peak_keepalive_memory_mb.bump(peak);
+    h.runs.flush();
+    h.invocations.flush();
+    h.warm_starts.flush();
+    h.cold_starts.flush();
+    h.downgrades.flush();
+    h.capacity_evictions.flush();
+    h.crash_evictions.flush();
+    h.failed_invocations.flush();
+    h.retries.flush();
+    h.timeouts.flush();
+    h.degraded_minutes.flush();
+    h.guard_incidents.flush();
+    h.service_time_s.flush();
+    h.keepalive_cost_usd.flush();
+    h.peak_keepalive_memory_mb.flush();
+    fold_top_k(*obs.metrics);
+    result.metrics = obs.metrics->snapshot();
   }
   return std::move(result_);
+}
+
+void SteppedRun::fold_top_k(obs::MetricsRegistry& m) const {
+  if (fn_cold_starts_.empty()) return;
+  const std::vector<trace::FunctionId>* const gids = config_.global_ids;
+  const auto fold = [&](const char* prefix, const std::vector<std::uint64_t>& tallies) {
+    // Rank by count descending, ties by ascending catalog-global id — a
+    // total order, so the reported set is deterministic.
+    std::vector<std::pair<std::uint64_t, trace::FunctionId>> ranked;
+    for (trace::FunctionId f = 0; f < tallies.size(); ++f) {
+      if (tallies[f] == 0) continue;
+      ranked.emplace_back(tallies[f], gids != nullptr ? (*gids)[f] : f);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    if (ranked.size() > config_.top_k_function_metrics) {
+      ranked.resize(config_.top_k_function_metrics);
+    }
+    for (const auto& [count, gid] : ranked) {
+      m.counter(std::string(prefix) + std::to_string(gid)).add(count);
+    }
+  };
+  fold("engine.topk.cold_starts.", fn_cold_starts_);
+  fold("engine.topk.evictions.", fn_evictions_);
 }
 
 }  // namespace pulse::sim

@@ -76,6 +76,19 @@ struct EngineConfig {
   /// it never steers (tests/obs/obs_determinism_test.cpp is the gate).
   obs::Observer observer{};
 
+  /// Emit one kMinuteSample event per simulated minute (value = keep-alive
+  /// memory MB, variant = alive container count). The per-minute anchor the
+  /// JSONL replayer (exp::replay_events) reconstructs cost curves from.
+  /// Off by default: it adds duration() events per run.
+  bool emit_minute_samples = false;
+
+  /// Keep per-function cold-start/eviction tallies and fold the top K
+  /// functions (by count, ties broken by ascending catalog-global id) into
+  /// the metrics registry at finish as engine.topk.* counters. 0 = off.
+  /// Combine with ObsConfig::sample_every to keep attached cost flat: the
+  /// tallies are plain array increments, no events are emitted.
+  std::size_t top_k_function_metrics = 0;
+
   /// Derive per-invocation latency jitter, Bernoulli accuracy draws, and
   /// capacity-eviction victim picks by hashing (seed, function, minute,
   /// invocation) — the FaultInjector discipline applied to the engine's own
@@ -192,6 +205,30 @@ class SteppedRun {
 
  private:
   void step_minute();
+  void fold_top_k(obs::MetricsRegistry& m) const;
+
+  /// Pre-resolved engine.* handle bundle (metrics_registry.hpp): every name
+  /// is looked up once at construction; finish() folds the run's aggregates
+  /// through plain pointer adds. The peak gauge registers as GaugeMerge::
+  /// kMax so ensemble merges take the max across slots instead of summing
+  /// per-slot peaks.
+  struct MetricsHandles {
+    obs::CounterHandle runs;
+    obs::CounterHandle invocations;
+    obs::CounterHandle warm_starts;
+    obs::CounterHandle cold_starts;
+    obs::CounterHandle downgrades;
+    obs::CounterHandle capacity_evictions;
+    obs::CounterHandle crash_evictions;
+    obs::CounterHandle failed_invocations;
+    obs::CounterHandle retries;
+    obs::CounterHandle timeouts;
+    obs::CounterHandle degraded_minutes;
+    obs::CounterHandle guard_incidents;
+    obs::GaugeHandle service_time_s;
+    obs::GaugeHandle keepalive_cost_usd;
+    obs::GaugeHandle peak_keepalive_memory_mb;  // kMax
+  };
 
   const Deployment* deployment_;
   const trace::Trace* trace_;
@@ -209,6 +246,11 @@ class SteppedRun {
   fault::FaultInjector injector_;
   bool faults_on_ = false;
   util::IntHistogram* alive_hist_ = nullptr;
+  MetricsHandles metric_handles_;
+  /// Per-function tallies for EngineConfig::top_k_function_metrics (empty
+  /// when the knob is off or no registry is attached).
+  std::vector<std::uint64_t> fn_cold_starts_;
+  std::vector<std::uint64_t> fn_evictions_;
   trace::Minute next_minute_ = 0;
   bool finished_ = false;
 };

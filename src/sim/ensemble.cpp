@@ -42,11 +42,24 @@ EnsembleResult run_ensemble(const models::ModelZoo& zoo, const trace::Trace& tra
       user_obs.metrics != nullptr ? pool.task_slot_count() : 0);
   std::vector<obs::PhaseProfiler> slot_profilers(
       user_obs.profiler != nullptr ? pool.task_slot_count() : 0);
+
+  // Lock-free event transport: one SPSC lane per worker slot in front of
+  // the user's sink, drained by the collector's background thread. Workers
+  // never touch the sink's mutex, and each run keys its sampling stream by
+  // run index, so sampling decisions and event totals are thread-count
+  // invariant (see obs/collector.hpp for the full determinism contract).
+  std::unique_ptr<obs::EventCollector> collector;
+  if (user_obs.sink != nullptr && config.lock_free_sink) {
+    collector = std::make_unique<obs::EventCollector>(*user_obs.sink, pool.task_slot_count(),
+                                                      config.obs);
+  }
+
   for (std::size_t slot = 0; slot < pool.task_slot_count(); ++slot) {
     if (user_obs.metrics != nullptr) task_config[slot].observer.metrics = &slot_metrics[slot];
     if (user_obs.profiler != nullptr) {
       task_config[slot].observer.profiler = &slot_profilers[slot];
     }
+    if (collector) task_config[slot].observer.sink = &collector->lane(slot);
   }
 
   pool.parallel_for_slotted(config.runs, [&](std::size_t slot, std::size_t i) {
@@ -57,11 +70,17 @@ EnsembleResult run_ensemble(const models::ModelZoo& zoo, const trace::Trace& tra
 
     EngineConfig& engine_config = task_config[slot];
     engine_config.seed = config.seed * 1000003 + i;
+    if (collector) collector->lane(slot).begin_stream(i);
 
     SimulationEngine engine(deployment, trace, engine_config);
     auto policy = factory();
     result.runs[i] = engine.run(*policy);
   });
+
+  // The pool has joined (producers quiesced): drain the lanes and, for
+  // canonical sinks, feed the retained tails downstream before anything
+  // reads the sink.
+  if (collector) collector->finish();
 
   for (const auto& m : slot_metrics) user_obs.metrics->merge(m);
   for (const auto& p : slot_profilers) user_obs.profiler->merge(p);

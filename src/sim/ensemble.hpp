@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "models/zoo.hpp"
+#include "obs/collector.hpp"
 #include "sim/engine.hpp"
 #include "sim/policy.hpp"
 #include "trace/trace.hpp"
@@ -25,6 +26,18 @@ struct EnsembleConfig {
   std::uint64_t seed = 7;
   EngineConfig engine{};
   std::size_t threads = 0;  // 0 -> hardware concurrency
+
+  /// Route an attached TraceSink through an obs::EventCollector: each worker
+  /// slot emits into its own lock-free SPSC lane (no sink mutex on the
+  /// simulation threads) and every run starts a sampling stream keyed by its
+  /// run index, so event totals, per-type counts and sampling decisions are
+  /// identical for any thread count. Off = the historical direct-attach
+  /// path (workers contend on the sink's internal lock).
+  bool lock_free_sink = true;
+
+  /// Transport sizing and the deterministic sampling knob for the collector
+  /// (ignored unless a sink is attached and lock_free_sink is on).
+  obs::ObsConfig obs{};
 };
 
 struct EnsembleResult {

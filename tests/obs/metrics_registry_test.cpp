@@ -87,6 +87,111 @@ TEST(MetricsRegistry, MergeSumsEverything) {
   EXPECT_EQ(snap.histograms[0].second.total, 8u);
 }
 
+TEST(MetricsRegistry, MaxGaugesMergeByMaximumNotSum) {
+  // Regression: peak gauges (engine.peak_keepalive_memory_mb) used to be
+  // summed across ensemble slots by merge(), reporting a "peak" no single
+  // run ever reached. GaugeMerge::kMax merges them as a maximum.
+  MetricsRegistry a;
+  a.gauge("peak_mb", GaugeMerge::kMax).set(10.0);
+  a.gauge("cost").set(1.0);
+
+  MetricsRegistry b;
+  b.gauge("peak_mb", GaugeMerge::kMax).set(7.0);
+  b.gauge("cost").set(2.0);
+
+  MetricsRegistry c;
+  c.gauge("peak_mb", GaugeMerge::kMax).set(12.5);
+
+  a.merge(b);
+  a.merge(c);
+  const MetricsSnapshot snap = a.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauge_or("peak_mb"), 12.5);  // max, not 29.5
+  EXPECT_DOUBLE_EQ(snap.gauge_or("cost"), 3.0);      // kSum default unchanged
+}
+
+TEST(MetricsRegistry, MergeAdoptsTheSourceGaugeMode) {
+  // The destination may never have seen the gauge (ensemble slots register
+  // it, the user's registry starts empty): merging must carry the mode so
+  // a later merge still maxes.
+  MetricsRegistry user;
+  MetricsRegistry slot1;
+  slot1.gauge("peak_mb", GaugeMerge::kMax).set(8.0);
+  MetricsRegistry slot2;
+  slot2.gauge("peak_mb", GaugeMerge::kMax).set(5.0);
+
+  user.merge(slot1);
+  user.merge(slot2);
+  EXPECT_DOUBLE_EQ(user.snapshot().gauge_or("peak_mb"), 8.0);
+}
+
+// --- handle bundles (the batched hot-path metrics API) ---
+
+TEST(MetricsHandles, UnboundHandlesAreInertNoOps) {
+  CounterHandle counter;
+  GaugeHandle gauge;
+  HistogramHandle histogram;
+  counter.bump();
+  counter.bump(5);
+  counter.flush();
+  gauge.bump(1.5);
+  gauge.flush();
+  histogram.record(3);
+  EXPECT_FALSE(counter.bound());
+  SUCCEED();  // the disabled path: no registry, no crash, no effect
+}
+
+TEST(MetricsHandles, CounterAccumulatesUntilFlush) {
+  MetricsRegistry registry;
+  CounterHandle h;
+  h.bind(registry, "engine.cold_starts");
+  h.bump();
+  h.bump(4);
+  // Pending deltas are invisible until the batch boundary...
+  EXPECT_EQ(registry.snapshot().counter_or("engine.cold_starts"), 0u);
+  h.flush();
+  EXPECT_EQ(registry.snapshot().counter_or("engine.cold_starts"), 5u);
+  // ...and flush drains the pending state (no double count).
+  h.flush();
+  EXPECT_EQ(registry.snapshot().counter_or("engine.cold_starts"), 5u);
+}
+
+TEST(MetricsHandles, GaugeHandleHonoursMergeMode) {
+  MetricsRegistry registry;
+  GaugeHandle sum;
+  sum.bind(registry, "cost_usd");
+  sum.bump(1.5);
+  sum.bump(2.5);
+  sum.flush();
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauge_or("cost_usd"), 4.0);
+
+  GaugeHandle peak;
+  peak.bind(registry, "peak_mb", GaugeMerge::kMax);
+  peak.bump(10.0);
+  peak.bump(6.0);  // kMax: pending keeps the local maximum
+  peak.flush();
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauge_or("peak_mb"), 10.0);
+  peak.bump(4.0);  // below the registered peak: flush must not lower it
+  peak.flush();
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauge_or("peak_mb"), 10.0);
+  // And the bound gauge merges as kMax downstream.
+  MetricsRegistry other;
+  other.gauge("peak_mb", GaugeMerge::kMax).set(3.0);
+  registry.merge(other);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauge_or("peak_mb"), 10.0);
+}
+
+TEST(MetricsHandles, HistogramHandleRecordsDirectly) {
+  MetricsRegistry registry;
+  HistogramHandle h;
+  h.bind(registry, "gaps", 32);
+  h.record(3);
+  h.record(3, 4);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.total, 5u);
+  EXPECT_EQ(snap.histograms[0].second.p50, 3u);
+}
+
 TEST(MetricsRegistry, ClearEmptiesTheRegistry) {
   MetricsRegistry registry;
   registry.counter("x").add(1);

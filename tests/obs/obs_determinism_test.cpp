@@ -7,6 +7,9 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
@@ -67,7 +70,7 @@ std::uint64_t fingerprint(const sim::RunResult& r) {
 }
 
 sim::RunResult run_once(const char* policy_name, std::uint64_t seed, bool faults,
-                        const Observer& observer) {
+                        const Observer& observer, std::size_t top_k = 0) {
   trace::WorkloadConfig wc;
   wc.function_count = 16;
   wc.duration = 1440;
@@ -92,6 +95,7 @@ sim::RunResult run_once(const char* policy_name, std::uint64_t seed, bool faults
     config.faults.memory_pressure_capacity_mb = deployment.peak_highest_memory_mb() * 0.25;
   }
   config.observer = observer;
+  config.top_k_function_metrics = top_k;
 
   sim::SimulationEngine engine(deployment, workload.trace, config);
   auto policy = policies::make_policy(policy_name);
@@ -172,6 +176,70 @@ TEST(ObsDeterminism, EngineCountersMatchRunResult) {
   EXPECT_EQ(snap.counter_or("engine.timeouts"), r.timeouts);
   // The RunResult carries the same snapshot.
   EXPECT_EQ(r.metrics.counter_or("engine.invocations"), r.invocations);
+}
+
+TEST(ObsDeterminism, TopKFunctionCountersMatchPerFunctionTallies) {
+  trace::WorkloadConfig wc;
+  wc.function_count = 16;
+  wc.duration = 1440;
+  wc.seed = 101;
+  const trace::Workload workload = trace::build_azure_like_workload(wc);
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment = sim::Deployment::round_robin(zoo, wc.function_count);
+
+  constexpr std::size_t kTopK = 4;
+  MetricsRegistry registry;
+  sim::EngineConfig config;
+  config.seed = 404;
+  config.record_per_function = true;
+  config.top_k_function_metrics = kTopK;
+  config.observer.metrics = &registry;
+
+  sim::SimulationEngine engine(deployment, workload.trace, config);
+  auto policy = policies::make_policy("pulse");
+  const sim::RunResult r = engine.run(*policy);
+
+  // Collect the folded engine.topk.cold_starts.<gid> counters.
+  const MetricsSnapshot snap = registry.snapshot();
+  constexpr std::string_view kPrefix = "engine.topk.cold_starts.";
+  std::vector<std::pair<trace::FunctionId, std::uint64_t>> reported;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(kPrefix, 0) == 0) {
+      reported.emplace_back(std::stoul(name.substr(kPrefix.size())), value);
+    }
+  }
+  ASSERT_LE(reported.size(), kTopK);
+  ASSERT_FALSE(reported.empty());
+
+  // Every reported value matches the per-function breakdown exactly...
+  std::uint64_t floor = UINT64_MAX;
+  for (const auto& [gid, count] : reported) {
+    ASSERT_LT(gid, r.per_function.size());
+    EXPECT_EQ(count, r.per_function[gid].cold_starts) << "function " << gid;
+    floor = std::min(floor, count);
+  }
+  // ...and no unreported function beats the reported minimum (top-K really
+  // is the top K).
+  for (trace::FunctionId f = 0; f < r.per_function.size(); ++f) {
+    bool in_report = false;
+    for (const auto& [gid, count] : reported) in_report |= gid == f;
+    if (!in_report) EXPECT_LE(r.per_function[f].cold_starts, floor) << "function " << f;
+  }
+}
+
+TEST(ObsDeterminism, TopKTalliesLeaveRunResultIdentical) {
+  const Case c{"pulse", 101, true};
+  const std::uint64_t plain = fingerprint(run_once(c.policy, c.seed, c.faults, Observer{}));
+
+  MetricsRegistry registry;
+  Observer o;
+  o.metrics = &registry;
+  // The tallies are write-only side arrays: enabling them (top_k > 0 with a
+  // registry attached) must not perturb the simulation.
+  EXPECT_EQ(plain, fingerprint(run_once(c.policy, c.seed, c.faults, o, /*top_k=*/4)));
+  EXPECT_GT(registry.snapshot().counter_or("engine.topk.cold_starts.0", 0) +
+                registry.metric_count(),
+            0u);
 }
 
 TEST(ObsDeterminism, SinkSeesTheRunsEventMix) {
