@@ -1,0 +1,144 @@
+// serve_stream: drive the online serving mode from a line-protocol stream.
+//
+// Modes:
+//   --emit            write the synthetic workload as a protocol stream to
+//                     stdout (pipe it back into a plain serve_stream run)
+//   (default)         read a protocol stream from stdin, serve it online,
+//                     print the run's aggregate counters
+//   --batch           replay the same synthetic workload in batch mode and
+//                     print the identical counter block — `diff` against
+//                     the served output is the CI smoke test
+//   --selftest        run emit -> serve in-process and verify the served
+//                     result equals the batch result bit-for-bit
+//
+// The workload-shaping flags (--days/--functions/--seed) must match between
+// the emitting and the serving side for the comparison to be meaningful.
+//
+//   ./serve_stream --emit --days=1 | ./serve_stream --days=1 --policy=pulse
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "policies/factory.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/engine.hpp"
+#include "trace/workload.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace pulse;
+
+/// The counter block both modes print; any divergence fails the CI diff.
+void print_result(const char* mode, const std::string& policy, const sim::RunResult& r) {
+  std::printf("mode=%s policy=%s\n", mode, policy.c_str());
+  std::printf("invocations=%llu\n", static_cast<unsigned long long>(r.invocations));
+  std::printf("warm_starts=%llu\n", static_cast<unsigned long long>(r.warm_starts));
+  std::printf("cold_starts=%llu\n", static_cast<unsigned long long>(r.cold_starts));
+  std::printf("downgrades=%llu\n", static_cast<unsigned long long>(r.downgrades));
+  std::printf("keepalive_cost_usd=%.10f\n", r.total_keepalive_cost_usd);
+  std::printf("service_time_s=%.10f\n", r.total_service_time_s);
+  std::printf("accuracy_pct=%.10f\n", r.average_accuracy_pct());
+}
+
+trace::Trace make_trace(const util::CliParser& cli) {
+  trace::WorkloadConfig wconfig;
+  wconfig.function_count = static_cast<std::size_t>(cli.get_int("functions"));
+  wconfig.duration = cli.get_int("days") * trace::kMinutesPerDay;
+  wconfig.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return trace::build_azure_like_workload(wconfig).trace;
+}
+
+sim::RunResult run_batch(const sim::Deployment& deployment, const trace::Trace& trace,
+                         const std::string& policy_name) {
+  sim::SimulationEngine engine(deployment, trace, {});
+  const auto policy = policies::make_policy(policy_name);
+  return engine.run(*policy);
+}
+
+sim::RunResult run_served(const sim::Deployment& deployment, serve::InvocationSource& source,
+                          const std::string& policy_name, trace::Minute horizon) {
+  const auto policy = policies::make_policy(policy_name);
+  serve::ServeConfig config;
+  config.horizon = horizon;
+  serve::OnlineServer server(deployment, *policy, config);
+  server.drain(source);
+  return server.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("serve_stream: online serving over the line protocol");
+  cli.add_flag("days", "1", "trace length in days (emit/batch/selftest and serve horizon)");
+  cli.add_flag("functions", "12", "number of serverless functions");
+  cli.add_flag("seed", "42", "workload seed");
+  cli.add_flag("policy", "pulse", "keep-alive policy (policies::make_policy name)");
+  cli.add_switch("emit", "write the workload as a protocol stream and exit");
+  cli.add_switch("batch", "run the batch replay instead of serving stdin");
+  cli.add_switch("selftest", "emit+serve in-process and compare against batch");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", cli.error().c_str(), cli.usage().c_str());
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  const std::string policy_name = cli.get_string("policy");
+  const trace::Minute horizon = cli.get_int("days") * trace::kMinutesPerDay;
+  const models::ModelZoo zoo = models::ModelZoo::builtin();
+  const sim::Deployment deployment =
+      sim::Deployment::round_robin(zoo, static_cast<std::size_t>(cli.get_int("functions")));
+
+  if (cli.get_bool("emit")) {
+    serve::write_line_protocol(make_trace(cli), std::cout);
+    return 0;
+  }
+
+  if (cli.get_bool("batch")) {
+    print_result("batch", policy_name, run_batch(deployment, make_trace(cli), policy_name));
+    return 0;
+  }
+
+  if (cli.get_bool("selftest")) {
+    const trace::Trace trace = make_trace(cli);
+    const sim::RunResult batch = run_batch(deployment, trace, policy_name);
+
+    // Round-trip through the text protocol, not just ReplaySource, so the
+    // selftest covers the same path as the CI pipe.
+    std::ostringstream encoded;
+    serve::write_line_protocol(trace, encoded);
+    std::istringstream decoded(encoded.str());
+    serve::LineProtocolSource source(decoded, {.strict = true});
+    const sim::RunResult served = run_served(deployment, source, policy_name, horizon);
+
+    const bool same = served.invocations == batch.invocations &&
+                      served.warm_starts == batch.warm_starts &&
+                      served.cold_starts == batch.cold_starts &&
+                      served.downgrades == batch.downgrades &&
+                      served.total_keepalive_cost_usd == batch.total_keepalive_cost_usd &&
+                      served.total_service_time_s == batch.total_service_time_s;
+    print_result("selftest", policy_name, served);
+    if (!same) {
+      std::fprintf(stderr, "selftest FAILED: served result differs from batch\n");
+      return 1;
+    }
+    std::printf("selftest OK: served == batch\n");
+    return 0;
+  }
+
+  serve::LineProtocolSource source(std::cin);
+  const sim::RunResult served = run_served(deployment, source, policy_name, horizon);
+  // Print as "batch" so CI can literally `diff` this output against the
+  // --batch run over the same workload flags.
+  print_result("batch", policy_name, served);
+  if (source.malformed_lines() != 0) {
+    std::fprintf(stderr, "warning: %llu malformed protocol lines skipped\n",
+                 static_cast<unsigned long long>(source.malformed_lines()));
+  }
+  return 0;
+}

@@ -8,7 +8,13 @@ GlobalOptimizer::GlobalOptimizer(std::size_t model_count)
     : GlobalOptimizer(model_count, Config{}) {}
 
 GlobalOptimizer::GlobalOptimizer(std::size_t model_count, Config config)
-    : config_(config), detector_(config.peak), priority_(model_count) {}
+    : config_(config), detector_(config.peak), priority_(model_count) {
+  // A peak minute can first occur arbitrarily late in a served stream;
+  // sizing the flatten-round buffers up front keeps even that first peak
+  // allocation-free (serve-mode hot-path discipline).
+  kept_buffer_.reserve(model_count);
+  priority_buffer_.reserve(model_count);
+}
 
 UtilityComponents GlobalOptimizer::score(
     trace::FunctionId f, std::size_t variant, trace::Minute t,

@@ -31,6 +31,11 @@ class DemandHistory final : public sim::MemoryHistory {
  public:
   void push(double memory_mb) { values_.push_back(memory_mb); }
 
+  /// Pre-sizes the backing store (one slot per simulated minute) so push()
+  /// never reallocates during a run — required by the serve-mode
+  /// allocation-free hot-path discipline.
+  void reserve(std::size_t minutes) { values_.reserve(minutes); }
+
   [[nodiscard]] double memory_at(trace::Minute t) const override {
     if (t < 0 || static_cast<std::size_t>(t) >= values_.size()) return 0.0;
     return values_[static_cast<std::size_t>(t)];
@@ -65,6 +70,10 @@ class GlobalOptimizer {
   /// this minute.
   std::size_t flatten_peak(trace::Minute t, sim::KeepAliveSchedule& schedule,
                            const std::vector<InterArrivalTracker>& trackers);
+
+  /// Pre-sizes the demand history for a run of `minutes` minutes, keeping
+  /// flatten_peak's bookkeeping off the allocator.
+  void reserve_horizon(std::size_t minutes) { demand_.reserve(minutes); }
 
   /// Utility score for function f keeping variant `variant` alive at t,
   /// given a pre-normalized priority vector.

@@ -7,12 +7,22 @@
 // sliding local window of recent history (patterns drift — Figure 2) and
 // one over the full history since system start; the two probabilities are
 // averaged.
+//
+// The local-window estimate is maintained incrementally: a per-gap count
+// table covers the gaps currently inside [now - local_window, now], and is
+// advanced lazily as `now` moves forward. probability() is O(1) amortized
+// and probability_within() is O(range) — previously both rescanned the
+// recent-gap deque per candidate gap. Queries are bit-identical to the
+// rescanning implementation: the per-d arithmetic (0.5 * (p_full +
+// match/total)) is unchanged; only how match/total are obtained differs.
 
 #include <cstdint>
-#include <deque>
+#include <limits>
 #include <optional>
+#include <vector>
 
 #include "trace/trace.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/stats.hpp"
 
 namespace pulse::core {
@@ -39,6 +49,11 @@ class InterArrivalTracker {
   /// P(inter-arrival == d), averaged over the local-window estimate and the
   /// full-history estimate, evaluated at minute `now`. When the local
   /// window holds no gaps the full-history estimate is used alone.
+  ///
+  /// Memoizes the window position across calls (O(1) amortized when `now`
+  /// is non-decreasing; a backward jump triggers an O(window) rebuild), so
+  /// concurrent queries on one tracker are not safe — each simulation run
+  /// owns its trackers exclusively.
   [[nodiscard]] double probability(std::size_t d, trace::Minute now) const;
 
   /// Sum of probability() over d in [from_d, to_d], clamped to [0, 1] —
@@ -70,10 +85,33 @@ class InterArrivalTracker {
     std::size_t gap;
   };
 
+  /// Moves the memoized window to cover end_minutes >= cutoff. Forward
+  /// moves pop events off the window's leading edge; a backward move (rare:
+  /// only a query older than the previous one) rebuilds from the ring.
+  void advance_window(trace::Minute cutoff) const;
+
+  /// Adds/removes one event from the memoized window tallies.
+  void window_add(const GapEvent& e) const;
+  void window_remove(const GapEvent& e) const;
+
+  /// Matches inside the current window for gap d. O(1) for d within the
+  /// count table; gaps larger than histogram_capacity are rare and counted
+  /// by scanning the (bounded) window suffix of the ring.
+  [[nodiscard]] std::uint64_t window_matches(std::size_t d) const;
+
   Config config_;
   util::IntHistogram full_histogram_;
-  std::deque<GapEvent> recent_;
+  util::RingBuffer<GapEvent> recent_;
+  std::uint64_t ring_begin_seq_ = 0;  // absolute sequence of recent_[0]
   std::optional<trace::Minute> last_invocation_;
+
+  // Memoized local-window state (see probability()). The window is the
+  // suffix of `recent_` with absolute sequence >= win_begin_seq_;
+  // window_counts_[g] tallies its gaps of size g <= histogram_capacity.
+  mutable std::vector<std::uint32_t> window_counts_;
+  mutable std::uint64_t window_total_ = 0;
+  mutable std::uint64_t win_begin_seq_ = 0;
+  mutable trace::Minute cached_cutoff_ = std::numeric_limits<trace::Minute>::min();
 };
 
 }  // namespace pulse::core

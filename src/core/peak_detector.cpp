@@ -1,5 +1,7 @@
 #include "core/peak_detector.hpp"
 
+#include <algorithm>
+
 namespace pulse::core {
 
 double PeakDetector::prior_memory(const sim::MemoryHistory& history, trace::Minute t) const {
@@ -27,11 +29,44 @@ double PeakDetector::prior_memory(const sim::MemoryHistory& history, trace::Minu
   }
 
   // Fall back to the last non-zero keep-alive memory value ever recorded.
-  for (trace::Minute q = t - 1; q >= 0; --q) {
-    const double m = history.memory_at(q);
-    if (m > 0.0) return m;
+  // Memoized: instead of walking t-1..0 on every call (~20k iterations per
+  // call late in a 14-day trace), remember how far this history has been
+  // scanned and where its latest non-zero value sits, and only examine the
+  // minutes appended since.
+  const bool same_history =
+      &history == memo_history_ && history.now() >= memo_scanned_ &&
+      (memo_last_minute_ < 0 || history.memory_at(memo_last_minute_) == memo_last_value_);
+  if (!same_history) {
+    memo_history_ = &history;
+    memo_scanned_ = 0;
+    memo_last_minute_ = -1;
+    memo_last_value_ = 0.0;
   }
-  return kInfiniteMemory;
+
+  if (t < memo_scanned_) {
+    if (memo_last_minute_ < t) {
+      // No non-zero exists in [memo_last_minute_+1, memo_scanned_), so the
+      // memoized hit (or miss) also answers the earlier query.
+      return memo_last_minute_ >= 0 ? memo_last_value_ : kInfiniteMemory;
+    }
+    // The memoized non-zero sits at or past t; scan backwards without
+    // disturbing the memo (queries for old minutes are rare).
+    for (trace::Minute q = t - 1; q >= 0; --q) {
+      const double m = history.memory_at(q);
+      if (m > 0.0) return m;
+    }
+    return kInfiniteMemory;
+  }
+
+  for (trace::Minute q = memo_scanned_; q < t; ++q) {
+    const double m = history.memory_at(q);
+    if (m > 0.0) {
+      memo_last_minute_ = q;
+      memo_last_value_ = m;
+    }
+  }
+  memo_scanned_ = t;
+  return memo_last_minute_ >= 0 ? memo_last_value_ : kInfiniteMemory;
 }
 
 }  // namespace pulse::core

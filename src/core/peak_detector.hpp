@@ -46,6 +46,14 @@ class PeakDetector {
   }
 
   /// P_KaM for minute t given the recorded history (minutes < t).
+  ///
+  /// The last-non-zero fallback memoizes its scan position, so repeated
+  /// calls over an append-only history cost O(1) amortized instead of an
+  /// O(t) backward walk per call. The memo keys on the history object's
+  /// address and resets when a different history (or a rolled-back one,
+  /// history.now() < scanned prefix) is presented; recorded minutes are
+  /// assumed immutable once written, which holds for both the engine's
+  /// memory record and the optimizer's demand history.
   [[nodiscard]] double prior_memory(const sim::MemoryHistory& history,
                                     trace::Minute t) const;
 
@@ -61,6 +69,16 @@ class PeakDetector {
 
  private:
   Config config_;
+
+  // Memo for the last-non-zero fallback scan: minutes [0, memo_scanned_)
+  // of *memo_history_ have been examined; memo_last_minute_ / _value_ hold
+  // the most recent non-zero among them (-1 when none). Mutable because
+  // prior_memory() is logically const; a detector is owned by exactly one
+  // single-threaded run.
+  mutable const sim::MemoryHistory* memo_history_ = nullptr;
+  mutable trace::Minute memo_scanned_ = 0;
+  mutable trace::Minute memo_last_minute_ = -1;
+  mutable double memo_last_value_ = 0.0;
 };
 
 inline PeakDetector::PeakDetector() : PeakDetector(Config{}) {}

@@ -35,7 +35,6 @@ std::string PulsePolicy::name() const {
 
 void PulsePolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
                              sim::KeepAliveSchedule& schedule) {
-  (void)trace;
   (void)schedule;
   InterArrivalTracker::Config tracker_config;
   tracker_config.local_window = config_.local_window;
@@ -47,6 +46,7 @@ void PulsePolicy::initialize(const sim::Deployment& deployment, const trace::Tra
   opt_config.keepalive_window = config_.keepalive_window;
   opt_config.weights = config_.utility_weights;
   optimizer_ = std::make_unique<GlobalOptimizer>(deployment.function_count(), opt_config);
+  optimizer_->reserve_horizon(static_cast<std::size_t>(trace.duration()));
   optimizer_->set_observer(observer());
 }
 

@@ -15,6 +15,7 @@ namespace {
 struct IceBreakerCheckpoint : sim::PolicyCheckpoint {
   std::vector<std::vector<double>> history;
   std::vector<std::uint32_t> current_minute_count;
+  std::vector<predict::SlidingDft> dfts;
 };
 
 /// IceBreaker+PULSE adds the inter-arrival trackers and global optimizer.
@@ -27,10 +28,18 @@ struct IceBreakerPulseCheckpoint final : IceBreakerCheckpoint {
 
 void IceBreakerPolicy::initialize(const sim::Deployment& deployment, const trace::Trace& trace,
                                   sim::KeepAliveSchedule& schedule) {
-  (void)trace;
   (void)schedule;
   history_.assign(deployment.function_count(), {});
+  // The count series grows to exactly trace.duration(); reserving up front
+  // keeps end_of_minute() off the allocator for the whole run.
+  for (auto& series : history_) series.reserve(static_cast<std::size_t>(trace.duration()));
   current_minute_count_.assign(deployment.function_count(), 0);
+  dfts_.clear();
+  forecast_buffer_.clear();
+  if (config_.streaming_dft) {
+    dfts_.assign(deployment.function_count(), predict::SlidingDft(config_.fft_window));
+    forecast_buffer_.assign(static_cast<std::size_t>(config_.refresh_interval), 0.0);
+  }
 }
 
 void IceBreakerPolicy::attach_observer(const obs::Observer* observer) {
@@ -81,6 +90,7 @@ void IceBreakerPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& sc
   // Close the accounting for minute t.
   for (trace::FunctionId f = 0; f < history_.size(); ++f) {
     history_[f].push_back(static_cast<double>(current_minute_count_[f]));
+    if (!dfts_.empty()) dfts_[f].push(static_cast<double>(current_minute_count_[f]));
     current_minute_count_[f] = 0;
   }
 
@@ -94,7 +104,18 @@ void IceBreakerPolicy::end_of_minute(trace::Minute t, sim::KeepAliveSchedule& sc
   }
   for (trace::FunctionId f = 0; f < history_.size(); ++f) {
     if (history_[f].empty()) continue;
-    apply_forecast(f, t, forecast(f), schedule);
+    if (!dfts_.empty() && dfts_[f].ready()) {
+      // Streaming path: the sliding DFT already tracks the last fft_window
+      // minutes; extrapolate into the preallocated buffer, no allocation.
+      const obs::PhaseTimer timer(profiler(), obs::Phase::kPredict);
+      dfts_[f].extrapolate_into(config_.harmonics,
+                                static_cast<std::size_t>(config_.refresh_interval),
+                                forecast_buffer_);
+      predict::ensure_finite(forecast_buffer_, "icebreaker/sliding-dft");
+      apply_forecast(f, t, forecast_buffer_, schedule);
+    } else {
+      apply_forecast(f, t, forecast(f), schedule);
+    }
   }
 }
 
@@ -102,6 +123,7 @@ std::unique_ptr<sim::PolicyCheckpoint> IceBreakerPolicy::checkpoint() const {
   auto snap = std::make_unique<IceBreakerCheckpoint>();
   snap->history = history_;
   snap->current_minute_count = current_minute_count_;
+  snap->dfts = dfts_;
   return snap;
 }
 
@@ -112,6 +134,7 @@ void IceBreakerPolicy::restore(const sim::PolicyCheckpoint* snapshot) {
   }
   history_ = snap->history;
   current_minute_count_ = snap->current_minute_count;
+  dfts_ = snap->dfts;
 }
 
 IceBreakerPulsePolicy::IceBreakerPulsePolicy() : IceBreakerPulsePolicy(Config{}) {}
@@ -132,6 +155,7 @@ void IceBreakerPulsePolicy::initialize(const sim::Deployment& deployment,
   opt_config.peak.memory_threshold = pulse_config_.memory_threshold;
   opt_config.peak.local_window = pulse_config_.local_window;
   optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
+  optimizer_->reserve_horizon(static_cast<std::size_t>(trace.duration()));
   optimizer_->set_observer(observer());
 }
 
@@ -190,6 +214,7 @@ std::unique_ptr<sim::PolicyCheckpoint> IceBreakerPulsePolicy::checkpoint() const
   auto snap = std::make_unique<IceBreakerPulseCheckpoint>();
   snap->history = history_;
   snap->current_minute_count = current_minute_count_;
+  snap->dfts = dfts_;
   snap->trackers = trackers_;
   if (optimizer_) snap->optimizer = std::make_unique<core::GlobalOptimizer>(*optimizer_);
   return snap;
@@ -202,6 +227,7 @@ void IceBreakerPulsePolicy::restore(const sim::PolicyCheckpoint* snapshot) {
   }
   history_ = snap->history;
   current_minute_count_ = snap->current_minute_count;
+  dfts_ = snap->dfts;
   trackers_ = snap->trackers;
   optimizer_ = snap->optimizer ? std::make_unique<core::GlobalOptimizer>(*snap->optimizer)
                                : nullptr;

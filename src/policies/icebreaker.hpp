@@ -19,6 +19,7 @@
 #include "core/global_optimizer.hpp"
 #include "core/interarrival.hpp"
 #include "core/variant_selector.hpp"
+#include "predict/sliding_dft.hpp"
 #include "sim/policy.hpp"
 #include "trace/analysis.hpp"
 
@@ -36,6 +37,14 @@ class IceBreakerPolicy : public sim::KeepAlivePolicy {
     /// Predicted invocations/minute at or above which the function is
     /// warmed for that minute.
     double activation_threshold = 0.30;
+    /// Forecast through a per-function sliding DFT (O(fft_window) per
+    /// minute, allocation-free once the window is full) instead of a full
+    /// FFT refit per refresh. Off by default: the refit path is the
+    /// bit-pinned reference; the sliding path agrees within tolerance
+    /// (bit-identical right after each DFT re-anchor) and is what the
+    /// online serving mode uses. Until a function has seen fft_window
+    /// minutes the refit path still serves its forecasts (warm-up).
+    bool streaming_dft = false;
   };
 
   IceBreakerPolicy();  // default Config
@@ -71,6 +80,8 @@ class IceBreakerPolicy : public sim::KeepAlivePolicy {
   Config config_;
   std::vector<std::vector<double>> history_;        // per function per-minute counts
   std::vector<std::uint32_t> current_minute_count_;  // accumulating minute t
+  std::vector<predict::SlidingDft> dfts_;            // streaming_dft mode only
+  std::vector<double> forecast_buffer_;              // streaming forecast scratch
   obs::CounterHandle refreshes_;                     // icebreaker.refreshes
 };
 

@@ -92,6 +92,7 @@ void WildPulsePolicy::initialize(const sim::Deployment& deployment, const trace:
   opt_config.peak.memory_threshold = pulse_config_.memory_threshold;
   opt_config.peak.local_window = pulse_config_.local_window;
   optimizer_ = std::make_unique<core::GlobalOptimizer>(deployment.function_count(), opt_config);
+  optimizer_->reserve_horizon(static_cast<std::size_t>(trace.duration()));
   optimizer_->set_observer(observer());
 }
 

@@ -68,6 +68,147 @@ bool ArModel::fit(std::span<const double> series) {
   return true;
 }
 
+void ArModel::stream_begin(std::size_t window, std::size_t refresh_interval) {
+  if (difference_ != 0) {
+    throw std::invalid_argument("ArModel::stream_begin: streaming requires difference == 0");
+  }
+  if (window < order_ + 2) {
+    throw std::invalid_argument("ArModel::stream_begin: window must be >= order + 2");
+  }
+  streaming_ = true;
+  stream_window_ = window;
+  refresh_interval_ = refresh_interval == 0 ? window * 4 : refresh_interval;
+  since_refresh_ = 0;
+  ring_.clear();
+  ring_.reserve(window);
+  running_sum_ = 0.0;
+  const std::size_t cols = order_ + 1;
+  acc_xtx_.assign(cols * cols, 0.0);
+  acc_xty_.assign(cols, 0.0);
+  row_scratch_.assign(cols, 0.0);
+  solve_a_.assign(cols * cols, 0.0);
+  solve_b_.assign(cols, 0.0);
+  coeffs_.assign(order_, 0.0);
+  tail_.assign(order_, 0.0);
+  fitted_ = false;
+  intercept_ = 0.0;
+  fallback_mean_ = 0.0;
+  last_level_ = 0.0;
+}
+
+void ArModel::stream_row(std::size_t first, double sign) {
+  // Regression row whose target is ring_[first + p]: [1, y_{t-1..t-p}].
+  const std::size_t p = order_;
+  const std::size_t cols = p + 1;
+  row_scratch_[0] = 1.0;
+  for (std::size_t lag = 1; lag <= p; ++lag) row_scratch_[lag] = ring_[first + p - lag];
+  const double target = ring_[first + p];
+  for (std::size_t a = 0; a < cols; ++a) {
+    acc_xty_[a] += sign * row_scratch_[a] * target;
+    for (std::size_t b = 0; b < cols; ++b) {
+      acc_xtx_[a * cols + b] += sign * row_scratch_[a] * row_scratch_[b];
+    }
+  }
+}
+
+void ArModel::stream_rebuild() {
+  std::fill(acc_xtx_.begin(), acc_xtx_.end(), 0.0);
+  std::fill(acc_xty_.begin(), acc_xty_.end(), 0.0);
+  running_sum_ = 0.0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) running_sum_ += ring_[i];
+  if (ring_.size() > order_) {
+    for (std::size_t first = 0; first + order_ < ring_.size(); ++first) {
+      stream_row(first, 1.0);
+    }
+  }
+  since_refresh_ = 0;
+}
+
+void ArModel::stream_observe(double x) {
+  if (!streaming_) throw std::logic_error("ArModel::stream_observe: call stream_begin first");
+  if (ring_.size() == stream_window_) {
+    // The departing front element retires the oldest regression row.
+    stream_row(0, -1.0);
+    running_sum_ -= ring_.front();
+    ring_.pop_front();
+  }
+  ring_.push_back(x);
+  running_sum_ += x;
+  // The arrival creates one new row (once p lags exist for it).
+  if (ring_.size() > order_) stream_row(ring_.size() - 1 - order_, 1.0);
+  if (++since_refresh_ >= refresh_interval_) stream_rebuild();
+}
+
+bool ArModel::stream_fit() {
+  if (!streaming_) throw std::logic_error("ArModel::stream_fit: call stream_begin first");
+  fitted_ = false;
+  const std::size_t n = ring_.size();
+  fallback_mean_ = n == 0 ? 0.0 : running_sum_ / static_cast<double>(n);
+  if (n == 0) return false;
+  last_level_ = ring_.back();
+  const std::size_t p = order_;
+  if (n < p + 2) return false;
+
+  // In-place Gaussian elimination with partial pivoting on scratch copies
+  // of the accumulators (the accumulators themselves must survive for the
+  // next incremental update).
+  const std::size_t cols = p + 1;
+  std::copy(acc_xtx_.begin(), acc_xtx_.end(), solve_a_.begin());
+  std::copy(acc_xty_.begin(), acc_xty_.end(), solve_b_.begin());
+  for (std::size_t a = 0; a < cols; ++a) solve_a_[a * cols + a] += 1e-9;  // same ridge as fit()
+
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(solve_a_[col * cols + col]);
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      const double v = std::abs(solve_a_[r * cols + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = col; c < cols; ++c) {
+        std::swap(solve_a_[pivot * cols + c], solve_a_[col * cols + c]);
+      }
+      std::swap(solve_b_[pivot], solve_b_[col]);
+    }
+    const double diag = solve_a_[col * cols + col];
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      const double factor = solve_a_[r * cols + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < cols; ++c) {
+        solve_a_[r * cols + c] -= factor * solve_a_[col * cols + c];
+      }
+      solve_b_[r] -= factor * solve_b_[col];
+    }
+  }
+  for (std::size_t col = cols; col-- > 0;) {
+    double v = solve_b_[col];
+    for (std::size_t c = col + 1; c < cols; ++c) v -= solve_a_[col * cols + c] * solve_b_[c];
+    solve_b_[col] = v / solve_a_[col * cols + col];
+  }
+  for (double b : solve_b_) {
+    if (!std::isfinite(b)) return false;
+  }
+
+  intercept_ = solve_b_[0];
+  for (std::size_t lag = 0; lag < p; ++lag) coeffs_[lag] = solve_b_[lag + 1];
+  for (std::size_t i = 0; i < p; ++i) tail_[i] = ring_[n - p + i];
+  fitted_ = true;
+  return true;
+}
+
+double ArModel::forecast_one() const {
+  if (!fitted_) return fallback_mean_;
+  double next = intercept_;
+  for (std::size_t lag = 1; lag <= order_; ++lag) {
+    next += coeffs_[lag - 1] * tail_[tail_.size() - lag];
+  }
+  return difference_ == 1 ? last_level_ + next : next;
+}
+
 std::vector<double> ArModel::forecast(std::size_t steps) const {
   std::vector<double> out;
   out.reserve(steps);

@@ -68,6 +68,12 @@ std::size_t next_pow2(std::size_t n) noexcept {
   return p;
 }
 
+std::size_t prev_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p * 2 <= n) p <<= 1;
+  return p;
+}
+
 void fft(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
   if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
@@ -107,10 +113,16 @@ std::vector<double> harmonic_extrapolate(std::span<const double> series,
                                          std::size_t harmonics, std::size_t horizon) {
   std::vector<double> out(horizon, 0.0);
   if (series.empty() || horizon == 0) return out;
-  const HarmonicModel model = fit_harmonics(series, harmonics);
+  // Fit the largest power-of-two suffix so no zero-padding enters the
+  // transform: padding would place the forecast indices inside a region
+  // the fitted harmonics actively model as zero, dragging every forecast
+  // toward zero for non-power-of-two lengths (see fft.hpp).
+  const std::size_t n_fit = prev_pow2(series.size());
+  const std::span<const double> suffix = series.subspan(series.size() - n_fit, n_fit);
+  const HarmonicModel model = fit_harmonics(suffix, harmonics);
   for (std::size_t h = 0; h < horizon; ++h) {
     out[h] = evaluate_model(model.coeffs, model.bins, model.n_padded,
-                            static_cast<double>(series.size() + h));
+                            static_cast<double>(n_fit + h));
   }
   return out;
 }

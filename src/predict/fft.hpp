@@ -17,14 +17,26 @@ void fft(std::vector<std::complex<double>>& data, bool inverse = false);
 /// Next power of two >= n (minimum 1).
 [[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
 
-/// Decomposes `series` (zero-padded to a power of two) into its Fourier
-/// coefficients, keeps only the DC term and the `harmonics` largest-
-/// magnitude frequency pairs, and evaluates the resulting trigonometric
-/// approximation at indices [series.size(), series.size() + horizon).
+/// Largest power of two <= n (requires n >= 1).
+[[nodiscard]] std::size_t prev_pow2(std::size_t n) noexcept;
+
+/// Decomposes the largest power-of-two *suffix* of `series` into its
+/// Fourier coefficients, keeps only the DC term and the `harmonics`
+/// largest-magnitude frequency pairs, and evaluates the resulting
+/// trigonometric approximation at the `horizon` indices just past the end
+/// of the suffix.
 ///
 /// This is the classic FFT-based seasonal extrapolation IceBreaker builds
 /// on: the dominant harmonics capture the periodic structure of the
 /// invocation series and extending their phases forecasts the next window.
+///
+/// Fitting a suffix (rather than zero-padding the whole series up to the
+/// next power of two, as earlier revisions did) keeps the forecast indices
+/// inside the model's own period. With padding, the first forecast index
+/// lands in the padded region the transform treats as real data, so every
+/// kept harmonic is biased toward reproducing the padding zeros there and
+/// forecasts collapse toward zero whenever the series length is not a
+/// power of two.
 [[nodiscard]] std::vector<double> harmonic_extrapolate(std::span<const double> series,
                                                        std::size_t harmonics,
                                                        std::size_t horizon);

@@ -11,7 +11,16 @@ HybridHistogramPredictor::HybridHistogramPredictor()
     : HybridHistogramPredictor(Config{}) {}
 
 HybridHistogramPredictor::HybridHistogramPredictor(Config config)
-    : config_(config), histogram_(config.histogram_capacity) {}
+    : config_(config),
+      histogram_(config.histogram_capacity),
+      recent_gaps_(config.ar_window),
+      stream_model_(config.ar_order) {
+  if (config_.streaming_ar) {
+    stream_model_.stream_begin(std::max(config_.ar_window, config_.ar_order + 2));
+  } else {
+    fit_scratch_.reserve(config_.ar_window);
+  }
+}
 
 void HybridHistogramPredictor::observe_invocation(trace::Minute t) {
   if (last_invocation_ && t > *last_invocation_) {
@@ -19,8 +28,14 @@ void HybridHistogramPredictor::observe_invocation(trace::Minute t) {
     histogram_.add(gap);
     recent_gaps_.push_back(static_cast<double>(gap));
     if (recent_gaps_.size() > config_.ar_window) {
-      recent_gaps_.erase(recent_gaps_.begin());
+      recent_gaps_.pop_front();
       ++dropped_gaps_;
+    }
+    if (config_.streaming_ar) {
+      stream_model_.stream_observe(static_cast<double>(gap));
+      // Refit eagerly (O(order^3), tiny) so predict() stays const and
+      // allocation-free.
+      stream_model_.stream_fit();
     }
   }
   last_invocation_ = t;
@@ -30,6 +45,26 @@ bool HybridHistogramPredictor::histogram_representative() const {
   if (histogram_.total() < config_.min_samples) return false;
   if (histogram_.overflow_fraction() > config_.oob_cutoff) return false;
   return histogram_.in_range_cv() <= config_.cv_cutoff;
+}
+
+double HybridHistogramPredictor::forecast_next_gap() const {
+  if (config_.streaming_ar) {
+    const double next = stream_model_.forecast_one();
+    ensure_finite(next, "hybrid-histogram/ar");
+    return next;
+  }
+  // Batch reference path: refit from the retained window. The ring is
+  // linearized into the scratch vector in arrival order, so values and
+  // evaluation order match the historical std::vector implementation
+  // bit-for-bit.
+  recent_gaps_.copy_to(fit_scratch_);
+  ArModel model(config_.ar_order);
+  model.fit(fit_scratch_);
+  const std::vector<double> next = model.forecast(1);
+  // A non-finite forecast cast to trace::Minute below would be UB; fence it
+  // here so the policy layer sees a typed divergence instead.
+  ensure_finite(next, "hybrid-histogram/ar");
+  return next.empty() ? 10.0 : next[0];
 }
 
 WindowPrediction HybridHistogramPredictor::predict() const {
@@ -54,13 +89,7 @@ WindowPrediction HybridHistogramPredictor::predict() const {
   }
 
   // Heavy-tailed / out-of-bounds behaviour: forecast the next idle time.
-  ArModel model(config_.ar_order);
-  model.fit(recent_gaps_);
-  const std::vector<double> next = model.forecast(1);
-  // A non-finite forecast cast to trace::Minute below would be UB; fence it
-  // here so the policy layer sees a typed divergence instead.
-  ensure_finite(next, "hybrid-histogram/ar");
-  const double predicted = next.empty() ? 10.0 : std::max(1.0, next[0]);
+  const double predicted = std::max(1.0, forecast_next_gap());
   const double margin = std::max(1.0, predicted * config_.margin);
   w.prewarm_offset =
       std::max<trace::Minute>(0, static_cast<trace::Minute>(std::floor(predicted - margin)));

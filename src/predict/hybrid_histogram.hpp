@@ -12,6 +12,7 @@
 
 #include "predict/arima.hpp"
 #include "trace/trace.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/stats.hpp"
 
 namespace pulse::predict {
@@ -46,6 +47,11 @@ class HybridHistogramPredictor {
     std::size_t ar_order = 3;
     /// Number of recent idle times retained for the AR fit.
     std::size_t ar_window = 64;
+    /// Use the incremental AR fit (ArModel's streaming path) instead of
+    /// refitting from the retained window per prediction. Off by default:
+    /// the batch fit is the bit-pinned reference; the streaming fit agrees
+    /// within floating-point tolerance and never allocates per event.
+    bool streaming_ar = false;
   };
 
   HybridHistogramPredictor();  // default Config
@@ -59,17 +65,26 @@ class HybridHistogramPredictor {
   [[nodiscard]] WindowPrediction predict() const;
 
   [[nodiscard]] const util::IntHistogram& histogram() const noexcept { return histogram_; }
-  [[nodiscard]] std::size_t observed_idle_times() const noexcept { return recent_gaps_.size() + dropped_gaps_; }
+  [[nodiscard]] std::size_t observed_idle_times() const noexcept {
+    return recent_gaps_.size() + dropped_gaps_;
+  }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
   [[nodiscard]] bool histogram_representative() const;
+  [[nodiscard]] double forecast_next_gap() const;
 
   Config config_;
   util::IntHistogram histogram_;
-  std::vector<double> recent_gaps_;
+  util::RingBuffer<double> recent_gaps_;
   std::size_t dropped_gaps_ = 0;
   std::optional<trace::Minute> last_invocation_;
+  /// Streaming-mode AR state (config_.streaming_ar); fed in
+  /// observe_invocation, queried allocation-free in predict().
+  ArModel stream_model_;
+  /// Batch-mode scratch: the ring linearized for ArModel::fit, which wants
+  /// contiguous storage. Mutable because predict() is logically const.
+  mutable std::vector<double> fit_scratch_;
 };
 
 }  // namespace pulse::predict

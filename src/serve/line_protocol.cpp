@@ -1,0 +1,128 @@
+#include "serve/line_protocol.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pulse::serve {
+
+namespace {
+
+/// Parses a non-negative integer starting at *p, advancing past it.
+/// Returns false when no digits are present or the value is negative.
+bool parse_u64(const char*& p, std::uint64_t& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(p, &end, 10);
+  if (end == p || v < 0) return false;
+  p = end;
+  value = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool starts_with(const char*& p, const char* word) {
+  const char* q = p;
+  while (*word != '\0') {
+    if (*q++ != *word++) return false;
+  }
+  // Keywords end at whitespace or end of line.
+  if (*q != '\0' && *q != ' ' && *q != '\t') return false;
+  p = q;
+  return true;
+}
+
+void skip_spaces(const char*& p) {
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+}
+
+}  // namespace
+
+LineProtocolSource::LineProtocolSource(std::istream& in, Options options)
+    : in_(&in), options_(options) {
+  line_.reserve(256);
+}
+
+bool LineProtocolSource::next(StreamEvent& out) {
+  if (done_) return false;
+  while (std::getline(*in_, line_)) {
+    const char* p = line_.c_str();
+    skip_spaces(p);
+    if (*p == '\0' || *p == '#') continue;
+
+    if (starts_with(p, "inv")) {
+      std::uint64_t minute = 0;
+      std::uint64_t function = 0;
+      std::uint64_t count = 1;
+      skip_spaces(p);
+      const bool ok_minute = parse_u64(p, minute);
+      skip_spaces(p);
+      const bool ok_function = ok_minute && parse_u64(p, function);
+      skip_spaces(p);
+      if (ok_function && *p != '\0') {
+        if (!parse_u64(p, count)) {
+          ++malformed_;
+          if (options_.strict) throw std::runtime_error("line protocol: bad count: " + line_);
+          continue;
+        }
+        skip_spaces(p);
+      }
+      if (!ok_function || *p != '\0' || count == 0) {
+        ++malformed_;
+        if (options_.strict) throw std::runtime_error("line protocol: bad inv line: " + line_);
+        continue;
+      }
+      out = {EventKind::kInvocation, static_cast<trace::Minute>(minute),
+             static_cast<trace::FunctionId>(function), static_cast<std::uint32_t>(count)};
+      return true;
+    }
+
+    if (starts_with(p, "tick")) {
+      std::uint64_t minute = 0;
+      skip_spaces(p);
+      const bool ok = parse_u64(p, minute);
+      skip_spaces(p);
+      if (!ok || *p != '\0') {
+        ++malformed_;
+        if (options_.strict) throw std::runtime_error("line protocol: bad tick line: " + line_);
+        continue;
+      }
+      out = {EventKind::kTick, static_cast<trace::Minute>(minute), 0, 0};
+      return true;
+    }
+
+    if (starts_with(p, "end")) {
+      skip_spaces(p);
+      if (*p != '\0') {
+        ++malformed_;
+        if (options_.strict) throw std::runtime_error("line protocol: bad end line: " + line_);
+        continue;
+      }
+      done_ = true;
+      out = {EventKind::kEnd, 0, 0, 0};
+      return true;
+    }
+
+    ++malformed_;
+    if (options_.strict) throw std::runtime_error("line protocol: unknown line: " + line_);
+  }
+  // EOF without an explicit `end` still terminates the stream cleanly.
+  done_ = true;
+  out = {EventKind::kEnd, 0, 0, 0};
+  return true;
+}
+
+void write_line_protocol(const trace::Trace& trace, std::ostream& out) {
+  for (trace::Minute t = 0; t < trace.duration(); ++t) {
+    for (trace::FunctionId f = 0; f < trace.function_count(); ++f) {
+      const std::uint32_t c = trace.count(f, t);
+      if (c == 0) continue;
+      out << "inv " << t << ' ' << f;
+      if (c != 1) out << ' ' << c;
+      out << '\n';
+    }
+    out << "tick " << t << '\n';
+  }
+  out << "end\n";
+}
+
+}  // namespace pulse::serve

@@ -1,0 +1,72 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pulse::serve {
+
+OnlineServer::OnlineServer(const sim::Deployment& deployment, sim::KeepAlivePolicy& policy,
+                           ServeConfig config)
+    : config_(config), buffer_(deployment.function_count(), config.horizon) {
+  if (config_.horizon <= 0) {
+    throw std::invalid_argument("OnlineServer: horizon must be positive");
+  }
+  run_ = std::make_unique<sim::SteppedRun>(deployment, buffer_, config_.engine, policy);
+}
+
+void OnlineServer::ingest(const StreamEvent& event) {
+  ++stats_.events;
+  switch (event.kind) {
+    case EventKind::kInvocation: {
+      if (event.minute < run_->next_minute()) {
+        ++stats_.dropped_late;
+        if (config_.strict) {
+          throw std::runtime_error("OnlineServer: invocation for already-simulated minute " +
+                                   std::to_string(event.minute));
+        }
+        return;
+      }
+      if (event.minute >= config_.horizon || event.function >= buffer_.function_count()) {
+        ++stats_.dropped_out_of_range;
+        if (config_.strict) {
+          throw std::runtime_error("OnlineServer: invocation outside horizon/deployment");
+        }
+        return;
+      }
+      buffer_.add_invocations(event.function, event.minute, event.count);
+      ++stats_.invocation_events;
+      stats_.invocations += event.count;
+      return;
+    }
+    case EventKind::kTick: {
+      if (event.minute + 1 <= run_->next_minute()) {
+        // A tick for an already-closed minute carries no new information.
+        ++stats_.dropped_late;
+        if (config_.strict) {
+          throw std::runtime_error("OnlineServer: tick regressed to minute " +
+                                   std::to_string(event.minute));
+        }
+        return;
+      }
+      ++stats_.ticks;
+      run_->run_until(std::min<trace::Minute>(event.minute + 1, config_.horizon));
+      return;
+    }
+    case EventKind::kEnd:
+      return;
+  }
+}
+
+const ServeStats& OnlineServer::drain(InvocationSource& source) {
+  StreamEvent event;
+  while (source.next(event)) {
+    ingest(event);
+    if (event.kind == EventKind::kEnd) break;
+  }
+  return stats_;
+}
+
+sim::RunResult OnlineServer::finish() { return run_->finish_at(run_->next_minute()); }
+
+}  // namespace pulse::serve

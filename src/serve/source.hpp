@@ -1,0 +1,71 @@
+#pragma once
+// Incremental invocation sources for the online serving mode.
+//
+// A source hands the server one StreamEvent at a time: invocations carry
+// (minute, function, count); a tick closes a minute (every event for
+// minutes <= its minute has been delivered, so the simulation may advance
+// past it); kEnd closes the stream. The in-process ReplaySource turns a
+// materialized trace into exactly that event sequence — it is what the
+// equivalence tests and the latency bench drive, and its next() is
+// allocation-free.
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace pulse::serve {
+
+enum class EventKind : std::uint8_t { kInvocation, kTick, kEnd };
+
+struct StreamEvent {
+  EventKind kind = EventKind::kEnd;
+  trace::Minute minute = 0;
+  trace::FunctionId function = 0;
+  std::uint32_t count = 1;
+};
+
+class InvocationSource {
+ public:
+  virtual ~InvocationSource() = default;
+
+  /// Fills `out` with the next event and returns true; false once the
+  /// stream is exhausted (the kEnd event is delivered first).
+  virtual bool next(StreamEvent& out) = 0;
+};
+
+/// Streams a trace in event order: for each minute, one kInvocation per
+/// function with a non-zero count (ascending function id), then the
+/// minute's kTick; after the last minute, kEnd.
+class ReplaySource final : public InvocationSource {
+ public:
+  /// The trace must outlive the source.
+  explicit ReplaySource(const trace::Trace& trace) : trace_(&trace) {}
+
+  bool next(StreamEvent& out) override {
+    if (done_) return false;
+    while (minute_ < trace_->duration()) {
+      while (function_ < trace_->function_count()) {
+        const trace::FunctionId f = function_++;
+        const std::uint32_t c = trace_->count(f, minute_);
+        if (c == 0) continue;
+        out = {EventKind::kInvocation, minute_, f, c};
+        return true;
+      }
+      out = {EventKind::kTick, minute_, 0, 0};
+      ++minute_;
+      function_ = 0;
+      return true;
+    }
+    out = {EventKind::kEnd, minute_, 0, 0};
+    done_ = true;
+    return true;
+  }
+
+ private:
+  const trace::Trace* trace_;
+  trace::Minute minute_ = 0;
+  trace::FunctionId function_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace pulse::serve

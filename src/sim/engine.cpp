@@ -79,6 +79,10 @@ SteppedRun::SteppedRun(const Deployment& deployment, const trace::Trace& trace,
   }
   const trace::Minute duration = trace.duration();
   memory_record_.reserve(static_cast<std::size_t>(duration));
+  // Capacity-pressured minutes fill this with every kept container; sizing
+  // it up front keeps even a late first pressure event allocation-free
+  // (the serve-mode hot-path discipline bench_serve_latency enforces).
+  kept_buffer_.reserve(deployment.function_count());
   history_ = std::make_unique<RecordedHistory>(memory_record_);
   faults_on_ = injector_.config().enabled();
 
@@ -527,11 +531,13 @@ std::uint64_t SteppedRun::run_outage(trace::Minute end) {
   return failed;
 }
 
-RunResult SteppedRun::finish() {
+RunResult SteppedRun::finish() { return finish_at(trace_->duration()); }
+
+RunResult SteppedRun::finish_at(trace::Minute end) {
   if (finished_) {
     throw std::logic_error("SteppedRun::finish: already finished");
   }
-  run_until(trace_->duration());
+  run_until(end);
   finished_ = true;
 
   RunResult& result = result_;

@@ -175,6 +175,13 @@ class SteppedRun {
   /// returns the final result. Call at most once.
   RunResult finish();
 
+  /// finish(), but stopping at minute `end` instead of the trace's full
+  /// duration. The online serving mode runs over a pre-sized horizon trace
+  /// and closes the run at the last minute the stream actually delivered;
+  /// a batch run over a trace of duration `end` produces the identical
+  /// result. Call at most once (mutually exclusive with finish()).
+  RunResult finish_at(trace::Minute end);
+
   /// Snapshot of the run at the current minute boundary. restore() on this
   /// same SteppedRun rolls back to it and replay_until() re-executes the
   /// rolled-back span bit-exactly — the cluster engine's crash-recovery

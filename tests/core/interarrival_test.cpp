@@ -2,10 +2,65 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace pulse::core {
 namespace {
+
+/// Reference estimator: the pre-incremental implementation, recomputing the
+/// local window by rescanning the recent-gap deque on every query. The
+/// incremental tracker must match it bit-for-bit.
+class NaiveTracker {
+ public:
+  explicit NaiveTracker(InterArrivalTracker::Config config)
+      : config_(config), hist_(config.histogram_capacity) {}
+
+  void record(trace::Minute t) {
+    if (last_) {
+      if (t <= *last_) return;
+      const auto gap = static_cast<std::size_t>(t - *last_);
+      hist_.add(gap);
+      events_.push_back({t, gap});
+      const trace::Minute horizon = t - std::max<trace::Minute>(config_.local_window, 1) * 4;
+      while (!events_.empty() && events_.front().first < horizon) events_.pop_front();
+    }
+    last_ = t;
+  }
+
+  [[nodiscard]] double probability(std::size_t d, trace::Minute now) const {
+    const double p_full = hist_.probability(d);
+    std::uint64_t total = 0;
+    std::uint64_t matches = 0;
+    for (const auto& [end_minute, gap] : events_) {
+      if (end_minute >= now - config_.local_window) {
+        ++total;
+        if (gap == d) ++matches;
+      }
+    }
+    if (total == 0) return p_full;
+    return 0.5 * (p_full + static_cast<double>(matches) / static_cast<double>(total));
+  }
+
+  [[nodiscard]] double probability_within(std::size_t from_d, std::size_t to_d,
+                                          trace::Minute now) const {
+    double total = 0.0;
+    for (std::size_t d = from_d; d <= to_d; ++d) total += probability(d, now);
+    return std::clamp(total, 0.0, 1.0);
+  }
+
+ private:
+  InterArrivalTracker::Config config_;
+  util::IntHistogram hist_;
+  std::deque<std::pair<trace::Minute, std::size_t>> events_;
+  std::optional<trace::Minute> last_;
+};
 
 TEST(InterArrival, NoDataZeroProbability) {
   InterArrivalTracker t;
@@ -121,6 +176,90 @@ TEST(InterArrival, ProbabilitiesFormDistribution) {
   for (std::size_t d = 1; d <= 240; ++d) sum += t.probability(d, now);
   EXPECT_LE(sum, 1.0 + 1e-9);
   EXPECT_GT(sum, 0.9);  // nearly all mass within histogram capacity
+}
+
+TEST(InterArrival, ProbabilityWithinEqualsPerOffsetSum) {
+  // probability_within must be bit-identical to summing probability(d)
+  // per offset — the incremental window only changed how the local tallies
+  // are obtained, not the per-d arithmetic or the summation order.
+  InterArrivalTracker t;
+  util::Pcg32 rng(11);
+  trace::Minute now = 0;
+  for (int i = 0; i < 400; ++i) {
+    now += 1 + static_cast<trace::Minute>(rng.bounded(9));
+    t.record(now);
+  }
+  const trace::Minute queries[] = {now, now + 3, now - 40, now + 200, now};
+  for (const trace::Minute q : queries) {
+    for (const auto [from, to] : {std::pair<std::size_t, std::size_t>{1, 10},
+                                  {2, 5},
+                                  {1, 240},
+                                  {200, 260}}) {
+      double expected = 0.0;
+      for (std::size_t d = from; d <= to; ++d) expected += t.probability(d, q);
+      expected = std::clamp(expected, 0.0, 1.0);
+      EXPECT_DOUBLE_EQ(t.probability_within(from, to, q), expected)
+          << "now=" << q << " range=[" << from << "," << to << "]";
+    }
+  }
+}
+
+TEST(InterArrival, IncrementalWindowMatchesNaiveRescan) {
+  // Fuzz the incremental window against the rescanning reference across
+  // interleaved records and queries, including queries with non-monotone
+  // `now` (which force the rare backward window rebuild) and gaps beyond
+  // histogram_capacity (which take the window-suffix scan path).
+  InterArrivalTracker::Config config;
+  config.local_window = 25;
+  config.histogram_capacity = 40;
+  InterArrivalTracker t(config);
+  NaiveTracker naive(config);
+
+  util::Pcg32 rng(77);
+  trace::Minute now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    // Mostly small gaps; occasionally a gap past histogram_capacity.
+    now += 1 + static_cast<trace::Minute>(rng.bounded(rng.bounded(20) == 0 ? 60 : 6));
+    t.record(now);
+    naive.record(now);
+
+    if (step % 7 == 0) {
+      trace::Minute q = now;
+      const auto jitter = rng.bounded(5);
+      if (jitter == 0) q = now - static_cast<trace::Minute>(rng.bounded(30));  // backward
+      if (jitter == 1) q = now + static_cast<trace::Minute>(rng.bounded(30));  // ahead
+      const std::size_t d = 1 + static_cast<std::size_t>(rng.bounded(70));
+      ASSERT_DOUBLE_EQ(t.probability(d, q), naive.probability(d, q))
+          << "step=" << step << " d=" << d << " now=" << q;
+      ASSERT_DOUBLE_EQ(t.probability_within(1, 10, q), naive.probability_within(1, 10, q))
+          << "step=" << step << " now=" << q;
+    }
+  }
+}
+
+TEST(InterArrival, RecordBehindCachedQueryStaysConsistent) {
+  // A record older than the last query's window cutoff must not leak into
+  // the cached window: the paper's estimator defines the window relative to
+  // the query's `now`, and the reference rescans per query.
+  InterArrivalTracker::Config config;
+  config.local_window = 10;
+  InterArrivalTracker t(config);
+  NaiveTracker naive(config);
+  for (const trace::Minute m : {0, 4, 8, 12}) {
+    t.record(m);
+    naive.record(m);
+  }
+  // Query far ahead: the window (cutoff 990) is empty.
+  ASSERT_DOUBLE_EQ(t.probability(4, 1000), naive.probability(4, 1000));
+  // These records predate the cached cutoff.
+  for (const trace::Minute m : {16, 20}) {
+    t.record(m);
+    naive.record(m);
+  }
+  EXPECT_DOUBLE_EQ(t.probability(4, 1000), naive.probability(4, 1000));
+  // Re-querying at the present rebuilds the window and sees them again.
+  EXPECT_DOUBLE_EQ(t.probability(4, 20), naive.probability(4, 20));
+  EXPECT_DOUBLE_EQ(t.probability_within(1, 10, 20), naive.probability_within(1, 10, 20));
 }
 
 TEST(InterArrival, DefaultConfigMatchesPaper) {

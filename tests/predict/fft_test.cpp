@@ -110,6 +110,58 @@ TEST(HarmonicExtrapolate, ConstantSeriesPredictsConstant) {
   for (double p : pred) EXPECT_NEAR(p, 4.0, 1e-9);
 }
 
+TEST(Fft, PrevPow2) {
+  EXPECT_EQ(prev_pow2(1), 1u);
+  EXPECT_EQ(prev_pow2(2), 2u);
+  EXPECT_EQ(prev_pow2(3), 2u);
+  EXPECT_EQ(prev_pow2(64), 64u);
+  EXPECT_EQ(prev_pow2(65), 64u);
+  EXPECT_EQ(prev_pow2(1337), 1024u);
+}
+
+TEST(HarmonicExtrapolate, NonPow2LengthEqualsSuffixFit) {
+  // The fix: a non-power-of-two series is fitted on its largest
+  // power-of-two suffix instead of being zero-padded. The forecast must be
+  // bit-identical to calling the function on that suffix directly.
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(2.0 + std::sin(0.37 * i) + 0.05 * (i % 7));
+  const std::vector<double> suffix(series.end() - 64, series.end());
+  const auto from_full = harmonic_extrapolate(series, 5, 20);
+  const auto from_suffix = harmonic_extrapolate(suffix, 5, 20);
+  ASSERT_EQ(from_full.size(), from_suffix.size());
+  for (std::size_t h = 0; h < from_full.size(); ++h) {
+    EXPECT_DOUBLE_EQ(from_full[h], from_suffix[h]) << "h=" << h;
+  }
+}
+
+TEST(HarmonicExtrapolate, NonPow2ConstantSeriesNoLongerCollapsesTowardZero) {
+  // Regression for the padding bias: with a 100-sample constant series the
+  // padded fit modeled 28 phantom zeros and forecast ~4.0 * 100/128 at
+  // best (much worse off the DC bin); the suffix fit is exact.
+  const std::vector<double> series(100, 4.0);
+  const auto pred = harmonic_extrapolate(series, 4, 10);
+  for (double p : pred) EXPECT_NEAR(p, 4.0, 1e-9);
+}
+
+TEST(HarmonicExtrapolate, NonPow2PeriodicSeriesContinuesPattern) {
+  // 144-sample periodic series (period 16, so the 128-suffix holds full
+  // cycles): the continuation must track the true pattern, which the padded
+  // fit could not do at any non-power-of-two length.
+  constexpr std::size_t n = 144;
+  constexpr std::size_t period = 16;
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] = 1.0 + std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  }
+  const auto pred = harmonic_extrapolate(series, 3, 32);
+  ASSERT_EQ(pred.size(), 32u);
+  for (std::size_t h = 0; h < pred.size(); ++h) {
+    const double expected =
+        1.0 + std::cos(2.0 * std::numbers::pi * static_cast<double>(n + h) / period);
+    EXPECT_NEAR(pred[h], expected, 0.05) << "h=" << h;
+  }
+}
+
 TEST(HarmonicExtrapolate, EmptyInputsAreSafe) {
   EXPECT_TRUE(harmonic_extrapolate({}, 3, 0).empty());
   const auto pred = harmonic_extrapolate({}, 3, 5);

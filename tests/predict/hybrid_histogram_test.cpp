@@ -2,10 +2,72 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <optional>
+#include <vector>
+
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace pulse::predict {
 namespace {
+
+/// The predictor as it was before the ring buffer: recent gaps in a
+/// std::vector with erase-from-the-front eviction. Every prediction the
+/// production predictor makes must match this replica bit-for-bit.
+class VectorBackedReplica {
+ public:
+  explicit VectorBackedReplica(HybridHistogramPredictor::Config config)
+      : config_(config), histogram_(config.histogram_capacity) {}
+
+  void observe_invocation(trace::Minute t) {
+    if (last_ && t > *last_) {
+      const auto gap = static_cast<std::size_t>(t - *last_);
+      histogram_.add(gap);
+      gaps_.push_back(static_cast<double>(gap));
+      if (gaps_.size() > config_.ar_window) gaps_.erase(gaps_.begin());
+    }
+    last_ = t;
+  }
+
+  [[nodiscard]] WindowPrediction predict() const {
+    WindowPrediction w;
+    if (histogram_.total() < config_.min_samples) return w;
+
+    const bool representative = histogram_.overflow_fraction() <= config_.oob_cutoff &&
+                                histogram_.in_range_cv() <= config_.cv_cutoff;
+    if (representative) {
+      const auto head = histogram_.percentile_value(config_.head_percentile);
+      const auto tail = histogram_.percentile_value(config_.tail_percentile);
+      if (head && tail) {
+        const double lo = static_cast<double>(*head) * (1.0 - config_.margin);
+        const double hi = static_cast<double>(*tail) * (1.0 + config_.margin);
+        w.prewarm_offset =
+            std::max<trace::Minute>(0, static_cast<trace::Minute>(std::floor(lo)));
+        w.keepalive_until = std::max<trace::Minute>(
+            w.prewarm_offset + 1, static_cast<trace::Minute>(std::ceil(hi)));
+        return w;
+      }
+    }
+
+    ArModel model(config_.ar_order);
+    model.fit(gaps_);
+    const std::vector<double> next = model.forecast(1);
+    const double predicted = std::max(1.0, next.empty() ? 10.0 : next[0]);
+    const double margin = std::max(1.0, predicted * config_.margin);
+    w.prewarm_offset =
+        std::max<trace::Minute>(0, static_cast<trace::Minute>(std::floor(predicted - margin)));
+    w.keepalive_until = static_cast<trace::Minute>(std::ceil(predicted + margin));
+    w.used_time_series = true;
+    return w;
+  }
+
+ private:
+  HybridHistogramPredictor::Config config_;
+  util::IntHistogram histogram_;
+  std::vector<double> gaps_;
+  std::optional<trace::Minute> last_;
+};
 
 TEST(HybridHistogram, DefaultWindowBeforeData) {
   HybridHistogramPredictor p;
@@ -96,6 +158,42 @@ TEST(HybridHistogram, PredictionWindowIsAlwaysValid) {
     const WindowPrediction w = p.predict();
     EXPECT_GE(w.prewarm_offset, 0);
     EXPECT_GT(w.keepalive_until, w.prewarm_offset);
+  }
+}
+
+TEST(HybridHistogram, RingBufferMatchesVectorReplicaBitwise) {
+  // Fixture covering every predict() branch: a periodic warm-up (histogram
+  // path), a bursty high-CV stretch and out-of-bounds gaps (both AR paths),
+  // with ar_window small enough that the ring wraps and evicts dozens of
+  // times. WindowPredictions must equal the erase-from-vector replica's
+  // bit-for-bit at every step.
+  HybridHistogramPredictor::Config config;
+  config.ar_window = 16;
+  config.histogram_capacity = 60;
+  config.cv_cutoff = 1.0;
+  HybridHistogramPredictor p(config);
+  VectorBackedReplica replica(config);
+
+  util::Pcg32 rng(29);
+  trace::Minute t = 0;
+  for (int i = 0; i < 400; ++i) {
+    trace::Minute gap;
+    if (i < 60) {
+      gap = 6;  // periodic: histogram representative
+    } else if (i % 5 == 0) {
+      gap = 80 + static_cast<trace::Minute>(rng.bounded(40));  // out of bounds
+    } else {
+      gap = 1 + static_cast<trace::Minute>(rng.bounded(30));  // high CV
+    }
+    t += gap;
+    p.observe_invocation(t);
+    replica.observe_invocation(t);
+
+    const WindowPrediction got = p.predict();
+    const WindowPrediction want = replica.predict();
+    ASSERT_EQ(got.prewarm_offset, want.prewarm_offset) << "i=" << i;
+    ASSERT_EQ(got.keepalive_until, want.keepalive_until) << "i=" << i;
+    ASSERT_EQ(got.used_time_series, want.used_time_series) << "i=" << i;
   }
 }
 

@@ -1,0 +1,278 @@
+// Online serving mode: served runs must reproduce batch runs bit-for-bit,
+// the line protocol must round-trip, and malformed / late / out-of-range
+// events must be handled per ServeConfig::strict.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "policies/factory.hpp"
+#include "policies/icebreaker.hpp"
+#include "policies/wild.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/engine.hpp"
+#include "sim/ensemble.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::serve {
+namespace {
+
+trace::Trace small_trace(std::uint64_t seed = 42, trace::Minute duration = 600) {
+  trace::WorkloadConfig config;
+  config.function_count = 8;
+  config.duration = duration;
+  config.seed = seed;
+  return trace::build_azure_like_workload(config).trace;
+}
+
+sim::Deployment deployment_for(const trace::Trace& trace) {
+  static const models::ModelZoo zoo = models::ModelZoo::builtin();
+  return sim::Deployment::round_robin(zoo, trace.function_count());
+}
+
+sim::RunResult batch_run(const sim::Deployment& deployment, const trace::Trace& trace,
+                         const std::string& policy_name) {
+  sim::SimulationEngine engine(deployment, trace, {});
+  const auto policy = policies::make_policy(policy_name);
+  return engine.run(*policy);
+}
+
+sim::RunResult served_run(const sim::Deployment& deployment, InvocationSource& source,
+                          const std::string& policy_name, trace::Minute horizon) {
+  const auto policy = policies::make_policy(policy_name);
+  ServeConfig config;
+  config.horizon = horizon;
+  OnlineServer server(deployment, *policy, config);
+  server.drain(source);
+  return server.finish();
+}
+
+void expect_bitwise_equal(const sim::RunResult& served, const sim::RunResult& batch,
+                          const std::string& label) {
+  EXPECT_EQ(served.invocations, batch.invocations) << label;
+  EXPECT_EQ(served.warm_starts, batch.warm_starts) << label;
+  EXPECT_EQ(served.cold_starts, batch.cold_starts) << label;
+  EXPECT_EQ(served.downgrades, batch.downgrades) << label;
+  EXPECT_EQ(served.total_keepalive_cost_usd, batch.total_keepalive_cost_usd) << label;
+  EXPECT_EQ(served.total_service_time_s, batch.total_service_time_s) << label;
+  EXPECT_EQ(served.average_accuracy_pct(), batch.average_accuracy_pct()) << label;
+}
+
+TEST(Serve, ReplaySourceEmitsTraceInOrder) {
+  trace::Trace trace(2, 3);
+  trace.add_invocations(0, 0, 2);
+  trace.add_invocations(1, 1, 1);
+  ReplaySource source(trace);
+  StreamEvent e;
+  std::vector<StreamEvent> events;
+  while (source.next(e)) events.push_back(e);
+  // minute 0: inv f0, tick; minute 1: inv f1, tick; minute 2: tick; end.
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].kind, EventKind::kInvocation);
+  EXPECT_EQ(events[0].function, 0u);
+  EXPECT_EQ(events[0].count, 2u);
+  EXPECT_EQ(events[1].kind, EventKind::kTick);
+  EXPECT_EQ(events[1].minute, 0);
+  EXPECT_EQ(events[2].kind, EventKind::kInvocation);
+  EXPECT_EQ(events[2].function, 1u);
+  EXPECT_EQ(events[3].kind, EventKind::kTick);
+  EXPECT_EQ(events[4].kind, EventKind::kTick);
+  EXPECT_EQ(events[4].minute, 2);
+  EXPECT_EQ(events[5].kind, EventKind::kEnd);
+  EXPECT_FALSE(source.next(e));
+}
+
+TEST(Serve, ServedEqualsBatchAcrossPolicies) {
+  const trace::Trace trace = small_trace();
+  const sim::Deployment deployment = deployment_for(trace);
+  for (const char* name : {"pulse", "wild", "icebreaker", "openwhisk", "wild+pulse",
+                           "icebreaker+pulse"}) {
+    const sim::RunResult batch = batch_run(deployment, trace, name);
+    ReplaySource source(trace);
+    const sim::RunResult served = served_run(deployment, source, name, trace.duration());
+    expect_bitwise_equal(served, batch, name);
+  }
+}
+
+TEST(Serve, OversizedHorizonStillMatchesBatch) {
+  // The horizon only sizes the buffer; schedule entries past the last
+  // delivered minute are never simulated, so the result is unchanged.
+  const trace::Trace trace = small_trace(7);
+  const sim::Deployment deployment = deployment_for(trace);
+  const sim::RunResult batch = batch_run(deployment, trace, "pulse");
+  ReplaySource source(trace);
+  const sim::RunResult served =
+      served_run(deployment, source, "pulse", trace.duration() + 2 * trace::kMinutesPerDay);
+  expect_bitwise_equal(served, batch, "oversized horizon");
+}
+
+TEST(Serve, LineProtocolRoundTripsBitwise) {
+  const trace::Trace trace = small_trace(99);
+  const sim::Deployment deployment = deployment_for(trace);
+  const sim::RunResult batch = batch_run(deployment, trace, "pulse");
+
+  std::ostringstream encoded;
+  write_line_protocol(trace, encoded);
+  std::istringstream decoded(encoded.str());
+  LineProtocolSource source(decoded, {.strict = true});
+  const sim::RunResult served = served_run(deployment, source, "pulse", trace.duration());
+  expect_bitwise_equal(served, batch, "line protocol");
+  EXPECT_EQ(source.malformed_lines(), 0u);
+}
+
+TEST(Serve, MalformedLinesAreCountedAndSkipped) {
+  const std::string stream =
+      "# comment\n"
+      "\n"
+      "inv 0 1 2\n"
+      "bogus line\n"
+      "inv 0 nonsense\n"
+      "inv 0 1 0\n"      // zero count: malformed
+      "inv 0 1 3 junk\n"  // trailing junk: malformed
+      "tick 0\n"
+      "end\n";
+  std::istringstream in(stream);
+  LineProtocolSource source(in);
+  StreamEvent e;
+  std::uint64_t invocations = 0;
+  std::uint64_t ticks = 0;
+  while (source.next(e)) {
+    if (e.kind == EventKind::kInvocation) ++invocations;
+    if (e.kind == EventKind::kTick) ++ticks;
+  }
+  EXPECT_EQ(invocations, 1u);
+  EXPECT_EQ(ticks, 1u);
+  EXPECT_EQ(source.malformed_lines(), 4u);
+}
+
+TEST(Serve, StrictProtocolThrowsOnMalformedLine) {
+  std::istringstream in("inv zero 1\n");
+  LineProtocolSource source(in, {.strict = true});
+  StreamEvent e;
+  EXPECT_THROW(source.next(e), std::runtime_error);
+}
+
+TEST(Serve, MissingEndTerminatesCleanly) {
+  std::istringstream in("inv 0 1\ntick 0\n");
+  LineProtocolSource source(in);
+  StreamEvent e;
+  std::size_t events = 0;
+  while (source.next(e)) ++events;
+  EXPECT_EQ(e.kind, EventKind::kEnd);  // synthesized at EOF
+  EXPECT_EQ(events, 3u);
+}
+
+TEST(Serve, LateAndOutOfRangeEventsAreDropped) {
+  const trace::Trace trace = small_trace();
+  const sim::Deployment deployment = deployment_for(trace);
+  const auto policy = policies::make_policy("pulse");
+  ServeConfig config;
+  config.horizon = 100;
+  OnlineServer server(deployment, *policy, config);
+
+  server.ingest({EventKind::kInvocation, 0, 0, 1});
+  server.ingest({EventKind::kTick, 0, 0, 0});
+  EXPECT_EQ(server.open_minute(), 1);
+
+  server.ingest({EventKind::kInvocation, 0, 0, 1});  // minute 0 already simulated
+  server.ingest({EventKind::kTick, 0, 0, 0});        // duplicate tick
+  EXPECT_EQ(server.stats().dropped_late, 2u);
+
+  server.ingest({EventKind::kInvocation, 100, 0, 1});  // minute >= horizon
+  server.ingest({EventKind::kInvocation, 5, 999, 1});  // unknown function
+  EXPECT_EQ(server.stats().dropped_out_of_range, 2u);
+
+  EXPECT_EQ(server.stats().invocation_events, 1u);
+  EXPECT_EQ(server.stats().ticks, 1u);
+}
+
+TEST(Serve, StrictServerThrowsOnLateEvent) {
+  const trace::Trace trace = small_trace();
+  const sim::Deployment deployment = deployment_for(trace);
+  const auto policy = policies::make_policy("pulse");
+  ServeConfig config;
+  config.horizon = 100;
+  config.strict = true;
+  OnlineServer server(deployment, *policy, config);
+  server.ingest({EventKind::kTick, 0, 0, 0});
+  EXPECT_THROW(server.ingest({EventKind::kInvocation, 0, 0, 1}), std::runtime_error);
+}
+
+TEST(Serve, TickGapsSimulateSkippedIdleMinutes) {
+  // A tick for minute m certifies everything before it; skipping straight
+  // to m must behave like the batch run over the same (idle) minutes.
+  const trace::Trace trace = small_trace(3);
+  const sim::Deployment deployment = deployment_for(trace);
+  const sim::RunResult batch = batch_run(deployment, trace, "pulse");
+
+  const auto policy = policies::make_policy("pulse");
+  ServeConfig config;
+  config.horizon = trace.duration();
+  OnlineServer server(deployment, *policy, config);
+  // Deliver all invocations up front, then a single closing tick.
+  for (trace::Minute t = 0; t < trace.duration(); ++t) {
+    for (trace::FunctionId f = 0; f < trace.function_count(); ++f) {
+      const std::uint32_t n = trace.count(f, t);
+      if (n > 0) server.ingest({EventKind::kInvocation, t, f, n});
+    }
+  }
+  server.ingest({EventKind::kTick, trace.duration() - 1, 0, 0});
+  expect_bitwise_equal(server.finish(), batch, "single closing tick");
+}
+
+// The streaming predictor state (mutable memo windows, incremental AR, the
+// sliding DFT) lives per policy instance; ensemble runs spawn one instance
+// per run, so results must be bit-identical at any thread count.
+class EnsembleThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnsembleThreads, StreamingPoliciesAreThreadCountInvariant) {
+  const trace::Trace trace = small_trace(11, 300);
+  static const models::ModelZoo zoo = models::ModelZoo::builtin();
+
+  const auto run_with = [&](const sim::PolicyFactory& factory, std::size_t threads) {
+    sim::EnsembleConfig config;
+    config.runs = 8;
+    config.seed = 5;
+    config.threads = threads;
+    return sim::run_ensemble(zoo, trace, factory, config);
+  };
+
+  const std::vector<std::pair<std::string, sim::PolicyFactory>> factories = {
+      {"pulse", [] { return policies::make_policy("pulse"); }},
+      {"wild-streaming",
+       [] {
+         policies::WildPolicy::Config config;
+         config.predictor.streaming_ar = true;
+         return std::make_unique<policies::WildPolicy>(config);
+       }},
+      {"icebreaker-streaming",
+       [] {
+         policies::IceBreakerPolicy::Config config;
+         config.streaming_dft = true;
+         return std::make_unique<policies::IceBreakerPolicy>(config);
+       }},
+  };
+
+  const std::size_t threads = GetParam();
+  for (const auto& [name, factory] : factories) {
+    const sim::EnsembleResult reference = run_with(factory, 1);
+    const sim::EnsembleResult parallel = run_with(factory, threads);
+    ASSERT_EQ(reference.runs.size(), parallel.runs.size()) << name;
+    for (std::size_t i = 0; i < reference.runs.size(); ++i) {
+      expect_bitwise_equal(parallel.runs[i], reference.runs[i],
+                           name + " run " + std::to_string(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, EnsembleThreads, ::testing::Values(1u, 4u, 16u));
+
+}  // namespace
+}  // namespace pulse::serve
