@@ -1,0 +1,305 @@
+// Trace-ingestion throughput benchmark and equality/memory gate.
+//
+// Generates synthetic Azure-format inputs on disk — a multi-million-row
+// 2021 per-invocation file and two 2019 minute-grid day CSVs — then loads
+// each through the streaming front end (trace/azure_stream.hpp) and the
+// batch reference loaders (trace/azure_format.hpp). Three hard gates:
+//
+//   1. Bitwise equality, 2021: the streamed AzureTrace (trace, function
+//      identities) must equal the batch loader's output exactly.
+//   2. Bitwise equality, 2019: same, against try_load_azure_days over the
+//      day files.
+//   3. Peak-RSS bound: the streaming 2021 load runs FIRST (before any batch
+//      loader can raise the process high-water mark) and the VmHWM delta it
+//      causes must stay under kMaxStreamRssMb — far below the input file
+//      size in the full run, witnessing O(chunk) ingestion memory.
+//
+// Also reports rows/sec and MB/s for both paths.
+//
+// Usage: bench_trace_ingest [--quick] [--out <path>]
+// Writes machine-readable results to BENCH_trace_ingest.json (or --out).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "trace/azure_format.hpp"
+#include "trace/azure_stream.hpp"
+#include "util/rng.hpp"
+
+namespace pulse::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMaxStreamRssMb = 64.0;
+
+/// Process peak resident set (VmHWM) in kB, or 0 where /proc is absent —
+/// the RSS gate is skipped there.
+std::uint64_t read_vm_hwm_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct Inputs {
+  std::filesystem::path dir;
+  std::filesystem::path invocations_2021;
+  std::vector<std::filesystem::path> days_2019;
+  std::uint64_t rows_2021 = 0;
+  std::uint64_t rows_2019 = 0;
+};
+
+// Deterministic synthetic 2021 per-invocation file: `rows` rows over ~3
+// days for 200 apps x 5 functions. Row order is shuffled in time (the
+// format allows it), which exercises the on-demand series growth.
+void write_2021_file(const std::filesystem::path& path, std::uint64_t rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "app,func,end_timestamp,duration\n");
+  util::Pcg32 rng(42);
+  constexpr double kSpanSeconds = 3 * 24 * 3600.0;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    const std::uint32_t app = rng.bounded(200);
+    const std::uint32_t func = rng.bounded(5);
+    const double start = rng.uniform(0.0, kSpanSeconds);
+    const double duration = rng.uniform(0.05, 300.0);
+    std::fprintf(f, "a%u,f%u,%.3f,%.3f\n", app, func, start + duration, duration);
+  }
+  std::fclose(f);
+}
+
+// Deterministic 2019 day CSV: `functions` rows x 1440 minute columns,
+// sparse counts (~10% active minutes).
+void write_2019_day(const std::filesystem::path& path, std::size_t functions,
+                    std::uint64_t seed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "HashOwner,HashApp,HashFunction,Trigger");
+  for (int m = 1; m <= trace::kMinutesPerDay; ++m) std::fprintf(f, ",%d", m);
+  std::fprintf(f, "\n");
+  util::Pcg32 rng(seed);
+  for (std::size_t fn = 0; fn < functions; ++fn) {
+    std::fprintf(f, "owner%zu,app%zu,fn%zu,http", fn % 40, fn % 120, fn);
+    for (int m = 0; m < trace::kMinutesPerDay; ++m) {
+      const std::uint32_t count = rng.next_u32() % 10 == 0 ? rng.bounded(20) : 0;
+      std::fprintf(f, ",%u", count);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+Inputs make_inputs(bool quick) {
+  Inputs in;
+  in.dir = std::filesystem::temp_directory_path() / "pulse_bench_trace_ingest";
+  std::filesystem::create_directories(in.dir);
+  in.rows_2021 = quick ? 400'000 : 4'000'000;
+  in.invocations_2021 = in.dir / "invocations_2021.csv";
+  write_2021_file(in.invocations_2021, in.rows_2021);
+  const std::size_t functions = quick ? 100 : 300;
+  for (int day = 0; day < 2; ++day) {
+    in.days_2019.push_back(in.dir / ("day_" + std::to_string(day) + ".csv"));
+    write_2019_day(in.days_2019.back(), functions, 1000 + static_cast<std::uint64_t>(day));
+  }
+  in.rows_2019 = 2 * functions;
+  return in;
+}
+
+struct LoadTiming {
+  double seconds = 0.0;
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double rows_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+  [[nodiscard]] double mb_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / seconds / (1024.0 * 1024.0) : 0.0;
+  }
+};
+
+void write_json(const std::string& path, bool quick, const LoadTiming& s21,
+                const LoadTiming& b21, const LoadTiming& s19, const LoadTiming& b19,
+                double rss_delta_mb, bool rss_gated, bool equal_2021, bool equal_2019,
+                bool pass) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"trace_ingest\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f,
+               "  \"azure2021\": {\"rows\": %llu, \"bytes\": %llu, "
+               "\"stream_rows_per_s\": %.0f, \"stream_mb_per_s\": %.1f, "
+               "\"batch_rows_per_s\": %.0f, \"equal_to_batch\": %s},\n",
+               static_cast<unsigned long long>(s21.rows),
+               static_cast<unsigned long long>(s21.bytes), s21.rows_per_s(), s21.mb_per_s(),
+               b21.rows_per_s(), equal_2021 ? "true" : "false");
+  std::fprintf(f,
+               "  \"azure2019\": {\"rows\": %llu, \"bytes\": %llu, "
+               "\"stream_rows_per_s\": %.0f, \"stream_mb_per_s\": %.1f, "
+               "\"batch_rows_per_s\": %.0f, \"equal_to_batch\": %s},\n",
+               static_cast<unsigned long long>(s19.rows),
+               static_cast<unsigned long long>(s19.bytes), s19.rows_per_s(), s19.mb_per_s(),
+               b19.rows_per_s(), equal_2019 ? "true" : "false");
+  std::fprintf(f, "  \"stream_peak_rss_delta_mb\": %.1f,\n", rss_delta_mb);
+  std::fprintf(f, "  \"rss_gate_mb\": %.1f,\n", kMaxStreamRssMb);
+  std::fprintf(f, "  \"rss_gate_applied\": %s,\n", rss_gated ? "true" : "false");
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_trace_ingest.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const Inputs in = make_inputs(quick);
+  const auto file_mb = static_cast<double>(std::filesystem::file_size(in.invocations_2021)) /
+                       (1024.0 * 1024.0);
+  std::printf("inputs: %llu invocation rows (%.1f MB), %llu day rows x 1440 minutes\n",
+              static_cast<unsigned long long>(in.rows_2021), file_mb,
+              static_cast<unsigned long long>(in.rows_2019));
+
+  bool pass = true;
+
+  // --- Streaming 2021 load FIRST: the RSS high-water mark still reflects
+  // only input generation, so the delta isolates streaming-ingest memory.
+  const std::uint64_t hwm_before_kb = read_vm_hwm_kb();
+  trace::StreamLoadStats stats21;
+  LoadTiming s21;
+  trace::AzureTrace streamed21;
+  {
+    const Clock::time_point t0 = Clock::now();
+    auto loaded = trace::stream_load_azure({in.invocations_2021}, {}, &stats21);
+    s21.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!loaded) {
+      std::fprintf(stderr, "FAIL stream 2021: %s\n", loaded.error().to_string().c_str());
+      return 1;
+    }
+    streamed21 = std::move(loaded.value());
+  }
+  const std::uint64_t hwm_after_kb = read_vm_hwm_kb();
+  s21.rows = stats21.data_rows;
+  s21.bytes = stats21.bytes;
+
+  const bool rss_gated = hwm_before_kb > 0;
+  const double rss_delta_mb =
+      rss_gated ? static_cast<double>(hwm_after_kb - hwm_before_kb) / 1024.0 : 0.0;
+  std::printf("stream 2021: %.2f s, %.0f rows/s, %.1f MB/s, peak-RSS delta %.1f MB\n",
+              s21.seconds, s21.rows_per_s(), s21.mb_per_s(), rss_delta_mb);
+  if (rss_gated && rss_delta_mb > kMaxStreamRssMb) {
+    std::fprintf(stderr, "FAIL: streaming 2021 load grew peak RSS by %.1f MB (> %.1f MB)\n",
+                 rss_delta_mb, kMaxStreamRssMb);
+    pass = false;
+  }
+
+  // --- Batch 2021 reference + equality gate.
+  LoadTiming b21;
+  b21.rows = s21.rows;
+  b21.bytes = s21.bytes;
+  bool equal_2021 = false;
+  {
+    const Clock::time_point t0 = Clock::now();
+    auto batch = trace::try_load_azure_invocations(in.invocations_2021);
+    b21.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!batch) {
+      std::fprintf(stderr, "FAIL batch 2021: %s\n", batch.error().to_string().c_str());
+      return 1;
+    }
+    equal_2021 = streamed21.trace == batch.value().trace &&
+                 streamed21.functions == batch.value().functions;
+  }
+  std::printf("batch  2021: %.2f s, %.0f rows/s (stream equal: %s)\n", b21.seconds,
+              b21.rows_per_s(), equal_2021 ? "yes" : "NO");
+  if (!equal_2021) {
+    std::fprintf(stderr, "FAIL: streaming 2021 result differs from the batch loader\n");
+    pass = false;
+  }
+
+  // --- 2019 day format, both paths + equality gate.
+  trace::StreamLoadStats stats19;
+  LoadTiming s19;
+  trace::AzureTrace streamed19;
+  {
+    const Clock::time_point t0 = Clock::now();
+    auto loaded = trace::stream_load_azure(in.days_2019, {}, &stats19);
+    s19.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!loaded) {
+      std::fprintf(stderr, "FAIL stream 2019: %s\n", loaded.error().to_string().c_str());
+      return 1;
+    }
+    streamed19 = std::move(loaded.value());
+  }
+  s19.rows = stats19.data_rows;
+  s19.bytes = stats19.bytes;
+
+  LoadTiming b19;
+  b19.rows = s19.rows;
+  b19.bytes = s19.bytes;
+  bool equal_2019 = false;
+  {
+    const Clock::time_point t0 = Clock::now();
+    auto batch = trace::try_load_azure_days(in.days_2019);
+    b19.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!batch) {
+      std::fprintf(stderr, "FAIL batch 2019: %s\n", batch.error().to_string().c_str());
+      return 1;
+    }
+    equal_2019 = streamed19.trace == batch.value().trace &&
+                 streamed19.functions == batch.value().functions &&
+                 streamed19.duplicate_rows == batch.value().duplicate_rows;
+  }
+  std::printf("stream 2019: %.2f s, %.0f rows/s, %.1f MB/s\n", s19.seconds, s19.rows_per_s(),
+              s19.mb_per_s());
+  std::printf("batch  2019: %.2f s, %.0f rows/s (stream equal: %s)\n", b19.seconds,
+              b19.rows_per_s(), equal_2019 ? "yes" : "NO");
+  if (!equal_2019) {
+    std::fprintf(stderr, "FAIL: streaming 2019 result differs from the batch loader\n");
+    pass = false;
+  }
+
+  write_json(out_path, quick, s21, b21, s19, b19, rss_delta_mb, rss_gated, equal_2021,
+             equal_2019, pass);
+  std::filesystem::remove_all(in.dir);
+  std::printf("acceptance (stream==batch both formats, peak-RSS delta <= %.0f MB): %s\n",
+              kMaxStreamRssMb, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pulse::bench
+
+int main(int argc, char** argv) { return pulse::bench::run(argc, argv); }

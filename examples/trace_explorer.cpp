@@ -15,21 +15,35 @@
 // cold-start curves from a JSONL event file alone — no trace, no
 // simulation — and prints the replayed totals.
 //
+// --format selects the --load parser: "csv" (the Trace::save_csv round
+// trip, default) or the streaming Azure ingestion front end ("auto",
+// "azure2019", "azure2021") which accepts a comma-separated list of files
+// (e.g. consecutive 2019 day CSVs). --stream-stats prints the ingestion
+// counters and throughput. --scenario derives a workload from the loaded
+// or generated trace (drift, flash-crowd, multi-tenant) at --scenario-seed.
+//
 //   ./trace_explorer [--days=3] [--seed=42] [--load=trace.csv] [--save=trace.csv]
+//                    [--format=csv|auto|azure2019|azure2021] [--stream-stats]
+//                    [--scenario=drift|flash-crowd|multi-tenant] [--scenario-seed=42]
 //                    [--validate] [--profile] [--events=events.jsonl]
 //   ./trace_explorer --replay=events.jsonl
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <stdexcept>
 
 #include "core/pulse_policy.hpp"
 #include "exp/replay.hpp"
+#include "exp/scenario.hpp"
 #include "models/zoo.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/engine.hpp"
 #include "trace/analysis.hpp"
+#include "trace/azure_stream.hpp"
 #include "trace/classifier.hpp"
 #include "trace/validation.hpp"
 #include "trace/workload.hpp"
@@ -169,6 +183,39 @@ int run_replay(const std::string& path) {
   return 0;
 }
 
+std::vector<std::filesystem::path> split_paths(const std::string& list) {
+  std::vector<std::filesystem::path> paths;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) paths.emplace_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return paths;
+}
+
+void print_stream_stats(const pulse::trace::StreamLoadStats& stats, double seconds) {
+  using namespace pulse;
+  util::TextTable table({"Ingestion", "Value"});
+  table.add_row({"format", std::string(trace::to_string(stats.format))});
+  table.add_row({"files", std::to_string(stats.files)});
+  table.add_row({"bytes", std::to_string(stats.bytes)});
+  table.add_row({"data rows", std::to_string(stats.data_rows)});
+  table.add_row({"invocations", std::to_string(stats.invocations)});
+  table.add_row({"duplicate rows merged", std::to_string(stats.duplicate_rows)});
+  table.add_row({"pre-epoch rows clamped", std::to_string(stats.clamped_rows)});
+  table.add_row({"longest line (bytes)", std::to_string(stats.max_line_bytes)});
+  table.add_row({"elapsed (s)", util::fmt(seconds, 3)});
+  if (seconds > 0.0) {
+    table.add_row({"rows/s", util::fmt(static_cast<double>(stats.data_rows) / seconds, 0)});
+    table.add_row(
+        {"MB/s", util::fmt(static_cast<double>(stats.bytes) / seconds / (1024.0 * 1024.0), 1)});
+  }
+  std::printf("\n%s", table.render().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,7 +225,15 @@ int main(int argc, char** argv) {
   cli.add_flag("days", "3", "trace length in days (generation)");
   cli.add_flag("functions", "12", "number of functions (generation)");
   cli.add_flag("seed", "42", "workload seed (generation)");
-  cli.add_flag("load", "", "load a trace CSV instead of generating one");
+  cli.add_flag("load", "", "load a trace instead of generating one (comma-separated "
+                           "paths for the azure formats)");
+  cli.add_flag("format", "csv",
+               "--load parser: csv | auto | azure2019 | azure2021 (auto sniffs "
+               "the Azure format from the first line)");
+  cli.add_switch("stream-stats", "print streaming ingestion counters and throughput");
+  cli.add_flag("scenario", "",
+               "derive a workload from the trace: drift | flash-crowd | multi-tenant");
+  cli.add_flag("scenario-seed", "42", "seed for --scenario randomness");
   cli.add_flag("save", "", "save the trace to this CSV path");
   cli.add_flag("peaks", "2", "number of aggregate peaks to report");
   cli.add_switch("validate", "run the ingestion validation pass and report issues");
@@ -202,14 +257,42 @@ int main(int argc, char** argv) {
   trace::Trace tr;
   std::vector<std::string> labels;
   if (const std::string path = cli.get_string("load"); !path.empty()) {
-    // Hardened loader: a malformed file is a diagnosed error, not a crash.
-    auto loaded = trace::Trace::try_load_csv(path);
-    if (!loaded) {
-      std::fprintf(stderr, "error: %s\n", loaded.error().to_string().c_str());
-      return 1;
+    const std::string format_name = cli.get_string("format");
+    if (format_name == "csv") {
+      // Hardened loader: a malformed file is a diagnosed error, not a crash.
+      auto loaded = trace::Trace::try_load_csv(path);
+      if (!loaded) {
+        std::fprintf(stderr, "error: %s\n", loaded.error().to_string().c_str());
+        return 1;
+      }
+      tr = std::move(loaded.value());
+      std::printf("loaded %s\n", path.c_str());
+    } else {
+      trace::StreamLoadOptions options;
+      if (format_name != "auto") {
+        options.format = trace::parse_trace_format(format_name);
+        if (options.format == trace::TraceFormat::kUnknown) {
+          std::fprintf(stderr, "error: unknown --format '%s' (csv, auto, azure2019, "
+                               "azure2021)\n",
+                       format_name.c_str());
+          return 1;
+        }
+      }
+      const std::vector<std::filesystem::path> paths = split_paths(path);
+      trace::StreamLoadStats stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto loaded = trace::stream_load_azure(paths, options, &stats);
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t0;
+      if (!loaded) {
+        std::fprintf(stderr, "error: %s\n", loaded.error().to_string().c_str());
+        return 1;
+      }
+      tr = std::move(loaded.value().trace);
+      std::printf("streamed %zu file(s) [%s]: %zu functions over %lld minutes\n",
+                  paths.size(), std::string(trace::to_string(stats.format)).c_str(),
+                  tr.function_count(), static_cast<long long>(tr.duration()));
+      if (cli.get_bool("stream-stats")) print_stream_stats(stats, elapsed.count());
     }
-    tr = std::move(loaded.value());
-    std::printf("loaded %s\n", path.c_str());
   } else {
     trace::WorkloadConfig config;
     config.function_count = static_cast<std::size_t>(cli.get_int("functions"));
@@ -217,6 +300,19 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     trace::Workload workload = trace::build_azure_like_workload(config);
     tr = std::move(workload.trace);
+  }
+
+  if (const std::string name = cli.get_string("scenario"); !name.empty()) {
+    try {
+      tr = exp::make_derived_scenario(tr, name,
+                                      static_cast<std::uint64_t>(cli.get_int("scenario-seed")));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("derived scenario '%s': %zu functions, %llu invocations\n", name.c_str(),
+                tr.function_count(),
+                static_cast<unsigned long long>(tr.total_invocations()));
   }
 
   if (cli.get_bool("validate")) {

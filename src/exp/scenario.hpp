@@ -3,8 +3,19 @@
 // built once per bench binary so every experiment runs on the same
 // substrate the paper's evaluation does (12 functions, two weeks, Table IV
 // models, injected invocation peaks).
+//
+// Also hosts the derived-scenario catalog: deterministic transforms that
+// synthesize the workload regimes characterized in "The High Cost of
+// Keeping Warm" from any loaded trace (real Azure days streamed through
+// trace/azure_stream.hpp, or the builtin generator) — day-scale pattern
+// drift, flash-crowd arrival spikes, and multi-tenant interference mixes.
+// Every transform draws per-cell randomness from counter-hashed streams
+// (util::hash_uniform keyed on seed/function/minute), so results are
+// bit-reproducible under a fixed seed and independent of evaluation order.
 
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 #include "models/zoo.hpp"
 #include "trace/workload.hpp"
@@ -38,5 +49,76 @@ struct Scenario {
 
 /// Trace days used by benches, overridable via PULSE_BENCH_DAYS.
 [[nodiscard]] trace::Minute bench_trace_days(trace::Minute default_days = 7);
+
+// ---------------------------------------------------------------------------
+// Derived scenarios
+// ---------------------------------------------------------------------------
+
+/// Day-scale pattern drift: day d of the result replays day d of the base
+/// trace with its within-day profile rotated right by
+/// `phase_drift_minutes_per_day * d` minutes and its rate scaled by
+/// `(1 + amplitude_drift_per_day)^d`. With zero amplitude drift the
+/// transform is an exact (randomness-free) rotation; fractional expected
+/// counts are resolved by seeded stochastic rounding.
+struct PatternDriftConfig {
+  double phase_drift_minutes_per_day = 30.0;
+  double amplitude_drift_per_day = 0.0;
+  std::uint64_t seed = 42;
+};
+[[nodiscard]] trace::Trace apply_pattern_drift(const trace::Trace& base,
+                                               const PatternDriftConfig& config = {});
+
+/// Flash crowds: `crowds` spike events at seeded minutes. Each event picks
+/// a `participation` fraction of the functions; inside the event envelope
+/// (linear ramp up over `ramp` minutes, `hold` minutes at full strength,
+/// linear ramp down) a participant's counts are amplified towards
+/// `multiplier`x and topped up with Poisson(`surge_rate` * envelope) fresh
+/// arrivals per minute — the correlated-arrival regime keep-alive policies
+/// over-fit their windows on.
+struct FlashCrowdConfig {
+  std::size_t crowds = 3;
+  double multiplier = 8.0;
+  trace::Minute ramp = 10;
+  trace::Minute hold = 5;
+  double participation = 0.5;
+  double surge_rate = 2.0;
+  std::uint64_t seed = 42;
+};
+[[nodiscard]] trace::Trace inject_flash_crowds(const trace::Trace& base,
+                                               const FlashCrowdConfig& config = {});
+
+/// The seeded spike centers inject_flash_crowds uses for `duration` minutes
+/// (exposed so experiments can align measurement windows with the events).
+[[nodiscard]] std::vector<trace::Minute> flash_crowd_minutes(
+    const FlashCrowdConfig& config, trace::Minute duration);
+
+/// Multi-tenant interference: `tenants` phase-staggered clones of the base
+/// trace share one cluster (tenant i's functions are named "t<i>/<name>"
+/// and replay the base rotated by i * `phase_stagger` minutes, scaled by
+/// `load_scale`). When there are at least two tenants the last one is an
+/// aggressor: every `burst_every` minutes it amplifies to
+/// `aggressor_scale`x for `burst_length` minutes, creating the cross-tenant
+/// capacity pressure the sharded engine's market has to absorb.
+struct MultiTenantConfig {
+  std::size_t tenants = 3;
+  trace::Minute phase_stagger = 120;
+  double load_scale = 1.0;
+  double aggressor_scale = 4.0;
+  trace::Minute burst_every = 720;
+  trace::Minute burst_length = 30;
+  std::uint64_t seed = 42;
+};
+[[nodiscard]] trace::Trace compose_multi_tenant(const trace::Trace& base,
+                                                const MultiTenantConfig& config = {});
+
+/// Catalog front end: builds a derived scenario by name — "drift",
+/// "flash-crowd" or "multi-tenant" — with default configs at `seed`.
+/// Throws std::invalid_argument for unknown names (listing the catalog).
+[[nodiscard]] trace::Trace make_derived_scenario(const trace::Trace& base,
+                                                 std::string_view name,
+                                                 std::uint64_t seed = 42);
+
+/// Names accepted by make_derived_scenario.
+[[nodiscard]] std::vector<std::string_view> derived_scenario_names();
 
 }  // namespace pulse::exp

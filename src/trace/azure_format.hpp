@@ -1,17 +1,33 @@
 #pragma once
-// Ingestion of the Microsoft Azure Functions trace format (Shahrad et al.,
-// ATC'20) — the dataset the paper replays. Each day of the public release
-// is a CSV with one row per function:
+// Ingestion of the Microsoft Azure Functions trace formats.
+//
+// 2019 day format (Shahrad et al., ATC'20) — the dataset the paper replays.
+// Each day of the public release is a CSV with one row per function:
 //
 //   HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
 //
-// where columns 1..1440 hold per-minute invocation counts. The trace itself
-// is not redistributable, so this repository ships a generator instead
-// (trace/workload.hpp) — but anyone holding the dataset can load it here and
-// run every experiment on the real thing.
+// where columns 1..1440 hold per-minute invocation counts.
+//
+// 2021 invocation format (Zhang et al., SOSP'21 release) — one row per
+// invocation instead of one row per function-day:
+//
+//   app,func,end_timestamp,duration
+//
+// with end_timestamp and duration in (fractional) seconds from the trace
+// epoch. Rows may appear in any order; an invocation is binned into the
+// minute containing its start time (end_timestamp - duration).
+//
+// The traces themselves are not redistributable, so this repository ships a
+// generator instead (trace/workload.hpp) — but anyone holding the datasets
+// can load them here (or via the streaming front end in
+// trace/azure_stream.hpp, which autodetects the format and reads
+// multi-million-row files in O(chunk) memory) and run every experiment on
+// the real thing.
 
 #include <filesystem>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/errors.hpp"
@@ -26,30 +42,74 @@ struct AzureFunctionId {
   std::string function;
   std::string trigger;
 
+  /// "owner/app/function"; empty components are skipped (the 2021 trace has
+  /// no owner column, so its functions qualify as "app/function").
   [[nodiscard]] std::string qualified_name() const {
-    return owner + "/" + app + "/" + function;
+    std::string out;
+    for (const std::string* part : {&owner, &app, &function}) {
+      if (part->empty()) continue;
+      if (!out.empty()) out += '/';
+      out += *part;
+    }
+    return out;
   }
+
+  [[nodiscard]] bool operator==(const AzureFunctionId&) const = default;
+};
+
+/// What to do when one day file lists the same (owner, app, function) twice.
+/// The public dataset never does, but concatenated or hand-edited exports
+/// can — and silently double-adding the counts corrupted downstream runs.
+enum class DuplicatePolicy {
+  kSum,    // sum the rows and count them in AzureTrace::duplicate_rows
+  kError,  // report a kDuplicateRow TraceError naming the second row
+};
+
+struct AzureLoadOptions {
+  DuplicatePolicy duplicates = DuplicatePolicy::kSum;
 };
 
 /// A loaded multi-day Azure trace before function selection.
 struct AzureTrace {
   std::vector<AzureFunctionId> functions;
   Trace trace;  // function_count() == functions.size()
+  /// Rows merged under DuplicatePolicy::kSum (0 for clean inputs).
+  std::uint64_t duplicate_rows = 0;
 };
 
 /// Parses one day file (1440 minute columns). Functions are keyed by
 /// (owner, app, function). Malformed input — unreadable file, wrong column
 /// count, count cells that are not plain non-negative integers (NaN,
 /// negative, fractional, overflowing) — is reported as a TraceError naming
-/// the file, line and offending cell; nothing throws on bad data.
+/// the file, line and offending cell; nothing throws on bad data. A UTF-8
+/// BOM in front of the header is tolerated.
 [[nodiscard]] TraceResult<AzureTrace> try_load_azure_day_csv(
-    const std::filesystem::path& path);
+    const std::filesystem::path& path, const AzureLoadOptions& options = {});
 
 /// Loads several day files and concatenates them along the time axis.
 /// Functions present in only some days contribute zero counts elsewhere;
 /// the function set is the union, ordered by first appearance.
 [[nodiscard]] TraceResult<AzureTrace> try_load_azure_days(
-    const std::vector<std::filesystem::path>& paths);
+    const std::vector<std::filesystem::path>& paths, const AzureLoadOptions& options = {});
+
+/// Loads a 2021-format per-invocation file whole (the streaming front end in
+/// azure_stream.hpp reads the same format in O(chunk) memory; this batch
+/// reference exists for small files and as the equality baseline the
+/// streaming loader is gated against). The horizon is the invocation span
+/// rounded up to whole days, matching the day-granular 2019 loader.
+[[nodiscard]] TraceResult<AzureTrace> try_load_azure_invocations(
+    const std::filesystem::path& path);
+
+/// Strict 2021-format seconds parser: the whole cell must be one finite,
+/// non-negative decimal number (no trailing garbage, no NaN/inf/hex).
+[[nodiscard]] std::optional<double> parse_seconds(std::string_view cell);
+
+/// Minute bucket of a 2021-format invocation: floor((end - duration) / 60),
+/// with starts before the trace epoch clamped into minute 0 (`clamped` set
+/// when that happens). Shared by the batch and streaming loaders so the two
+/// bin every row identically.
+[[nodiscard]] Minute invocation_start_minute(double end_timestamp, double duration_s,
+                                             bool* clamped = nullptr);
 
 /// Throwing convenience wrappers over the try_ loaders (std::runtime_error
 /// carrying TraceError::to_string()). Prefer the try_ forms in new code.
@@ -62,8 +122,11 @@ struct AzureTrace {
 [[nodiscard]] Trace select_top_functions(const AzureTrace& azure, std::size_t k);
 
 /// Writes a Trace back out in the Azure day format (splitting the horizon
-/// into 1440-minute days; the last partial day is zero-padded). Useful for
-/// exporting synthetic workloads to tools that consume the Azure format.
+/// into 1440-minute days; the last partial day is explicitly zero-padded).
+/// Function names of the form "owner/app/function" are split back into
+/// their columns so an Azure-loaded trace round-trips exactly; other names
+/// are exported under placeholder owner/app hashes. Useful for exporting
+/// synthetic workloads to tools that consume the Azure format.
 void save_azure_day_csvs(const Trace& trace, const std::filesystem::path& directory,
                          const std::string& prefix = "invocations_day_");
 

@@ -1,0 +1,313 @@
+#include "trace/azure_stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/csv.hpp"
+#include "util/line_reader.hpp"
+
+namespace pulse::trace {
+
+namespace {
+
+constexpr std::size_t kMetaColumns = 4;  // owner, app, function, trigger
+constexpr std::size_t kDayColumns =
+    kMetaColumns + static_cast<std::size_t>(kMinutesPerDay);
+constexpr auto kNoFunction = static_cast<FunctionId>(-1);
+
+// Fast field splitter for the (overwhelmingly common) unquoted row. Rows
+// containing a quote fall back to the full RFC-4180 parser; the resulting
+// fields are identical to what the batch loaders see via parse_csv_line.
+void split_line(std::string_view line, std::vector<std::string_view>& fields,
+                util::CsvRow& quoted_storage) {
+  fields.clear();
+  if (line.find('"') == std::string_view::npos) {
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t comma = line.find(',', begin);
+      if (comma == std::string_view::npos) {
+        fields.push_back(line.substr(begin));
+        return;
+      }
+      fields.push_back(line.substr(begin, comma - begin));
+      begin = comma + 1;
+    }
+  }
+  quoted_storage = util::parse_csv_line(line);
+  fields.reserve(quoted_storage.size());
+  for (const std::string& s : quoted_storage) fields.emplace_back(s);
+}
+
+TraceError open_error(const std::filesystem::path& path, const char* what) {
+  return TraceError{TraceErrorKind::kIo, path.string(), 0, what};
+}
+
+}  // namespace
+
+TraceFormat parse_trace_format(std::string_view name) noexcept {
+  if (name == "azure2019" || name == "2019") return TraceFormat::kAzure2019Day;
+  if (name == "azure2021" || name == "2021") return TraceFormat::kAzure2021Invocations;
+  return TraceFormat::kUnknown;
+}
+
+TraceResult<TraceFormat> detect_trace_format(const std::filesystem::path& path) {
+  util::LineReader reader(path);
+  if (!reader.ok()) return open_error(path, "cannot open trace file");
+  std::string_view line;
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    const util::CsvRow fields = util::parse_csv_line(line);
+    if (!fields.empty() && fields[0] == "HashOwner") return TraceFormat::kAzure2019Day;
+    if (fields.size() >= 2 && fields[0] == "app" && fields[1] == "func") {
+      return TraceFormat::kAzure2021Invocations;
+    }
+    if (fields.size() == kDayColumns) return TraceFormat::kAzure2019Day;
+    return TraceError{TraceErrorKind::kBadHeader, path.string(), reader.line_number(),
+                      "cannot autodetect trace format from first row (" +
+                          std::to_string(fields.size()) + " columns)",
+                      reader.line_offset()};
+  }
+  return TraceError{TraceErrorKind::kBadHeader, path.string(), 0,
+                    "cannot autodetect trace format of an empty file"};
+}
+
+FunctionId StreamingTraceBuilder::intern(AzureFunctionId id) {
+  const std::string key = id.qualified_name();
+  const FunctionId existing = lookup(key);
+  if (existing != kNoFunction) return existing;
+  return insert(key, std::move(id));
+}
+
+FunctionId StreamingTraceBuilder::lookup(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? static_cast<FunctionId>(-1) : it->second;
+}
+
+FunctionId StreamingTraceBuilder::insert(std::string_view key, AzureFunctionId id) {
+  const FunctionId f = ids_.size();
+  index_.emplace(std::string(key), f);
+  ids_.push_back(std::move(id));
+  series_.emplace_back();
+  if (horizon_hint_ > 0) series_.back().reserve(static_cast<std::size_t>(horizon_hint_));
+  return f;
+}
+
+void StreamingTraceBuilder::add(FunctionId f, Minute t, std::uint32_t count) {
+  auto& series = series_[f];
+  const auto idx = static_cast<std::size_t>(t);
+  if (idx >= series.size()) {
+    if (idx >= series.capacity()) {
+      series.reserve(std::max(series.capacity() * 2, idx + 1));
+    }
+    series.resize(idx + 1, 0);
+  }
+  series[idx] += count;
+  max_minute_ = std::max(max_minute_, t);
+}
+
+AzureTrace StreamingTraceBuilder::finish(Minute duration_minutes) && {
+  std::vector<std::string> names;
+  names.reserve(ids_.size());
+  for (const AzureFunctionId& id : ids_) names.push_back(id.qualified_name());
+  AzureTrace out;
+  out.trace =
+      Trace::from_columns(std::move(names), std::move(series_), duration_minutes);
+  out.functions = std::move(ids_);
+  return out;
+}
+
+namespace {
+
+// Streaming 2019 day-format loader: one pass per file, rows fed straight
+// into the builder. Mirrors try_load_azure_days exactly (function order,
+// duplicate semantics, horizon) — the equality is test- and bench-gated.
+TraceResult<AzureTrace> stream_load_2019(const std::vector<std::filesystem::path>& paths,
+                                         const StreamLoadOptions& options,
+                                         StreamLoadStats& stats) {
+  StreamingTraceBuilder builder;
+  const Minute duration = static_cast<Minute>(paths.size()) * kMinutesPerDay;
+  builder.set_horizon_hint(duration);
+
+  std::vector<std::string_view> fields;
+  util::CsvRow quoted_storage;
+  std::string key;
+  // Per-file duplicate detection: stamp[f] holds the 1-based index of the
+  // last file that contributed a row for function f.
+  std::vector<std::size_t> stamp;
+  std::uint64_t duplicate_rows = 0;
+
+  for (std::size_t day = 0; day < paths.size(); ++day) {
+    const std::filesystem::path& path = paths[day];
+    util::LineReader reader(path, options.chunk_bytes);
+    if (!reader.ok()) return open_error(path, "cannot open Azure day CSV");
+    const Minute base = static_cast<Minute>(day) * kMinutesPerDay;
+
+    std::string_view line;
+    bool header_checked = false;
+    while (reader.next(line)) {
+      if (line.empty()) continue;
+      split_line(line, fields, quoted_storage);
+      if (!header_checked) {
+        header_checked = true;
+        if (!fields.empty() && fields[0] == "HashOwner") continue;
+      }
+      if (fields.size() != kDayColumns) {
+        return TraceError{TraceErrorKind::kMalformedRow, path.string(),
+                          reader.line_number(),
+                          "expected " + std::to_string(kDayColumns) + " columns, got " +
+                              std::to_string(fields.size()),
+                          reader.line_offset()};
+      }
+      key.assign(fields[0]);
+      key += '/';
+      key += fields[1];
+      key += '/';
+      key += fields[2];
+      FunctionId f = builder.lookup(key);
+      if (f == kNoFunction) {
+        f = builder.insert(key, AzureFunctionId{std::string(fields[0]),
+                                                std::string(fields[1]),
+                                                std::string(fields[2]),
+                                                std::string(fields[3])});
+      }
+      if (f >= stamp.size()) stamp.resize(f + 1, 0);
+      if (stamp[f] == day + 1) {
+        if (options.duplicates == DuplicatePolicy::kError) {
+          return TraceError{TraceErrorKind::kDuplicateRow, path.string(),
+                            reader.line_number(),
+                            "duplicate row for function '" + key + "'",
+                            reader.line_offset()};
+        }
+        ++duplicate_rows;
+      }
+      stamp[f] = day + 1;
+
+      for (std::size_t m = 0; m < static_cast<std::size_t>(kMinutesPerDay); ++m) {
+        const std::string_view cell = fields[kMetaColumns + m];
+        const auto count = parse_invocation_count(cell);
+        if (!count) {
+          return TraceError{TraceErrorKind::kBadCount, path.string(),
+                            reader.line_number(),
+                            "malformed count '" + std::string(cell) + "' at minute " +
+                                std::to_string(m + 1),
+                            reader.line_offset()};
+        }
+        if (*count > 0) {
+          builder.add(f, base + static_cast<Minute>(m), *count);
+          stats.invocations += *count;
+        }
+      }
+      ++stats.data_rows;
+    }
+    ++stats.files;
+    stats.bytes += reader.bytes_consumed();
+    stats.max_line_bytes = std::max(stats.max_line_bytes, reader.max_line_bytes());
+  }
+
+  stats.duplicate_rows = duplicate_rows;
+  AzureTrace out = std::move(builder).finish(duration);
+  out.duplicate_rows = duplicate_rows;
+  return out;
+}
+
+// Streaming 2021 invocation-format loader. All files share the trace epoch;
+// the horizon is the invocation span rounded up to whole days, exactly as
+// try_load_azure_invocations computes it.
+TraceResult<AzureTrace> stream_load_2021(const std::vector<std::filesystem::path>& paths,
+                                         const StreamLoadOptions& options,
+                                         StreamLoadStats& stats) {
+  StreamingTraceBuilder builder;
+  std::vector<std::string_view> fields;
+  util::CsvRow quoted_storage;
+  std::string key;
+
+  for (const std::filesystem::path& path : paths) {
+    util::LineReader reader(path, options.chunk_bytes);
+    if (!reader.ok()) return open_error(path, "cannot open Azure invocation CSV");
+
+    std::string_view line;
+    bool header_seen = false;
+    while (reader.next(line)) {
+      if (line.empty()) continue;
+      split_line(line, fields, quoted_storage);
+      if (!header_seen) {
+        header_seen = true;
+        if (fields.size() < 2 || fields[0] != "app" || fields[1] != "func") {
+          return TraceError{TraceErrorKind::kBadHeader, path.string(),
+                            reader.line_number(),
+                            "expected 2021 invocation header 'app,func,end_timestamp,"
+                            "duration'",
+                            reader.line_offset()};
+        }
+        continue;
+      }
+      if (fields.size() != 4) {
+        return TraceError{TraceErrorKind::kMalformedRow, path.string(),
+                          reader.line_number(),
+                          "expected 4 columns, got " + std::to_string(fields.size()),
+                          reader.line_offset()};
+      }
+      const auto end_ts = parse_seconds(fields[2]);
+      const auto duration_s = parse_seconds(fields[3]);
+      if (!end_ts || !duration_s) {
+        return TraceError{TraceErrorKind::kBadTimestamp, path.string(),
+                          reader.line_number(),
+                          "malformed timestamp/duration '" + std::string(fields[2]) +
+                              "','" + std::string(fields[3]) + "'",
+                          reader.line_offset()};
+      }
+      key.assign(fields[0]);
+      key += '/';
+      key += fields[1];
+      FunctionId f = builder.lookup(key);
+      if (f == kNoFunction) {
+        f = builder.insert(key, AzureFunctionId{"", std::string(fields[0]),
+                                                std::string(fields[1]), ""});
+      }
+      bool clamped = false;
+      const Minute minute = invocation_start_minute(*end_ts, *duration_s, &clamped);
+      if (clamped) ++stats.clamped_rows;
+      builder.add(f, minute, 1);
+      ++stats.data_rows;
+      ++stats.invocations;
+    }
+    if (!header_seen) {
+      return TraceError{TraceErrorKind::kBadHeader, path.string(), 0,
+                        "empty 2021 invocation file (no header row)"};
+    }
+    ++stats.files;
+    stats.bytes += reader.bytes_consumed();
+    stats.max_line_bytes = std::max(stats.max_line_bytes, reader.max_line_bytes());
+  }
+
+  const Minute max_minute = builder.max_minute();
+  const Minute duration =
+      max_minute < 0 ? 0 : ((max_minute / kMinutesPerDay) + 1) * kMinutesPerDay;
+  return std::move(builder).finish(duration);
+}
+
+}  // namespace
+
+TraceResult<AzureTrace> stream_load_azure(const std::vector<std::filesystem::path>& paths,
+                                          const StreamLoadOptions& options,
+                                          StreamLoadStats* stats) {
+  if (paths.empty()) {
+    return TraceError{TraceErrorKind::kIo, "", 0, "stream_load_azure: no files given"};
+  }
+  TraceFormat format = options.format;
+  if (format == TraceFormat::kUnknown) {
+    auto detected = detect_trace_format(paths.front());
+    if (!detected) return std::move(detected.error());
+    format = detected.value();
+  }
+  StreamLoadStats local;
+  StreamLoadStats& s = stats != nullptr ? *stats : local;
+  s = StreamLoadStats{};
+  s.format = format;
+  if (format == TraceFormat::kAzure2019Day) {
+    return stream_load_2019(paths, options, s);
+  }
+  return stream_load_2021(paths, options, s);
+}
+
+}  // namespace pulse::trace

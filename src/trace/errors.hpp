@@ -20,6 +20,8 @@ enum class TraceErrorKind {
   kBadHeader,     // header row absent or the wrong shape
   kMalformedRow,  // wrong column count
   kBadCount,      // count cell not a valid non-negative integer (NaN, -3, 1.5…)
+  kBadTimestamp,  // 2021-format timestamp/duration cell not a finite number
+  kDuplicateRow,  // same (owner, app, function) twice in one day file (strict mode)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(TraceErrorKind kind) noexcept {
@@ -28,6 +30,8 @@ enum class TraceErrorKind {
     case TraceErrorKind::kBadHeader: return "bad-header";
     case TraceErrorKind::kMalformedRow: return "malformed-row";
     case TraceErrorKind::kBadCount: return "bad-count";
+    case TraceErrorKind::kBadTimestamp: return "bad-timestamp";
+    case TraceErrorKind::kDuplicateRow: return "duplicate-row";
   }
   return "unknown";
 }
@@ -37,6 +41,8 @@ struct TraceError {
   std::string file;
   std::size_t line = 0;  // 1-based; 0 when the error is not tied to a line
   std::string message;
+  std::uint64_t byte_offset = 0;  // offset of the offending line's first byte;
+                                  // 0 when unknown (getline-based loaders)
 
   [[nodiscard]] std::string to_string() const {
     std::string out = file;
@@ -49,6 +55,11 @@ struct TraceError {
     out += trace::to_string(kind);
     out += "] ";
     out += message;
+    if (byte_offset > 0) {
+      out += " (byte ";
+      out += std::to_string(byte_offset);
+      out += ')';
+    }
     return out;
   }
 };

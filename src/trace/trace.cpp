@@ -15,6 +15,27 @@ Trace::Trace(std::size_t function_count, Minute duration_minutes)
   for (std::size_t f = 0; f < function_count; ++f) names_.push_back("fn" + std::to_string(f));
 }
 
+Trace Trace::from_columns(std::vector<std::string> names,
+                          std::vector<std::vector<std::uint32_t>> counts,
+                          Minute duration_minutes) {
+  if (duration_minutes < 0) throw std::invalid_argument("Trace: negative duration");
+  if (names.size() != counts.size()) {
+    throw std::invalid_argument("Trace::from_columns: names/counts size mismatch");
+  }
+  const auto duration = static_cast<std::size_t>(duration_minutes);
+  for (auto& series : counts) {
+    if (series.size() > duration) {
+      throw std::invalid_argument("Trace::from_columns: series longer than duration");
+    }
+    series.resize(duration, 0);
+  }
+  Trace out;
+  out.duration_ = duration_minutes;
+  out.names_ = std::move(names);
+  out.counts_ = std::move(counts);
+  return out;
+}
+
 std::uint32_t Trace::count(FunctionId f, Minute t) const {
   if (t < 0 || t >= duration_) return 0;
   return counts_.at(f)[static_cast<std::size_t>(t)];

@@ -32,6 +32,19 @@ class Trace {
   /// `duration_minutes` minutes. Function names default to "fn0", "fn1", ...
   Trace(std::size_t function_count, Minute duration_minutes);
 
+  /// Adopts per-function series built elsewhere (the streaming loaders grow
+  /// series incrementally and hand them over without copying). Series
+  /// shorter than `duration_minutes` are zero-padded; longer ones throw.
+  [[nodiscard]] static Trace from_columns(std::vector<std::string> names,
+                                          std::vector<std::vector<std::uint32_t>> counts,
+                                          Minute duration_minutes);
+
+  /// Exact equality: same horizon, function names and per-minute counts.
+  [[nodiscard]] bool operator==(const Trace& other) const noexcept {
+    return duration_ == other.duration_ && names_ == other.names_ &&
+           counts_ == other.counts_;
+  }
+
   [[nodiscard]] std::size_t function_count() const noexcept { return counts_.size(); }
   [[nodiscard]] Minute duration() const noexcept { return duration_; }
 

@@ -28,6 +28,12 @@ std::string quote(std::string_view field) {
 }  // namespace
 
 CsvRow parse_csv_line(std::string_view line) {
+  // CRLF files reach us with the '\r' of the terminator still attached
+  // (line splitting happens on '\n'); strip exactly that one. Every other
+  // carriage return — quoted or not — is field data. The parser used to
+  // drop all unquoted CRs while keeping quoted ones, so "a\rb,c" and
+  // "\"a\rb\",c" parsed differently.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   CsvRow fields;
   std::string cur;
   bool in_quotes = false;
@@ -50,8 +56,6 @@ CsvRow parse_csv_line(std::string_view line) {
       } else if (c == ',') {
         fields.push_back(std::move(cur));
         cur.clear();
-      } else if (c == '\r') {
-        // tolerate CRLF line endings
       } else {
         cur.push_back(c);
       }
@@ -93,9 +97,15 @@ CsvTable CsvTable::read(std::istream& is, bool has_header) {
   CsvTable table;
   std::string line;
   bool first = true;
+  bool at_file_start = true;
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    auto fields = parse_csv_line(line);
+    std::string_view view = line;
+    if (at_file_start) {
+      at_file_start = false;
+      strip_utf8_bom(view);
+    }
+    if (view.empty() || view == "\r") continue;
+    auto fields = parse_csv_line(view);
     if (first && has_header) {
       table.set_header(std::move(fields));
     } else {

@@ -14,8 +14,20 @@ namespace pulse::util {
 using CsvRow = std::vector<std::string>;
 
 /// Parses one CSV line into fields. Embedded newlines are not supported at
-/// the line level (the file reader handles multi-line quoted fields).
+/// the line level (the file reader handles multi-line quoted fields). A
+/// single trailing '\r' (the remnant of a CRLF terminator) is stripped;
+/// interior carriage returns are data whether quoted or not.
 [[nodiscard]] CsvRow parse_csv_line(std::string_view line);
+
+/// Removes a UTF-8 byte-order mark from the front of `line` if present
+/// (spreadsheet exports prepend one). Returns true when a BOM was removed.
+inline bool strip_utf8_bom(std::string_view& line) noexcept {
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' && line[2] == '\xBF') {
+    line.remove_prefix(3);
+    return true;
+  }
+  return false;
+}
 
 /// Serializes fields into one CSV line (no trailing newline).
 [[nodiscard]] std::string format_csv_line(const CsvRow& fields);

@@ -1,0 +1,78 @@
+#include "util/line_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pulse::util {
+
+LineReader::LineReader(const std::filesystem::path& path, std::size_t chunk_bytes) {
+  file_ = std::fopen(path.string().c_str(), "rb");
+  buffer_.resize(std::max<std::size_t>(chunk_bytes, 64));
+}
+
+LineReader::~LineReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool LineReader::refill() {
+  if (file_ == nullptr) return false;
+  len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+  pos_ = 0;
+  if (!checked_bom_) {
+    checked_bom_ = true;
+    if (len_ >= 3 && std::memcmp(buffer_.data(), "\xEF\xBB\xBF", 3) == 0) {
+      pos_ = 3;
+      next_offset_ = 3;
+    }
+  }
+  return pos_ < len_;
+}
+
+bool LineReader::next(std::string_view& line) {
+  carry_.clear();
+  std::uint64_t start_offset = next_offset_;
+  for (;;) {
+    if (pos_ >= len_) {
+      const bool refilled = refill();
+      // The first refill may skip a BOM, moving next_offset_ after
+      // start_offset was latched; while no byte of this line has been
+      // consumed yet the line still starts wherever the cursor now is.
+      if (carry_.empty()) start_offset = next_offset_;
+      if (!refilled) {
+        // End of file: a non-empty carry is the final unterminated line.
+        if (carry_.empty()) return false;
+        if (carry_.back() == '\r') carry_.pop_back();
+        line = carry_;
+        line_offset_ = start_offset;
+        ++line_number_;
+        max_line_bytes_ = std::max(max_line_bytes_, line.size());
+        return true;
+      }
+    }
+    const char* base = buffer_.data() + pos_;
+    const std::size_t avail = len_ - pos_;
+    const auto* nl = static_cast<const char*>(std::memchr(base, '\n', avail));
+    if (nl == nullptr) {
+      carry_.append(base, avail);
+      next_offset_ += avail;
+      pos_ = len_;
+      continue;
+    }
+    const std::size_t span = static_cast<std::size_t>(nl - base);
+    next_offset_ += span + 1;  // include the '\n'
+    pos_ += span + 1;
+    if (carry_.empty()) {
+      line = std::string_view(base, span);
+    } else {
+      carry_.append(base, span);
+      line = carry_;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    line_offset_ = start_offset;
+    ++line_number_;
+    max_line_bytes_ = std::max(max_line_bytes_, line.size());
+    return true;
+  }
+}
+
+}  // namespace pulse::util

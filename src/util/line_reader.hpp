@@ -1,0 +1,78 @@
+#pragma once
+// Chunked line reader with bounded memory and byte-offset tracking.
+//
+// The Azure invocation traces run to millions of rows; reading them with
+// std::getline over an unbuffered stream is slow and offers no way to report
+// *where* in a multi-hundred-megabyte file a malformed row sits. LineReader
+// reads fixed-size chunks (O(chunk) resident, independent of file size),
+// hands out one line at a time as a string_view, and tracks the byte offset
+// of every line start so loaders can say "row 1,284,391 at byte 58,112,004".
+//
+// Framing rules, chosen to match the repository's getline-based loaders
+// bit-for-bit:
+//   * lines are terminated by '\n'; a final unterminated line is returned,
+//     a trailing '\n' does not produce an empty final line;
+//   * one trailing '\r' per line (CRLF files) is stripped before return —
+//     interior carriage returns are data and pass through;
+//   * a UTF-8 byte-order mark at the start of the file is skipped (Excel
+//     and PowerShell exports prepend one; it used to defeat the Azure
+//     header detection and turn the header row into a bogus function).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pulse::util {
+
+class LineReader {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+  explicit LineReader(const std::filesystem::path& path,
+                      std::size_t chunk_bytes = kDefaultChunkBytes);
+  ~LineReader();
+
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// False when the file could not be opened.
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+
+  /// Fetches the next line. Returns false at end of file. The view stays
+  /// valid until the next call to next() (it points into the chunk buffer,
+  /// or into an internal carry string for lines spanning a chunk boundary).
+  bool next(std::string_view& line);
+
+  /// 1-based number of the last line returned by next().
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_number_; }
+
+  /// Byte offset (0-based, from the start of the file, BOM included) of the
+  /// first byte of the last line returned by next().
+  [[nodiscard]] std::uint64_t line_offset() const noexcept { return line_offset_; }
+
+  /// Total bytes consumed from the file so far, including terminators.
+  [[nodiscard]] std::uint64_t bytes_consumed() const noexcept { return next_offset_; }
+
+  /// Length of the longest line seen so far — together with the chunk size
+  /// this bounds the reader's peak resident memory.
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_line_bytes_; }
+
+ private:
+  bool refill();
+
+  std::FILE* file_ = nullptr;
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;   // next unconsumed byte within buffer_
+  std::size_t len_ = 0;   // valid bytes in buffer_
+  std::string carry_;     // accumulates lines that span chunk boundaries
+  std::uint64_t next_offset_ = 0;
+  std::uint64_t line_offset_ = 0;
+  std::size_t line_number_ = 0;
+  std::size_t max_line_bytes_ = 0;
+  bool checked_bom_ = false;
+};
+
+}  // namespace pulse::util

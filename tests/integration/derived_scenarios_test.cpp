@@ -1,0 +1,182 @@
+// Derived-scenario generators: determinism under fixed seeds and the
+// structural properties each transform promises.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/scenario.hpp"
+#include "trace/workload.hpp"
+
+namespace pulse::exp {
+namespace {
+
+trace::Trace base_trace() {
+  trace::WorkloadConfig config;
+  config.function_count = 6;
+  config.duration = 2 * trace::kMinutesPerDay;
+  config.seed = 7;
+  return trace::build_azure_like_workload(config).trace;
+}
+
+TEST(DerivedScenarios, DeterministicUnderFixedSeed) {
+  const trace::Trace base = base_trace();
+  for (const std::string_view name : derived_scenario_names()) {
+    const trace::Trace a = make_derived_scenario(base, name, 42);
+    const trace::Trace b = make_derived_scenario(base, name, 42);
+    EXPECT_TRUE(a == b) << "scenario " << name << " not reproducible";
+  }
+}
+
+TEST(DerivedScenarios, SeedChangesStochasticScenarios) {
+  const trace::Trace base = base_trace();
+  // Flash crowds draw event minutes, participants, and surge arrivals from
+  // the seed, so two seeds virtually never coincide.
+  const trace::Trace a = make_derived_scenario(base, "flash-crowd", 1);
+  const trace::Trace b = make_derived_scenario(base, "flash-crowd", 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DerivedScenarios, UnknownNameThrows) {
+  const trace::Trace base = base_trace();
+  EXPECT_THROW(make_derived_scenario(base, "nope", 1), std::invalid_argument);
+}
+
+TEST(DerivedScenarios, PureRotationDriftPreservesDailyTotals) {
+  const trace::Trace base = base_trace();
+  PatternDriftConfig config;
+  config.phase_drift_minutes_per_day = 90.0;
+  config.amplitude_drift_per_day = 0.0;  // rotation only: no randomness at all
+  const trace::Trace drifted = apply_pattern_drift(base, config);
+
+  ASSERT_EQ(drifted.function_count(), base.function_count());
+  ASSERT_EQ(drifted.duration(), base.duration());
+  // Day 0 is untouched; day 1 is day 1 of the base rotated right by 90.
+  for (trace::FunctionId f = 0; f < base.function_count(); ++f) {
+    for (trace::Minute m = 0; m < trace::kMinutesPerDay; ++m) {
+      ASSERT_EQ(drifted.count(f, m), base.count(f, m)) << "f=" << f << " m=" << m;
+      const trace::Minute src = (m - 90 + trace::kMinutesPerDay) % trace::kMinutesPerDay;
+      ASSERT_EQ(drifted.count(f, trace::kMinutesPerDay + m),
+                base.count(f, trace::kMinutesPerDay + src))
+          << "f=" << f << " m=" << m;
+    }
+  }
+  EXPECT_EQ(drifted.total_invocations(), base.total_invocations());
+}
+
+TEST(DerivedScenarios, AmplitudeDriftGrowsLaterDays) {
+  const trace::Trace base = base_trace();
+  PatternDriftConfig config;
+  config.phase_drift_minutes_per_day = 0.0;
+  config.amplitude_drift_per_day = 0.5;
+  const trace::Trace drifted = apply_pattern_drift(base, config);
+
+  std::uint64_t base_day1 = 0, drift_day1 = 0;
+  for (trace::Minute t = trace::kMinutesPerDay; t < 2 * trace::kMinutesPerDay; ++t) {
+    base_day1 += base.invocations_at(t);
+    drift_day1 += drifted.invocations_at(t);
+  }
+  EXPECT_GT(drift_day1, base_day1);
+}
+
+TEST(DerivedScenarios, FlashCrowdsWithoutParticipantsAreIdentity) {
+  const trace::Trace base = base_trace();
+  FlashCrowdConfig config;
+  config.participation = 0.0;
+  EXPECT_TRUE(inject_flash_crowds(base, config) == base);
+}
+
+TEST(DerivedScenarios, FlashCrowdsAmplifyTheEventMinutes) {
+  const trace::Trace base = base_trace();
+  FlashCrowdConfig config;
+  config.crowds = 2;
+  config.participation = 1.0;
+  config.multiplier = 6.0;
+  config.surge_rate = 3.0;
+  const trace::Trace spiked = inject_flash_crowds(base, config);
+
+  const auto centers = flash_crowd_minutes(config, base.duration());
+  ASSERT_EQ(centers.size(), 2u);
+  for (const trace::Minute c : centers) {
+    ASSERT_GE(c, config.ramp + config.hold);
+    ASSERT_LT(c, base.duration() - (config.ramp + config.hold));
+    EXPECT_GT(spiked.invocations_at(c), base.invocations_at(c));
+  }
+  EXPECT_GT(spiked.total_invocations(), base.total_invocations());
+
+  // Outside every event envelope the trace is untouched.
+  trace::Minute quiet = -1;
+  for (trace::Minute t = 0; t < base.duration(); ++t) {
+    bool near = false;
+    for (const trace::Minute c : centers) {
+      if (t >= c - config.ramp && t < c + config.hold + config.ramp) near = true;
+    }
+    if (!near) {
+      quiet = t;
+      break;
+    }
+  }
+  ASSERT_GE(quiet, 0);
+  EXPECT_EQ(spiked.invocations_at(quiet), base.invocations_at(quiet));
+}
+
+TEST(DerivedScenarios, MultiTenantClonesAndAggressor) {
+  const trace::Trace base = base_trace();
+  MultiTenantConfig config;
+  config.tenants = 3;
+  config.phase_stagger = 0;
+  config.load_scale = 1.0;
+  config.aggressor_scale = 5.0;
+  config.burst_every = trace::kMinutesPerDay;
+  config.burst_length = 60;
+  const trace::Trace mixed = compose_multi_tenant(base, config);
+
+  ASSERT_EQ(mixed.function_count(), 3 * base.function_count());
+  ASSERT_EQ(mixed.duration(), base.duration());
+  EXPECT_EQ(mixed.function_name(0), "t0/" + base.function_name(0));
+  EXPECT_EQ(mixed.function_name(2 * base.function_count()),
+            "t2/" + base.function_name(0));
+
+  // With no stagger and unit scale, non-aggressor tenants replay the base
+  // exactly (integer scale: the stochastic rounding never fires).
+  for (trace::FunctionId f = 0; f < base.function_count(); ++f) {
+    for (trace::Minute t = 0; t < base.duration(); ++t) {
+      ASSERT_EQ(mixed.count(f, t), base.count(f, t)) << "t0 f=" << f;
+      ASSERT_EQ(mixed.count(base.function_count() + f, t), base.count(f, t)) << "t1";
+    }
+  }
+  // The aggressor (last tenant) amplifies during bursts and replays the
+  // base elsewhere.
+  std::uint64_t burst_base = 0, burst_aggressor = 0;
+  for (trace::FunctionId f = 0; f < base.function_count(); ++f) {
+    const trace::FunctionId g = 2 * base.function_count() + f;
+    for (trace::Minute t = 0; t < base.duration(); ++t) {
+      if (t % config.burst_every < config.burst_length) {
+        burst_base += base.count(f, t);
+        burst_aggressor += mixed.count(g, t);
+      } else {
+        ASSERT_EQ(mixed.count(g, t), base.count(f, t)) << "t2 off-burst";
+      }
+    }
+  }
+  EXPECT_EQ(burst_aggressor, 5 * burst_base);
+}
+
+TEST(DerivedScenarios, MultiTenantStaggerRotates) {
+  const trace::Trace base = base_trace();
+  MultiTenantConfig config;
+  config.tenants = 2;
+  config.phase_stagger = 300;
+  config.burst_every = 0;  // no aggressor bursts: pure rotation check
+  const trace::Trace mixed = compose_multi_tenant(base, config);
+  for (trace::FunctionId f = 0; f < base.function_count(); ++f) {
+    const trace::FunctionId g = base.function_count() + f;
+    for (trace::Minute t = 0; t < base.duration(); ++t) {
+      const trace::Minute src = (t - 300 + base.duration()) % base.duration();
+      ASSERT_EQ(mixed.count(g, t), base.count(f, src)) << "f=" << f << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pulse::exp

@@ -42,6 +42,54 @@ TEST(CsvLine, ToleratesCarriageReturn) {
   EXPECT_EQ(row[1], "b");
 }
 
+// Regression: CR handling used to differ inside vs outside quotes — an
+// unquoted interior CR was silently dropped while a quoted one was kept.
+// Only the line-terminator CR (exactly one, at end of line) is stripped;
+// every other CR is data.
+TEST(CsvLine, InteriorCarriageReturnIsData) {
+  const CsvRow row = parse_csv_line("a\rb,c");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a\rb");
+  EXPECT_EQ(row[1], "c");
+}
+
+TEST(CsvLine, QuotedCarriageReturnIsData) {
+  const CsvRow row = parse_csv_line("\"a\rb\",c");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a\rb");
+}
+
+TEST(CsvLine, CrlfWithTrailingEmptyField) {
+  // "a,\r" is the CRLF spelling of "a," — two fields, second empty.
+  const CsvRow row = parse_csv_line("a,\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[1], "");
+}
+
+TEST(CsvLine, OnlyOneTerminatorCrStripped) {
+  const CsvRow row = parse_csv_line("a,b\r\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b\r");
+}
+
+TEST(CsvLine, QuotedFieldEndingInCrBeforeTerminator) {
+  // Terminator CR sits outside the closing quote; the quoted CR stays.
+  const CsvRow row = parse_csv_line("\"a\r\",b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a\r");
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvLine, StripUtf8Bom) {
+  std::string_view with_bom = "\xEF\xBB\xBF" "a,b";
+  EXPECT_TRUE(strip_utf8_bom(with_bom));
+  EXPECT_EQ(with_bom, "a,b");
+  std::string_view plain = "a,b";
+  EXPECT_FALSE(strip_utf8_bom(plain));
+  EXPECT_EQ(plain, "a,b");
+}
+
 TEST(CsvLine, FormatQuotesWhenNeeded) {
   EXPECT_EQ(format_csv_line({"plain", "with,comma"}), R"(plain,"with,comma")");
   EXPECT_EQ(format_csv_line({"q\"uote"}), R"("q""uote")");
